@@ -1,0 +1,231 @@
+// ssmwn — command-line driver for one-off clustering experiments.
+//
+//   ssmwn cluster  --n 500 --radius 0.08 [--grid] [--dag] [--fusion]
+//                  [--metric density|degree|lowest-id|max-min]
+//                  [--seed S] [--dot out.dot] [--csv out.csv] [--map]
+//   ssmwn protocol --n 200 --radius 0.1 [--tau 0.8] [--steps 100]
+//                  [--corrupt 0.3] [--dag]
+//   ssmwn routing  --n 500 --radius 0.08 [--pairs 300]
+//
+// `cluster` builds a deployment, clusters it, and prints the metrics of
+// the paper's evaluation (optionally a DOT file, a per-node CSV, or an
+// ASCII map for grid deployments). `protocol` runs the distributed
+// self-stabilizing protocol and reports convergence. `routing` compares
+// flat vs hierarchical routing. Exit code 0 on success.
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "cluster/baselines.hpp"
+#include "cluster/max_min.hpp"
+#include "core/clustering.hpp"
+#include "core/dag_ids.hpp"
+#include "core/protocol.hpp"
+#include "graph/dot.hpp"
+#include "metrics/cluster_metrics.hpp"
+#include "routing/routing.hpp"
+#include "sim/loss.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ssmwn;
+
+struct Deployment {
+  std::vector<topology::Point> points;
+  graph::Graph graph;
+  topology::IdAssignment ids;
+  std::size_t grid_side = 0;  // nonzero iff --grid
+};
+
+Deployment make_deployment(const util::Args& args, util::Rng& rng) {
+  Deployment d;
+  const auto n = static_cast<std::size_t>(args.get_int("n", 500));
+  const double radius = args.get_double("radius", 0.08);
+  if (args.get_bool("grid", false)) {
+    d.grid_side = topology::grid_side_for(n);
+    d.points = topology::grid_points(d.grid_side);
+    d.ids = topology::sequential_ids(d.points.size());
+  } else {
+    d.points = topology::uniform_points(n, rng);
+    d.ids = topology::random_ids(n, rng);
+  }
+  d.graph = topology::unit_disk_graph(d.points, radius);
+  return d;
+}
+
+int run_cluster(const util::Args& args, util::Rng& rng) {
+  const auto d = make_deployment(args, rng);
+  core::ClusterOptions options;
+  options.fusion = args.get_bool("fusion", false);
+  options.incumbency = args.get_bool("incumbency", false);
+  options.use_dag_ids = args.get_bool("dag", false);
+
+  const std::string metric = args.get("metric", "density");
+  core::ClusteringResult result;
+  if (metric == "density") {
+    if (options.use_dag_ids) {
+      const auto dag = core::build_dag_ids(d.graph, d.ids, {}, rng);
+      result = core::cluster_density(d.graph, d.ids, options, dag.ids);
+    } else {
+      result = core::cluster_density(d.graph, d.ids, options);
+    }
+  } else if (metric == "degree") {
+    result = cluster::cluster_highest_degree(d.graph, d.ids, options);
+  } else if (metric == "lowest-id") {
+    result = cluster::cluster_lowest_id(d.graph, d.ids, options);
+  } else if (metric == "max-min") {
+    result = cluster::cluster_max_min(
+        d.graph, d.ids, static_cast<std::size_t>(args.get_int("d", 2)));
+  } else {
+    std::fprintf(stderr, "unknown --metric '%s'\n", metric.c_str());
+    return 2;
+  }
+
+  const auto stats = metrics::analyze(d.graph, result);
+  std::printf("nodes=%zu links=%zu max_degree=%zu\n", d.graph.node_count(),
+              d.graph.edge_count(), d.graph.max_degree());
+  std::printf("clusters=%zu mean_size=%.1f head_ecc=%.2f tree_depth=%.2f "
+              "min_head_sep=%zu fairness=%.2f\n",
+              stats.cluster_count, stats.mean_cluster_size,
+              stats.mean_head_eccentricity, stats.mean_tree_depth,
+              stats.min_head_separation,
+              metrics::cluster_size_fairness(result));
+
+  if (args.has("map") && d.grid_side > 0) {
+    std::fputs(metrics::render_grid_clusters(d.grid_side, result).c_str(),
+               stdout);
+  }
+  if (const auto path = args.get("dot", ""); !path.empty()) {
+    graph::DotOptions dot_options;
+    dot_options.positions.reserve(d.points.size());
+    for (const auto& p : d.points) {
+      dot_options.positions.emplace_back(p.x, p.y);
+    }
+    dot_options.cluster_of = result.head_index;
+    dot_options.is_head = result.is_head;
+    dot_options.parent = result.parent;
+    std::ofstream out(path);
+    out << graph::to_dot(d.graph, dot_options);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (const auto path = args.get("csv", ""); !path.empty()) {
+    std::ofstream out(path);
+    out << "node,id,density,head,parent,is_head\n";
+    for (graph::NodeId p = 0; p < d.graph.node_count(); ++p) {
+      out << p << ',' << d.ids[p] << ',' << result.metric[p] << ','
+          << result.head_id[p] << ',' << d.ids[result.parent[p]] << ','
+          << int{result.is_head[p]} << '\n';
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int run_protocol(const util::Args& args, util::Rng& rng) {
+  const auto d = make_deployment(args, rng);
+  core::ProtocolConfig config;
+  config.cluster.use_dag_ids = args.get_bool("dag", false);
+  config.cluster.fusion = args.get_bool("fusion", false);
+  config.delta_hint = std::max<std::uint64_t>(2, d.graph.max_degree());
+  const double tau = args.get_double("tau", 1.0);
+  config.cache_max_age = tau < 1.0 ? 16 : 8;
+
+  core::DensityProtocol protocol(d.ids, config, rng.split());
+  sim::PerfectDelivery perfect;
+  sim::BernoulliDelivery lossy(tau < 1.0 ? tau : 1.0, rng.split());
+  sim::LossModel& medium = tau < 1.0
+                               ? static_cast<sim::LossModel&>(lossy)
+                               : static_cast<sim::LossModel&>(perfect);
+  sim::Network network(d.graph, protocol, medium);
+
+  const auto steps = static_cast<std::size_t>(args.get_int("steps", 100));
+  sim::HeadTrace trace;
+  trace.observe(protocol.head_values());
+  for (std::size_t s = 0; s < steps; ++s) {
+    network.step();
+    trace.observe(protocol.head_values());
+  }
+  std::printf("cold start: %zu head changes, quiescent since step %zu\n",
+              trace.changes().size(), trace.quiescent_since());
+
+  const double corrupt = args.get_double("corrupt", 0.0);
+  if (corrupt > 0.0) {
+    util::Rng chaos(rng());
+    const auto hit = protocol.corrupt_fraction(chaos, corrupt);
+    sim::HeadTrace recovery;
+    recovery.observe(protocol.head_values());
+    for (std::size_t s = 0; s < steps; ++s) {
+      network.step();
+      recovery.observe(protocol.head_values());
+    }
+    std::printf("corrupted %zu nodes: %zu head changes during recovery, "
+                "quiescent since step %zu\n",
+                hit, recovery.changes().size(), recovery.quiescent_since());
+    if (recovery.quiescent_since() >= steps) return 1;
+  }
+  std::size_t heads = 0;
+  for (char flag : protocol.head_flags()) heads += flag != 0;
+  std::printf("final cluster-heads: %zu\n", heads);
+  return trace.quiescent_since() < steps ? 0 : 1;
+}
+
+int run_routing(const util::Args& args, util::Rng& rng) {
+  const auto d = make_deployment(args, rng);
+  const auto clustering = core::cluster_density(d.graph, d.ids, {});
+  routing::FlatRouter flat(d.graph);
+  routing::HierarchicalRouter hier(d.graph, clustering);
+  const auto pairs = static_cast<std::size_t>(args.get_int("pairs", 300));
+  const auto stats = routing::compare_routers(d.graph, flat, hier, pairs, rng);
+  std::printf("clusters=%zu sampled_pairs=%zu failures=%zu\n",
+              hier.cluster_count(), stats.pairs, stats.failures);
+  std::printf("mean_flat=%.2f mean_hier=%.2f mean_stretch=%.2f "
+              "max_stretch=%.2f\n",
+              stats.mean_flat_length, stats.mean_hier_length,
+              stats.mean_stretch, stats.max_stretch);
+  const graph::NodeId probe = 0;
+  std::printf("table entries @node0: flat=%zu hier=%zu\n",
+              flat.table_entries(probe), hier.table_entries(probe));
+  return stats.failures == 0 ? 0 : 1;
+}
+
+void usage() {
+  std::puts(
+      "usage: ssmwn <cluster|protocol|routing> [--n N] [--radius R] "
+      "[--grid]\n"
+      "  cluster : [--metric density|degree|lowest-id|max-min] [--dag]\n"
+      "            [--fusion] [--incumbency] [--dot F] [--csv F] [--map]\n"
+      "  protocol: [--tau T] [--steps K] [--corrupt FRAC] [--dag] [--fusion]\n"
+      "  routing : [--pairs K]\n"
+      "  common  : [--seed S]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv);
+    if (args.positional().empty()) {
+      usage();
+      return 2;
+    }
+    util::Rng rng(
+        static_cast<std::uint64_t>(args.get_int("seed", 20050612)));
+    const std::string command = args.positional().front();
+    if (command == "cluster") return run_cluster(args, rng);
+    if (command == "protocol") return run_protocol(args, rng);
+    if (command == "routing") return run_routing(args, rng);
+    usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

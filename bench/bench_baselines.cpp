@@ -1,0 +1,114 @@
+// Context — the density metric against the baselines of [16] and the
+// related-work section: lowest-id, highest-degree, and Max-Min d-cluster.
+//
+// Reports static structure (cluster count, head eccentricity, tree
+// depth) and head survival under pedestrian mobility for each algorithm
+// on the paper's random-geometry workload. The qualitative claim carried
+// over from [16] is that density-based heads are more stable under
+// mobility than degree-based ones.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "cluster/baselines.hpp"
+#include "cluster/max_min.hpp"
+#include "metrics/stability.hpp"
+#include "mobility/mobility.hpp"
+
+namespace {
+
+using namespace ssmwn;
+
+using Algorithm = core::ClusteringResult (*)(const graph::Graph&,
+                                             const topology::IdAssignment&);
+
+core::ClusteringResult run_density(const graph::Graph& g,
+                                   const topology::IdAssignment& ids) {
+  return core::cluster_density(g, ids, {});
+}
+core::ClusteringResult run_lowest_id(const graph::Graph& g,
+                                     const topology::IdAssignment& ids) {
+  return cluster::cluster_lowest_id(g, ids);
+}
+core::ClusteringResult run_degree(const graph::Graph& g,
+                                  const topology::IdAssignment& ids) {
+  return cluster::cluster_highest_degree(g, ids);
+}
+core::ClusteringResult run_max_min_2(const graph::Graph& g,
+                                     const topology::IdAssignment& ids) {
+  return cluster::cluster_max_min(g, ids, 2);
+}
+
+struct Entry {
+  const char* label;
+  Algorithm algorithm;
+};
+
+constexpr Entry kAlgorithms[] = {
+    {"density (paper)", &run_density},
+    {"lowest-id", &run_lowest_id},
+    {"highest-degree", &run_degree},
+    {"max-min d=2", &run_max_min_2},
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t runs = util::bench_runs(8);
+  bench::print_header(
+      "Baselines — density vs lowest-id vs highest-degree vs Max-Min",
+      "[16]: the density metric is more stable towards node mobility than "
+      "the degree and max-min metrics",
+      runs);
+
+  util::Rng root(util::bench_seed());
+  const double radius = 0.08;
+  const std::size_t node_count = 600;
+
+  util::Table table("Random geometry (n=" + std::to_string(node_count) +
+                    ", R=" + util::Table::num(radius, 2) +
+                    "); survival under 0-1.6 m/s over 2 s windows");
+  table.header({"algorithm", "#clusters", "head ecc", "tree depth",
+                "head survival %"});
+
+  double density_survival = 0.0, degree_survival = 0.0;
+  for (const auto& entry : kAlgorithms) {
+    util::RunningStats clusters, ecc, depth, survival;
+    for (std::size_t run = 0; run < runs; ++run) {
+      util::Rng rng = root.split();
+      auto points = topology::uniform_points(node_count, rng);
+      const auto ids = topology::random_ids(node_count, rng);
+      {
+        const auto g = topology::unit_disk_graph(points, radius);
+        const auto r = entry.algorithm(g, ids);
+        const auto stats = metrics::analyze(g, r);
+        clusters.add(static_cast<double>(stats.cluster_count));
+        ecc.add(stats.mean_head_eccentricity);
+        depth.add(stats.mean_tree_depth);
+      }
+      mobility::RandomDirection model(node_count, {0.0, 1.6}, 1000.0,
+                                      rng.split());
+      metrics::ChurnTracker churn;
+      for (int window = 0; window < 60; ++window) {
+        const auto g = topology::unit_disk_graph(points, radius);
+        const auto r = entry.algorithm(g, ids);
+        churn.observe(
+            std::span<const char>(r.is_head.data(), r.is_head.size()));
+        model.step(points, 2.0);
+      }
+      survival.add(churn.ratios().mean());
+    }
+    table.row({entry.label, util::Table::num(clusters.mean(), 1),
+               util::Table::num(ecc.mean(), 2),
+               util::Table::num(depth.mean(), 2),
+               util::Table::num(survival.mean() * 100.0, 1)});
+    if (entry.algorithm == &run_density) density_survival = survival.mean();
+    if (entry.algorithm == &run_degree) degree_survival = survival.mean();
+  }
+  table.note("[16] claim: density survival >= degree survival");
+  bench::print(table);
+
+  const bool ok = density_survival >= degree_survival - 0.02;
+  std::printf("Density-vs-degree stability claim holds: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Section 2's traffic claim, quantified — dissemination cost with and
+// without the cluster structure.
+//
+// "This metric allows to limit the exchanged traffic generated while
+//  clusters are re-built and the nodes' tables updated."
+//
+// For growing deployments we broadcast one message network-wide and
+// count radio transmissions under blind flooding (the flat baseline),
+// cluster-based dissemination (heads + gateways + tree relays forward),
+// and the idealized BFS-tree lower bound.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "routing/broadcast.hpp"
+
+int main() {
+  using namespace ssmwn;
+  const std::size_t runs = util::bench_runs(10);
+  bench::print_header(
+      "Broadcast — transmissions to cover the network",
+      "Section 2: clusterization limits exchanged traffic (no numeric "
+      "table in the paper; claim quantified here)",
+      runs);
+
+  util::Rng root(util::bench_seed());
+  util::Table table("Mean transmissions for one network-wide broadcast "
+                    "(mean degree ~12)");
+  table.header({"n", "flooding", "clusterized", "BFS tree (bound)",
+                "cluster saving"});
+
+  bool ok = true;
+  for (const std::size_t n : {250u, 500u, 1000u, 2000u}) {
+    const double radius =
+        std::sqrt(12.0 / (3.14159 * static_cast<double>(n)));
+    util::RunningStats flood_tx, cluster_tx, tree_tx;
+    for (std::size_t run = 0; run < runs; ++run) {
+      util::Rng rng = root.split();
+      const auto pts = topology::uniform_points(n, rng);
+      const auto g = topology::unit_disk_graph(pts, radius);
+      const auto ids = topology::random_ids(n, rng);
+      const auto clustering = core::cluster_density(g, ids, {});
+      const auto source = static_cast<graph::NodeId>(rng.index(n));
+      flood_tx.add(static_cast<double>(
+          routing::flood(g, source).transmissions));
+      cluster_tx.add(static_cast<double>(
+          routing::cluster_broadcast(g, clustering, source).transmissions));
+      tree_tx.add(static_cast<double>(
+          routing::tree_broadcast(g, source).transmissions));
+    }
+    const double saving = 1.0 - cluster_tx.mean() / flood_tx.mean();
+    table.row({util::Table::integer(static_cast<long long>(n)),
+               util::Table::num(flood_tx.mean(), 0),
+               util::Table::num(cluster_tx.mean(), 0),
+               util::Table::num(tree_tx.mean(), 0),
+               util::Table::num(saving * 100.0, 1) + " %"});
+    if (cluster_tx.mean() >= flood_tx.mean()) ok = false;
+    if (tree_tx.mean() > cluster_tx.mean()) ok = false;
+  }
+  table.note("expected: clusterized < flooding at every scale, above the "
+             "BFS-tree lower bound");
+  bench::print(table);
+
+  std::printf("Cluster structure reduces broadcast traffic: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Extension — hierarchical clustering (the paper's future-work §6).
+//
+// Measures how the multi-level hierarchy collapses the network: heads
+// per level, overlay size, and the total address-hierarchy depth, across
+// the paper's transmission ranges. The motivation from the paper's
+// introduction is hierarchical routing: each extra level divides the
+// routing state again.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "core/hierarchy.hpp"
+
+int main() {
+  using namespace ssmwn;
+  const std::size_t runs = util::bench_runs(10);
+  bench::print_header(
+      "Extension — multi-level density hierarchy (Poisson(1000))",
+      "no paper table; future-work direction quantified (heads per level)",
+      runs);
+
+  util::Rng root(util::bench_seed());
+  util::Table table("Cluster-heads per hierarchy level (mean over runs)");
+  table.header({"R", "level 0 (= Table 4)", "level 1", "level 2", "depth"});
+
+  bool ok = true;
+  for (const double radius : {0.05, 0.08, 0.1}) {
+    util::RunningStats level0, level1, level2, depth;
+    for (std::size_t run = 0; run < runs; ++run) {
+      util::Rng rng = root.split();
+      const auto inst = bench::poisson_instance(1000.0, radius, rng);
+      if (inst.graph.node_count() == 0) continue;
+      const auto h = core::build_hierarchy(inst.graph, inst.ids, {}, 3);
+      depth.add(static_cast<double>(h.depth()));
+      const auto heads_at = [&](std::size_t k) {
+        return k < h.depth()
+                   ? static_cast<double>(h.levels[k].clustering.heads.size())
+                   : 0.0;
+      };
+      level0.add(heads_at(0));
+      level1.add(heads_at(1));
+      level2.add(heads_at(2));
+    }
+    table.row({util::Table::num(radius, 2), util::Table::num(level0.mean(), 1),
+               util::Table::num(level1.mean(), 1),
+               util::Table::num(level2.mean(), 1),
+               util::Table::num(depth.mean(), 1)});
+    if (level1.mean() > level0.mean()) ok = false;
+  }
+  table.note("expected: each level shrinks the head population "
+             "(level-0 column should track Table 4's no-DAG counts)");
+  bench::print(table);
+
+  std::printf("Hierarchy collapses the head population per level: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// UDG construction, density computation, the clustering solver, DAG
+// renaming, and one distributed protocol step. These quantify the cost
+// model behind the bench harness, not any table of the paper.
+#include <benchmark/benchmark.h>
+
+#include "core/clustering.hpp"
+#include "core/dag_ids.hpp"
+#include "core/density.hpp"
+#include "core/protocol.hpp"
+#include "sim/network.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ssmwn;
+
+struct Fixture {
+  std::vector<topology::Point> points;
+  graph::Graph graph;
+  topology::IdAssignment ids;
+};
+
+Fixture make_fixture(std::size_t n, double radius, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Fixture f;
+  f.points = topology::uniform_points(n, rng);
+  f.graph = topology::unit_disk_graph(f.points, radius);
+  f.ids = topology::random_ids(n, rng);
+  return f;
+}
+
+void BM_UnitDiskGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const auto points = topology::uniform_points(n, rng);
+  const double radius = std::sqrt(8.0 / (3.14159 * static_cast<double>(n)));
+  for (auto _ : state) {
+    auto g = topology::unit_disk_graph(points, radius);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnitDiskGraph)->Arg(250)->Arg(1000)->Arg(4000);
+
+void BM_DensityAllNodes(benchmark::State& state) {
+  const auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 0.08, 2);
+  for (auto _ : state) {
+    auto d = core::compute_densities(f.graph);
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+BENCHMARK(BM_DensityAllNodes)->Arg(250)->Arg(1000)->Arg(4000);
+
+void BM_ClusterDensityBasic(benchmark::State& state) {
+  const auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 0.08, 3);
+  for (auto _ : state) {
+    auto r = core::cluster_density(f.graph, f.ids, {});
+    benchmark::DoNotOptimize(r.heads.size());
+  }
+}
+BENCHMARK(BM_ClusterDensityBasic)->Arg(250)->Arg(1000);
+
+void BM_ClusterDensityFusion(benchmark::State& state) {
+  const auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 0.08, 4);
+  core::ClusterOptions opt;
+  opt.fusion = true;
+  for (auto _ : state) {
+    auto r = core::cluster_density(f.graph, f.ids, opt);
+    benchmark::DoNotOptimize(r.heads.size());
+  }
+}
+BENCHMARK(BM_ClusterDensityFusion)->Arg(250)->Arg(1000);
+
+void BM_DagRenaming(benchmark::State& state) {
+  const auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 0.08, 5);
+  util::Rng rng(6);
+  for (auto _ : state) {
+    auto dag = core::build_dag_ids(f.graph, f.ids, {}, rng);
+    benchmark::DoNotOptimize(dag.rounds);
+  }
+}
+BENCHMARK(BM_DagRenaming)->Arg(250)->Arg(1000);
+
+void BM_ProtocolStep(benchmark::State& state) {
+  const auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 0.08, 7);
+  core::ProtocolConfig config;
+  config.delta_hint = f.graph.max_degree();
+  core::DensityProtocol protocol(f.ids, config, util::Rng(8));
+  sim::PerfectDelivery loss;
+  sim::Network network(f.graph, protocol, loss);
+  network.run(5);  // warm caches so steps are steady-state
+  for (auto _ : state) {
+    network.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ProtocolStep)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Motivation — the scalability argument of the paper's introduction,
+// quantified: hierarchical (cluster-based) routing versus flat routing.
+//
+// "If flat protocols are quite effective on small and medium networks,
+//  they are not suitable on large scale networks due to bandwidth and
+//  processing overhead. Hierarchical routing seems to be more adapted."
+//
+// For growing Poisson deployments we report per-node routing state
+// (flat: one entry per destination; hierarchical: own cluster + one
+// entry per cluster) and the path-stretch price the hierarchy pays.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "routing/routing.hpp"
+
+int main() {
+  using namespace ssmwn;
+  const std::size_t runs = util::bench_runs(5);
+  bench::print_header(
+      "Routing — flat vs density-cluster hierarchical routing",
+      "Section 1 motivation: per-node state must scale sublinearly; the "
+      "price is bounded path stretch",
+      runs);
+
+  util::Rng root(util::bench_seed());
+  util::Table table("Per-node routing entries and path stretch "
+                    "(random geometry, mean degree ~10)");
+  table.header({"n", "flat entries", "hier entries", "ratio",
+                "mean stretch", "max stretch"});
+
+  bool ok = true;
+  double prev_ratio = 1.0;
+  for (const std::size_t n : {250u, 500u, 1000u, 2000u}) {
+    const double radius = std::sqrt(10.0 / (3.14159 * static_cast<double>(n)));
+    util::RunningStats flat_entries, hier_entries, stretch, max_stretch;
+    for (std::size_t run = 0; run < runs; ++run) {
+      util::Rng rng = root.split();
+      const auto pts = topology::uniform_points(n, rng);
+      const auto g = topology::unit_disk_graph(pts, radius);
+      const auto ids = topology::random_ids(n, rng);
+      const auto clustering = core::cluster_density(g, ids, {});
+      routing::FlatRouter flat(g);
+      routing::HierarchicalRouter hier(g, clustering);
+
+      // Sample table sizes over a few nodes (flat table_entries is a BFS).
+      for (graph::NodeId p = 0; p < g.node_count();
+           p += std::max<graph::NodeId>(1, g.node_count() / 16)) {
+        flat_entries.add(static_cast<double>(flat.table_entries(p)));
+        hier_entries.add(static_cast<double>(hier.table_entries(p)));
+      }
+      const auto stats = routing::compare_routers(g, flat, hier, 200, rng);
+      if (stats.pairs > 0) {
+        stretch.add(stats.mean_stretch);
+        max_stretch.add(stats.max_stretch);
+        if (stats.failures > 0) ok = false;
+      }
+    }
+    const double ratio = hier_entries.mean() / std::max(1.0, flat_entries.mean());
+    table.row({util::Table::integer(static_cast<long long>(n)),
+               util::Table::num(flat_entries.mean(), 0),
+               util::Table::num(hier_entries.mean(), 0),
+               util::Table::num(ratio, 2),
+               util::Table::num(stretch.mean(), 2),
+               util::Table::num(max_stretch.mean(), 2)});
+    // The state ratio must improve (shrink) as the network grows, and
+    // stretch must stay bounded.
+    if (n > 250 && ratio > prev_ratio + 0.02) ok = false;
+    if (stretch.mean() > 3.0) ok = false;
+    prev_ratio = ratio;
+  }
+  table.note("expected: hier/flat state ratio shrinks with n; stretch "
+             "stays a small constant");
+  bench::print(table);
+
+  std::printf("Hierarchical routing scalability argument holds: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Shared helpers for the benchmark harness.
+//
+// Conventions (see DESIGN.md §4): every bench binary runs with no
+// arguments, prints the paper's reference values next to measured ones,
+// and honors SSMWN_RUNS (averaging, paper used 1000) and SSMWN_SEED.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "core/dag_ids.hpp"
+#include "core/density.hpp"
+#include "graph/graph.hpp"
+#include "metrics/cluster_metrics.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ssmwn::bench {
+
+/// One random-geometry deployment: Poisson(λ) points in the unit square,
+/// a UDG of range `radius`, and uniformly random protocol identifiers.
+struct Instance {
+  std::vector<topology::Point> points;
+  graph::Graph graph;
+  topology::IdAssignment ids;
+};
+
+inline Instance poisson_instance(double lambda, double radius,
+                                 util::Rng& rng) {
+  Instance inst;
+  inst.points = topology::poisson_points(lambda, rng);
+  inst.graph = topology::unit_disk_graph(inst.points, radius);
+  inst.ids = topology::random_ids(inst.graph.node_count(), rng);
+  return inst;
+}
+
+/// The paper's adversarial grid: side×side nodes, identifiers increasing
+/// left to right and bottom to top (sequential over the row-major grid).
+inline Instance grid_instance(std::size_t side, double radius) {
+  Instance inst;
+  inst.points = topology::grid_points(side);
+  inst.graph = topology::unit_disk_graph(inst.points, radius);
+  inst.ids = topology::sequential_ids(inst.graph.node_count());
+  return inst;
+}
+
+/// Aggregated cluster statistics over repeated deployments.
+struct AveragedStats {
+  util::RunningStats clusters;
+  util::RunningStats eccentricity;
+  util::RunningStats tree_depth;
+  util::RunningStats cluster_size;
+};
+
+/// Clusters one instance (building DAG names first when requested) and
+/// feeds the resulting stats into `out`.
+inline void accumulate_run(const Instance& inst,
+                           const core::ClusterOptions& options,
+                           util::Rng& rng, AveragedStats& out) {
+  core::ClusteringResult result;
+  if (options.use_dag_ids) {
+    const auto dag = core::build_dag_ids(inst.graph, inst.ids, {}, rng);
+    result = core::cluster_density(inst.graph, inst.ids, options, dag.ids);
+  } else {
+    result = core::cluster_density(inst.graph, inst.ids, options);
+  }
+  const auto stats = metrics::analyze(inst.graph, result);
+  out.clusters.add(static_cast<double>(stats.cluster_count));
+  out.eccentricity.add(stats.mean_head_eccentricity);
+  out.tree_depth.add(stats.mean_tree_depth);
+  out.cluster_size.add(stats.mean_cluster_size);
+}
+
+inline void print(const util::Table& table) {
+  std::fputs(table.render().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref, std::size_t runs) {
+  std::printf("%s\n", std::string(72, '=').c_str());
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper reference: %s\n", paper_ref.c_str());
+  std::printf("Runs per configuration: %zu (set SSMWN_RUNS to change; the "
+              "paper averaged 1000)\n",
+              runs);
+  std::printf("%s\n\n", std::string(72, '=').c_str());
+}
+
+}  // namespace ssmwn::bench

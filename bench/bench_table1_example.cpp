@@ -1,0 +1,93 @@
+// Table 1 — the paper's worked example (Figure 1).
+//
+// Reproduces, for the 9 named nodes a..j: neighbor count, link count and
+// 1-density, plus the resulting clusterization (heads h and j, with the
+// joining chains described in Section 3). Everything here is
+// deterministic, so measured values must match the paper exactly.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "core/clustering.hpp"
+#include "core/density.hpp"
+
+namespace {
+
+using namespace ssmwn;
+
+constexpr graph::NodeId A = 0, B = 1, C = 2, D = 3, E = 4, F = 5, H = 6,
+                        I = 7, J = 8;
+constexpr const char* kNames = "abcdefhij";
+
+graph::Graph example_graph() {
+  return graph::from_edges(9, {{A, D},
+                               {A, I},
+                               {B, C},
+                               {B, D},
+                               {B, H},
+                               {B, I},
+                               {H, I},
+                               {E, I},
+                               {D, F},
+                               {D, J},
+                               {F, J}});
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 1 — densities and clusters of the worked example (Fig. 1)",
+      "nodes a..j; densities 1, 1.25, 1, 1.25, 1, 1.5, 1.5, 1.25, 1.5; "
+      "final heads: h and j",
+      1);
+
+  const auto g = example_graph();
+  // Id_j is the smallest of the tied pair {f, j} (the paper's stated
+  // assumption); remaining ids are arbitrary but fixed.
+  const topology::IdAssignment ids{10, 11, 12, 13, 14, 15, 16, 17, 1};
+
+  constexpr double kPaperDensity[9] = {1.0, 1.25, 1.0, 1.25, 1.0,
+                                       1.5, 1.5,  1.25, 1.5};
+
+  const auto densities = core::compute_densities(g);
+  util::Table table("Per-node features (paper value | measured)");
+  table.header({"node", "#neighbors", "#links", "paper 1-density",
+                "measured 1-density", "match"});
+  bool all_match = true;
+  for (graph::NodeId p = 0; p < 9; ++p) {
+    const auto neighbors = g.neighbors(p);
+    const std::size_t links =
+        neighbors.size() + core::edges_among(g, neighbors);
+    const bool match = densities[p] == kPaperDensity[p];
+    all_match = all_match && match;
+    table.row({std::string(1, kNames[p]),
+               util::Table::integer(static_cast<long long>(neighbors.size())),
+               util::Table::integer(static_cast<long long>(links)),
+               util::Table::num(kPaperDensity[p]),
+               util::Table::num(densities[p]), match ? "yes" : "NO"});
+  }
+  bench::print(table);
+
+  const auto result = core::cluster_density(g, ids, {});
+  util::Table clusters("Resulting clusterization (paper: two clusters, "
+                       "heads h and j; F(c)=b, F(b)=h, F(f)=j)");
+  clusters.header({"node", "parent F(p)", "head H(p)", "is head"});
+  for (graph::NodeId p = 0; p < 9; ++p) {
+    clusters.row({std::string(1, kNames[p]),
+                  std::string(1, kNames[result.parent[p]]),
+                  std::string(1, kNames[result.head_index[p]]),
+                  result.is_head[p] ? "yes" : ""});
+  }
+  clusters.note("paper narrative: c joins b, b joins h; f joins j (density "
+                "tie, Id_j smallest); heads: h, j");
+  bench::print(clusters);
+
+  const bool heads_ok = result.cluster_count() == 2 && result.is_head[H] &&
+                        result.is_head[J];
+  const bool chain_ok = result.parent[C] == B && result.parent[B] == H &&
+                        result.parent[F] == J;
+  std::printf("Densities match Table 1: %s\n", all_match ? "yes" : "NO");
+  std::printf("Cluster structure matches Section 3: %s\n",
+              (heads_ok && chain_ok) ? "yes" : "NO");
+  return (all_match && heads_ok && chain_ok) ? 0 : 1;
+}

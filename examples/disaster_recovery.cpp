@@ -1,0 +1,80 @@
+// Disaster recovery: the paper's spontaneous-network motivation — a
+// mobile ad-hoc network where the fixed infrastructure is gone.
+//
+// Rescue teams (pedestrian speeds) and vehicles move through a 1 km²
+// zone; the network re-clusters every 2 seconds. We track cluster-head
+// churn with and without the Section 4.3 stability rules, showing why a
+// command hierarchy built on incumbent heads stays usable while one
+// rebuilt from scratch thrashes.
+#include <cstdio>
+
+#include "core/clustering.hpp"
+#include "metrics/cluster_metrics.hpp"
+#include "metrics/stability.hpp"
+#include "mobility/mobility.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace ssmwn;
+  util::Rng rng(1999);
+
+  constexpr std::size_t kResponders = 400;
+  constexpr double kRangeUnits = 0.09;  // ~90 m radios in a 1 km² zone
+  constexpr double kWorldMeters = 1000.0;
+  constexpr double kWindowSeconds = 2.0;
+  constexpr int kWindows = 150;  // 5 minutes of operation
+
+  auto points = topology::uniform_points(kResponders, rng);
+  const auto ids = topology::random_ids(kResponders, rng);
+  // Mixed fleet: most responders on foot (0-1.6 m/s), some vehicles
+  // modeled by the upper tail of a 0-8 m/s range.
+  mobility::RandomDirection movement(kResponders, {0.0, 8.0}, kWorldMeters,
+                                     rng.split());
+
+  metrics::ChurnTracker plain_churn, stable_churn;
+  std::vector<char> incumbents;
+  util::RunningStats cluster_counts;
+
+  for (int window = 0; window <= kWindows; ++window) {
+    const auto graph = topology::unit_disk_graph(points, kRangeUnits);
+
+    // Plain density clustering: rebuilt from scratch each window.
+    const auto plain = core::cluster_density(graph, ids, {});
+    plain_churn.observe(
+        std::span<const char>(plain.is_head.data(), plain.is_head.size()));
+
+    // Stabilized clustering: incumbency + fusion, fed the previous heads.
+    core::ClusterOptions stable_opts;
+    stable_opts.incumbency = true;
+    stable_opts.fusion = true;
+    const auto stable = core::cluster_density(
+        graph, ids, stable_opts, {},
+        std::span<const char>(incumbents.data(), incumbents.size()));
+    stable_churn.observe(
+        std::span<const char>(stable.is_head.data(), stable.is_head.size()));
+    incumbents = stable.is_head;
+    cluster_counts.add(static_cast<double>(stable.cluster_count()));
+
+    if (window % 30 == 0) {
+      const auto stats = metrics::analyze(graph, stable);
+      std::printf("t=%3ds  clusters=%2zu  mean size=%.1f  head ecc=%.1f\n",
+                  window * 2, stats.cluster_count, stats.mean_cluster_size,
+                  stats.mean_head_eccentricity);
+    }
+    movement.step(points, kWindowSeconds);
+  }
+
+  std::printf("\nover %d two-second windows:\n", kWindows);
+  std::printf("  head survival, plain rules      : %5.1f %%\n",
+              plain_churn.ratios().mean() * 100.0);
+  std::printf("  head survival, stabilized rules : %5.1f %%\n",
+              stable_churn.ratios().mean() * 100.0);
+  std::printf("  mean cluster count              : %5.1f\n",
+              cluster_counts.mean());
+  std::printf("\nthe stabilized rules keep command-post (cluster-head) "
+              "assignments alive longer under the same mobility.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "cluster/baselines.hpp"
+
+namespace ssmwn::cluster {
+
+core::ClusteringResult cluster_lowest_id(const graph::Graph& g,
+                                         const topology::IdAssignment& uids,
+                                         const core::ClusterOptions& options) {
+  // Constant metric: every comparison falls through to the identifier
+  // tie-break, where the smaller id dominates.
+  const std::vector<double> metric(g.node_count(), 0.0);
+  return core::cluster_by_metric(g, uids, metric, options);
+}
+
+core::ClusteringResult cluster_highest_degree(
+    const graph::Graph& g, const topology::IdAssignment& uids,
+    const core::ClusterOptions& options) {
+  std::vector<double> metric(g.node_count(), 0.0);
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    metric[p] = static_cast<double>(g.degree(p));
+  }
+  return core::cluster_by_metric(g, uids, metric, options);
+}
+
+}  // namespace ssmwn::cluster

@@ -1,0 +1,29 @@
+// Baseline clustering heuristics the density metric was evaluated against
+// in [16] (and which the paper's related-work section surveys).
+//
+// Lowest-identifier (Baker–Ephremides / CBRP family) and highest-degree
+// (Chen–Stojmenovic) clustering drop straight out of the generalized
+// ≺-election: they are `cluster_by_metric` with a constant metric (so the
+// id tie-break decides everything) and with the node degree, respectively.
+// This mirrors the paper's closing remark that its self-stabilization
+// construction "could be applied to several clusterization metrics as for
+// instance the node's degree".
+#pragma once
+
+#include "core/clustering.hpp"
+
+namespace ssmwn::cluster {
+
+/// Lowest-id clustering: a node heads a cluster iff it has the smallest
+/// identifier in its closed neighborhood; everyone else joins their
+/// smallest-id neighbor's tree.
+[[nodiscard]] core::ClusteringResult cluster_lowest_id(
+    const graph::Graph& g, const topology::IdAssignment& uids,
+    const core::ClusterOptions& options = {});
+
+/// Highest-degree clustering (degree metric, id tie-break).
+[[nodiscard]] core::ClusteringResult cluster_highest_degree(
+    const graph::Graph& g, const topology::IdAssignment& uids,
+    const core::ClusterOptions& options = {});
+
+}  // namespace ssmwn::cluster

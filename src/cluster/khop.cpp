@@ -1,0 +1,135 @@
+#include "cluster/khop.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "core/density.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/forest.hpp"
+
+namespace ssmwn::cluster {
+
+namespace {
+
+using core::NodeRank;
+
+/// Nodes within hop distance <= k of `origin` (excluding it), with their
+/// distances.
+std::vector<std::pair<graph::NodeId, std::uint32_t>> k_ball(
+    const graph::Graph& g, graph::NodeId origin, std::size_t k) {
+  std::vector<std::pair<graph::NodeId, std::uint32_t>> out;
+  std::vector<std::uint32_t> dist(g.node_count(), graph::kUnreachable);
+  std::queue<graph::NodeId> frontier;
+  dist[origin] = 0;
+  frontier.push(origin);
+  while (!frontier.empty()) {
+    const graph::NodeId u = frontier.front();
+    frontier.pop();
+    if (dist[u] >= k) continue;
+    for (graph::NodeId v : g.neighbors(u)) {
+      if (dist[v] != graph::kUnreachable) continue;
+      dist[v] = dist[u] + 1;
+      out.emplace_back(v, dist[v]);
+      frontier.push(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+core::ClusteringResult cluster_khop_metric(const graph::Graph& g,
+                                           const topology::IdAssignment& uids,
+                                           std::span<const double> metric,
+                                           std::size_t k) {
+  const std::size_t n = g.node_count();
+  if (uids.size() != n || metric.size() != n) {
+    throw std::invalid_argument("cluster_khop_metric: size mismatch");
+  }
+  if (k == 0) throw std::invalid_argument("cluster_khop_metric: k >= 1");
+
+  core::ClusteringResult result;
+  result.metric.assign(metric.begin(), metric.end());
+  result.rank.resize(n);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    result.rank[p] = NodeRank{.metric = metric[p], .incumbent = false,
+                              .tie_id = uids[p], .uid = uids[p]};
+  }
+  const auto& rank = result.rank;
+
+  // Greedy head selection in decreasing ≺ order: a node becomes a head
+  // iff no already-chosen head lies within its k-ball. (For k = 1 this
+  // yields exactly the local maxima: a node is chosen iff all neighbors
+  // are ≺-smaller.)
+  std::vector<graph::NodeId> order(n);
+  for (graph::NodeId p = 0; p < n; ++p) order[p] = p;
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              return core::precedes(rank[b], rank[a], false);
+            });
+  result.is_head.assign(n, 0);
+  std::vector<char> dominated(n, 0);
+  for (graph::NodeId p : order) {
+    if (dominated[p]) continue;
+    result.is_head[p] = 1;
+    for (const auto& [q, d] : k_ball(g, p, k)) dominated[q] = 1;
+  }
+
+  // Membership: multi-source BFS from all heads simultaneously, ties
+  // resolved toward the ≺-larger head, bounded to k hops. Nodes farther
+  // than k from every head (only possible in sparse corners where the
+  // greedy ball overlapped) fall back to the nearest head regardless of
+  // distance, preserving total coverage.
+  result.parent.assign(n, graph::kInvalidNode);
+  result.head_index.assign(n, graph::kInvalidNode);
+  std::vector<std::uint32_t> dist(n, graph::kUnreachable);
+  std::queue<graph::NodeId> frontier;
+  for (graph::NodeId p : order) {
+    if (result.is_head[p]) {
+      result.parent[p] = p;
+      result.head_index[p] = p;
+      dist[p] = 0;
+      frontier.push(p);
+      result.heads.push_back(p);
+    }
+  }
+  // `order`-driven seeding makes the BFS deterministic: ≺-larger heads
+  // enqueue first and win equidistant ties.
+  while (!frontier.empty()) {
+    const graph::NodeId u = frontier.front();
+    frontier.pop();
+    for (graph::NodeId v : g.neighbors(u)) {
+      if (dist[v] != graph::kUnreachable) continue;
+      dist[v] = dist[u] + 1;
+      result.parent[v] = u;
+      result.head_index[v] = result.head_index[u];
+      frontier.push(v);
+    }
+  }
+  // Isolated nodes (unreached): their own heads.
+  for (graph::NodeId p = 0; p < n; ++p) {
+    if (result.head_index[p] == graph::kInvalidNode) {
+      result.parent[p] = p;
+      result.head_index[p] = p;
+      result.is_head[p] = 1;
+      result.heads.push_back(p);
+    }
+  }
+  std::sort(result.heads.begin(), result.heads.end());
+
+  result.head_id.resize(n);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    result.head_id[p] = uids[result.head_index[p]];
+  }
+  return result;
+}
+
+core::ClusteringResult cluster_khop_density(
+    const graph::Graph& g, const topology::IdAssignment& uids,
+    std::size_t k) {
+  const auto densities = core::compute_densities(g);
+  return cluster_khop_metric(g, uids, densities, k);
+}
+
+}  // namespace ssmwn::cluster

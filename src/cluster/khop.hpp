@@ -1,0 +1,39 @@
+// k-hop clustering — the related-work generalization ([7] Fernandess &
+// Malkhi, "k-clustering in wireless ad hoc networks"): every node is at
+// most k hops from its cluster-head, trading fewer/larger clusters for
+// longer intra-cluster paths.
+//
+// We generalize the paper's election to radius k with the greedy
+// ≺-descending discipline: walk nodes from the ≺-largest down, electing
+// every node not yet within k hops of an elected head. The result is a
+// maximal k-independent head set — every ≺-local-maximum is always
+// elected (nothing larger exists near it to dominate it first), plus
+// whatever additional heads are needed so no node is more than k hops
+// from one. Members then join heads by a deterministic multi-source BFS
+// (≺-larger heads win equidistant ties), so the parent structure stays
+// a forest on radio links and the whole metrics layer applies
+// unchanged. Note this is a *cover-guaranteeing* variant: for k = 1 the
+// head set is a superset of the paper's (which elects only the local
+// maxima and lets trees extend beyond 1 hop).
+#pragma once
+
+#include <cstddef>
+
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+#include "topology/ids.hpp"
+
+namespace ssmwn::cluster {
+
+/// k-hop election with an arbitrary metric (higher wins, ties through
+/// the ≺ identifier order). k >= 1; the k = 1 head set contains all of
+/// the paper's local-maxima heads (see the header comment).
+[[nodiscard]] core::ClusteringResult cluster_khop_metric(
+    const graph::Graph& g, const topology::IdAssignment& uids,
+    std::span<const double> metric, std::size_t k);
+
+/// k-hop election with the density metric.
+[[nodiscard]] core::ClusteringResult cluster_khop_density(
+    const graph::Graph& g, const topology::IdAssignment& uids, std::size_t k);
+
+}  // namespace ssmwn::cluster

@@ -1,0 +1,168 @@
+#include "cluster/max_min.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/forest.hpp"
+
+namespace ssmwn::cluster {
+
+namespace {
+
+using topology::ProtocolId;
+
+/// One synchronous flooding round: out[p] = op(in over closed N_p).
+template <typename Op>
+std::vector<ProtocolId> flood_round(const graph::Graph& g,
+                                    const std::vector<ProtocolId>& in, Op op) {
+  std::vector<ProtocolId> out(in);
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    for (graph::NodeId q : g.neighbors(p)) {
+      out[p] = op(out[p], in[q]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+core::ClusteringResult cluster_max_min(const graph::Graph& g,
+                                       const topology::IdAssignment& uids,
+                                       std::size_t d) {
+  const std::size_t n = g.node_count();
+  if (uids.size() != n) {
+    throw std::invalid_argument("cluster_max_min: uids size mismatch");
+  }
+  if (d == 0) throw std::invalid_argument("cluster_max_min: d must be >= 1");
+
+  // Floodmax: d rounds; keep every intermediate round (the rule set needs
+  // the full logged lists).
+  std::vector<std::vector<ProtocolId>> maxlog;
+  maxlog.push_back(uids);
+  for (std::size_t r = 0; r < d; ++r) {
+    maxlog.push_back(flood_round(
+        g, maxlog.back(),
+        [](ProtocolId a, ProtocolId b) { return std::max(a, b); }));
+  }
+  // Floodmin: d more rounds, seeded with the floodmax result.
+  std::vector<std::vector<ProtocolId>> minlog;
+  minlog.push_back(maxlog.back());
+  for (std::size_t r = 0; r < d; ++r) {
+    minlog.push_back(flood_round(
+        g, minlog.back(),
+        [](ProtocolId a, ProtocolId b) { return std::min(a, b); }));
+  }
+
+  // Election (the three rules of the original paper):
+  //  1. If a node saw its own id during floodmin, it is a cluster-head.
+  //  2. Else, the smallest "node pair" id — one that appears in both its
+  //     floodmax and floodmin logs — is its head.
+  //  3. Else, its head is the floodmax winner.
+  std::vector<ProtocolId> head_of(n);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    bool own_in_min = false;
+    for (std::size_t r = 1; r <= d; ++r) {
+      if (minlog[r][p] == uids[p]) {
+        own_in_min = true;
+        break;
+      }
+    }
+    if (own_in_min) {
+      head_of[p] = uids[p];
+      continue;
+    }
+    ProtocolId best_pair = 0;
+    bool has_pair = false;
+    for (std::size_t rmin = 1; rmin <= d; ++rmin) {
+      const ProtocolId candidate = minlog[rmin][p];
+      for (std::size_t rmax = 1; rmax <= d; ++rmax) {
+        if (maxlog[rmax][p] == candidate) {
+          if (!has_pair || candidate < best_pair) {
+            best_pair = candidate;
+            has_pair = true;
+          }
+        }
+      }
+    }
+    head_of[p] = has_pair ? best_pair : maxlog[d][p];
+  }
+
+  // Convert head ids into a parent forest: every non-head routes to its
+  // head along a BFS tree of the subgraph of same-head nodes, falling
+  // back to a plain BFS parent when the head is not reachable within the
+  // cluster (can happen with rule-3 fallbacks); final fallback: the node
+  // becomes its own head.
+  std::vector<graph::NodeId> index_of_id(n);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    index_of_id[static_cast<std::size_t>(uids[p])] = p;
+  }
+  std::vector<graph::NodeId> parent(n);
+  std::vector<char> same_head(n, 0);
+  for (graph::NodeId p = 0; p < n; ++p) parent[p] = p;
+  for (graph::NodeId h = 0; h < n; ++h) {
+    if (head_of[h] != uids[h]) continue;
+    // BFS from the head over nodes that elected it.
+    for (graph::NodeId p = 0; p < n; ++p) {
+      same_head[p] = (head_of[p] == uids[h]) ? 1 : 0;
+    }
+    std::vector<graph::NodeId> frontier{h};
+    std::vector<char> seen(n, 0);
+    seen[h] = 1;
+    while (!frontier.empty()) {
+      std::vector<graph::NodeId> next;
+      for (graph::NodeId u : frontier) {
+        for (graph::NodeId v : g.neighbors(u)) {
+          if (same_head[v] && !seen[v]) {
+            seen[v] = 1;
+            parent[v] = u;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+  // Nodes whose elected head never adopted them (unreachable or the head
+  // itself elected someone else) become their own heads — Max-Min's
+  // original "orphan" repair.
+  for (graph::NodeId p = 0; p < n; ++p) {
+    if (parent[p] == p && head_of[p] != uids[p]) {
+      const graph::NodeId h = index_of_id[static_cast<std::size_t>(head_of[p])];
+      const bool head_accepted = head_of[h] == uids[h];
+      if (!head_accepted) head_of[p] = uids[p];
+      // else: parent stays self but only if BFS missed it — make it a
+      // head too, keeping the forest consistent.
+      if (head_accepted) head_of[p] = uids[p];
+    }
+  }
+
+  core::ClusteringResult result;
+  result.metric.resize(n);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    result.metric[p] = static_cast<double>(g.degree(p));
+  }
+  result.rank.resize(n);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    result.rank[p] =
+        core::NodeRank{.metric = result.metric[p], .incumbent = false,
+                       .tie_id = uids[p], .uid = uids[p]};
+  }
+  result.parent = std::move(parent);
+  const graph::ParentForest forest(result.parent);
+  result.head_index.resize(n);
+  result.head_id.resize(n);
+  result.is_head.assign(n, 0);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    result.head_index[p] = forest.root(p);
+    result.head_id[p] = uids[forest.root(p)];
+    result.is_head[p] = forest.is_root(p) ? 1 : 0;
+  }
+  for (graph::NodeId p = 0; p < n; ++p) {
+    if (result.is_head[p]) result.heads.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace ssmwn::cluster

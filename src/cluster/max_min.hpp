@@ -1,0 +1,22 @@
+// Max-Min d-cluster formation (Amis, Prakash, Vuong, Huynh — INFOCOM
+// 2000), the "max-min" heuristic the density metric was compared against
+// in [16]. Nodes flood identifiers for 2d synchronous rounds — d rounds
+// of max propagation ("floodmax") followed by d rounds of min propagation
+// ("floodmin") — then apply the original three election rules; every node
+// ends at most d hops from its cluster-head.
+#pragma once
+
+#include <cstddef>
+
+#include "core/clustering.hpp"
+
+namespace ssmwn::cluster {
+
+/// Runs Max-Min d-cluster formation. Returns the same result shape as the
+/// density algorithm so the metrics layer can compare them directly; the
+/// `metric` field carries the node degree (informational only — Max-Min
+/// elects purely on identifiers).
+[[nodiscard]] core::ClusteringResult cluster_max_min(
+    const graph::Graph& g, const topology::IdAssignment& uids, std::size_t d);
+
+}  // namespace ssmwn::cluster

@@ -1,0 +1,91 @@
+// The density-driven clustering algorithm — synchronous (oracle) solver.
+//
+// This computes the stable configuration that the distributed rules R1/R2
+// (and the Section 4.3 refinements) converge to on a fixed topology:
+//
+//   * every node p computes its density d_p (rule R1);
+//   * p elects itself cluster-head iff it is the ≺-maximum of its closed
+//     neighborhood — and, with fusion, iff additionally no dominating head
+//     exists in N²_p (rule R2's clusterHead function);
+//   * otherwise p joins F(p) = max≺ N_p and adopts H(p) = H(F(p)).
+//
+// The solver is used three ways: directly by the benches (the paper's
+// tables are properties of the stable configuration), as the legitimacy
+// oracle for the self-stabilization tests of the distributed protocol,
+// and as the per-snapshot clustering in the mobility experiment.
+//
+// Fusion fixpoint (DESIGN.md deviation D4): the paper's clusterHead
+// function leaves H undefined for a *demoted* local maximum (its formula
+// H(max≺ N_p) is mutually recursive with its neighbors' H). We resolve
+// head status in one pass over nodes in decreasing ≺ order — a local
+// maximum is confirmed head iff no already-confirmed head in its
+// 2-neighborhood dominates it (well-defined because dominating heads were
+// decided earlier) — and a demoted maximum joins the dominating head's
+// cluster through its ≺-best common neighbor (the "fusion initiator" of
+// the paper's narrative). The resulting parent structure is provably
+// acyclic, so H(p) = H(F(p)) resolves for every node.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/rank.hpp"
+#include "graph/forest.hpp"
+#include "graph/graph.hpp"
+#include "topology/ids.hpp"
+
+namespace ssmwn::core {
+
+/// The stable clustering configuration.
+struct ClusteringResult {
+  /// Metric value (density) used for each node.
+  std::vector<double> metric;
+  /// The ≺ attributes each decision used (after DAG substitution).
+  std::vector<NodeRank> rank;
+  /// F(p): parent in the clusterization tree; parent[p] == p for heads.
+  std::vector<graph::NodeId> parent;
+  /// Graph index of the resolved cluster-head H(p) of each node.
+  std::vector<graph::NodeId> head_index;
+  /// H(p) as a protocol identifier.
+  std::vector<topology::ProtocolId> head_id;
+  /// is_head[p] != 0 iff p is a cluster-head (stored as char for
+  /// std::vector bit-reference avoidance and span interop).
+  std::vector<char> is_head;
+  /// All cluster-heads.
+  std::vector<graph::NodeId> heads;
+
+  [[nodiscard]] std::size_t cluster_count() const noexcept {
+    return heads.size();
+  }
+  /// The clusterization forest (validates acyclicity on construction).
+  [[nodiscard]] graph::ParentForest forest() const {
+    return graph::ParentForest(parent);
+  }
+};
+
+/// Clusters `g` by an arbitrary per-node metric (higher wins; ties resolve
+/// through ≺). The paper's algorithm is `metric = densities`; the
+/// conclusion notes the same self-stabilizing construction applies to
+/// other metrics (e.g. node degree), which the baseline implementations
+/// use.
+///
+/// `dag_ids`   — locally-unique names to use as tie identifiers when
+///               `options.use_dag_ids` (must be a proper coloring;
+///               ignored otherwise; may be empty iff unused).
+/// `previous_heads` — is_head flags of the previous configuration, for
+///               the incumbency rule (empty means no incumbents).
+[[nodiscard]] ClusteringResult cluster_by_metric(
+    const graph::Graph& g, const topology::IdAssignment& uids,
+    std::span<const double> metric, const ClusterOptions& options,
+    std::span<const std::uint64_t> dag_ids = {},
+    std::span<const char> previous_heads = {});
+
+/// The paper's algorithm: density metric + ≺ (R1 then R2).
+[[nodiscard]] ClusteringResult cluster_density(
+    const graph::Graph& g, const topology::IdAssignment& uids,
+    const ClusterOptions& options,
+    std::span<const std::uint64_t> dag_ids = {},
+    std::span<const char> previous_heads = {});
+
+}  // namespace ssmwn::core

@@ -1,0 +1,128 @@
+#include "core/dag_ids.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ssmwn::core {
+
+namespace {
+
+/// newId: keep the current name if no cached neighbor holds it, otherwise
+/// draw uniformly from γ minus the neighbors' names.
+std::uint64_t new_id(std::uint64_t current,
+                     const std::vector<std::uint64_t>& taken,
+                     std::uint64_t name_space, util::Rng& rng) {
+  if (std::find(taken.begin(), taken.end(), current) == taken.end()) {
+    return current;
+  }
+  // Count free names, then index into them; |taken| ≤ δ < name_space, so
+  // at least one free name exists.
+  std::vector<std::uint64_t> sorted = taken;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  const std::uint64_t free_count = name_space - sorted.size();
+  std::uint64_t pick = rng.below(free_count);
+  // Map the pick over the gaps left by `sorted`.
+  std::uint64_t candidate = pick;
+  for (std::uint64_t used : sorted) {
+    if (used <= candidate) {
+      ++candidate;
+    } else {
+      break;
+    }
+  }
+  return candidate;
+}
+
+}  // namespace
+
+DagResult build_dag_ids(const graph::Graph& g,
+                        const topology::IdAssignment& uids,
+                        const DagOptions& options, util::Rng& rng) {
+  const std::size_t n = g.node_count();
+  if (uids.size() != n) {
+    throw std::invalid_argument("build_dag_ids: uids size mismatch");
+  }
+  const std::uint64_t delta = g.max_degree();
+  std::uint64_t name_space = options.name_space;
+  if (name_space == 0) name_space = delta * delta + 1;  // paper: [0, δ²]
+  name_space = std::max<std::uint64_t>(name_space, delta + 1);
+  name_space = std::max<std::uint64_t>(name_space, 1);
+
+  DagResult result;
+  result.name_space = name_space;
+  result.ids.resize(n);
+  for (auto& id : result.ids) id = rng.below(name_space);
+
+  std::vector<std::uint64_t> next = result.ids;
+  std::vector<std::uint64_t> taken;
+  while (result.rounds < options.max_rounds) {
+    ++result.rounds;  // one synchronous exchange of names
+    bool conflict_found = false;
+    for (graph::NodeId p = 0; p < n; ++p) {
+      bool must_redraw = false;
+      for (graph::NodeId q : g.neighbors(p)) {
+        if (result.ids[q] != result.ids[p]) continue;
+        conflict_found = true;
+        switch (options.policy) {
+          case DagRedrawPolicy::N1Randomized:
+            must_redraw = true;
+            break;
+          case DagRedrawPolicy::SmallerUidRedraws:
+            if (uids[p] < uids[q]) must_redraw = true;
+            break;
+        }
+        if (must_redraw) break;
+      }
+      if (must_redraw) {
+        taken.clear();
+        for (graph::NodeId q : g.neighbors(p)) taken.push_back(result.ids[q]);
+        next[p] = new_id(result.ids[p], taken, name_space, rng);
+      } else {
+        next[p] = result.ids[p];
+      }
+    }
+    if (!conflict_found) {
+      result.converged = true;
+      return result;
+    }
+    result.ids.swap(next);
+  }
+  result.converged = locally_unique(g, result.ids);
+  return result;
+}
+
+bool locally_unique(const graph::Graph& g,
+                    std::span<const std::uint64_t> ids) {
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    for (graph::NodeId q : g.neighbors(p)) {
+      if (ids[p] == ids[q]) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t dag_height(const graph::Graph& g,
+                       std::span<const std::uint64_t> ids) {
+  const std::size_t n = g.node_count();
+  // Longest path in the DAG where edges run from higher to lower name:
+  // process nodes by increasing name; height[p] = 1 + max height of
+  // strictly-lower-named neighbors.
+  std::vector<graph::NodeId> order(n);
+  for (graph::NodeId p = 0; p < n; ++p) order[p] = p;
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) { return ids[a] < ids[b]; });
+  std::vector<std::size_t> height(n, 0);
+  std::size_t best = 0;
+  for (graph::NodeId p : order) {
+    for (graph::NodeId q : g.neighbors(p)) {
+      if (ids[q] < ids[p]) {
+        height[p] = std::max(height[p], height[q] + 1);
+      }
+    }
+    best = std::max(best, height[p]);
+  }
+  return best;
+}
+
+}  // namespace ssmwn::core

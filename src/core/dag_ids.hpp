@@ -1,0 +1,77 @@
+// Constant-height DAG construction (algorithm N1, Section 4.1).
+//
+// Every node draws a name ("DAG Id", also called a color) from a constant
+// name space γ and keeps redrawing until its name differs from all of its
+// 1-neighbors'. Orienting each edge from the higher name to the lower one
+// then yields a DAG whose height is at most |γ| + 1 — a constant — so the
+// ≺ order built on these names stabilizes in constant expected time even
+// when protocol identifiers are adversarially distributed (Section 5's
+// grid pathology).
+//
+// Two redraw disciplines are provided:
+//  * `N1Randomized` — the paper's theoretical rule: any node whose cached
+//    neighborhood contains its own name redraws, uniformly from the free
+//    names (newId). Stabilizes with probability 1 in expected constant
+//    time (Theorem 1).
+//  * `SmallerUidRedraws` — the discipline of the simulation section: when
+//    two neighbors collide, the one with the smaller *protocol* Id
+//    redraws. This is what Table 3 measures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "topology/ids.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn::core {
+
+enum class DagRedrawPolicy {
+  N1Randomized,
+  SmallerUidRedraws,
+};
+
+struct DagOptions {
+  /// |γ|. 0 selects the paper's simulation choice, δ² + 1 (names in
+  /// [0, δ²]); the theory section notes δ or δ² suffice where [11] needed
+  /// δ⁶. Values ≤ δ are raised to δ + 1 so a free name always exists.
+  std::uint64_t name_space = 0;
+
+  DagRedrawPolicy policy = DagRedrawPolicy::SmallerUidRedraws;
+
+  /// Safety bound on synchronous rounds (expected convergence is ~2).
+  std::size_t max_rounds = 128;
+};
+
+struct DagResult {
+  /// dag id per node, each in [0, name_space).
+  std::vector<std::uint64_t> ids;
+  /// Synchronous exchange rounds executed until the no-conflict check
+  /// passed — the quantity Table 3 reports.
+  std::size_t rounds = 0;
+  bool converged = false;
+  /// The |γ| actually used (after the auto/floor adjustments).
+  std::uint64_t name_space = 0;
+};
+
+/// Runs the synchronous renaming loop on `g` until every node's name
+/// differs from all of its 1-neighbors'.
+[[nodiscard]] DagResult build_dag_ids(const graph::Graph& g,
+                                      const topology::IdAssignment& uids,
+                                      const DagOptions& options,
+                                      util::Rng& rng);
+
+/// True iff `ids` is a proper coloring of `g` (no adjacent equal names).
+[[nodiscard]] bool locally_unique(const graph::Graph& g,
+                                  std::span<const std::uint64_t> ids);
+
+/// Height of the DAG obtained by orienting every edge of `g` from higher
+/// to lower name (longest directed path, counted in edges). With a proper
+/// coloring from name space γ this is at most |γ| − 1; the paper states
+/// the (looser) bound |γ| + 1.
+[[nodiscard]] std::size_t dag_height(const graph::Graph& g,
+                                     std::span<const std::uint64_t> ids);
+
+}  // namespace ssmwn::core

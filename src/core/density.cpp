@@ -1,0 +1,62 @@
+#include "core/density.hpp"
+
+#include <algorithm>
+
+namespace ssmwn::core {
+
+namespace {
+
+/// |sorted_a ∩ sorted_b| by linear merge.
+std::size_t intersection_size(std::span<const graph::NodeId> a,
+                              std::span<const graph::NodeId> b) noexcept {
+  std::size_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double node_density(const graph::Graph& g, graph::NodeId p) {
+  const auto neighbors = g.neighbors(p);
+  if (neighbors.empty()) return 0.0;
+  // Each neighbor q contributes |N_q ∩ N_p| ordered pairs of adjacent
+  // neighbors; halving yields e(N_p).
+  std::size_t ordered_pairs = 0;
+  for (graph::NodeId q : neighbors) {
+    ordered_pairs += intersection_size(g.neighbors(q), neighbors);
+  }
+  const std::size_t links = neighbors.size() + ordered_pairs / 2;
+  return static_cast<double>(links) / static_cast<double>(neighbors.size());
+}
+
+std::vector<double> compute_densities(const graph::Graph& g) {
+  std::vector<double> densities(g.node_count(), 0.0);
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    densities[p] = node_density(g, p);
+  }
+  return densities;
+}
+
+std::size_t edges_among(const graph::Graph& g,
+                        std::span<const graph::NodeId> nodes) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (g.adjacent(nodes[i], nodes[j])) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace ssmwn::core

@@ -1,0 +1,128 @@
+#include "core/hierarchy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/density.hpp"
+
+namespace ssmwn::core {
+
+std::vector<graph::NodeId> Hierarchy::top_heads() const {
+  std::vector<graph::NodeId> out;
+  if (levels.empty()) return out;
+  const auto& top = levels.back();
+  out.reserve(top.clustering.heads.size());
+  for (graph::NodeId local : top.clustering.heads) {
+    out.push_back(top.level_to_base[local]);
+  }
+  return out;
+}
+
+graph::NodeId Hierarchy::head_at_level(graph::NodeId p, std::size_t k) const {
+  if (k >= levels.size()) {
+    throw std::out_of_range("Hierarchy::head_at_level: level out of range");
+  }
+  // Walk up: at each level, map p (a base index) to its level-local
+  // index, take that level's head, and continue with the head's base
+  // index.
+  graph::NodeId current = p;
+  for (std::size_t level = 0; level <= k; ++level) {
+    const auto& lvl = levels[level];
+    const auto it = std::find(lvl.level_to_base.begin(),
+                              lvl.level_to_base.end(), current);
+    if (it == lvl.level_to_base.end()) {
+      // `current` is not a member of this level (it was absorbed below);
+      // it can only happen if the caller passes a non-head for level>0 —
+      // resolve through level 0 first.
+      throw std::logic_error("Hierarchy::head_at_level: broken chain");
+    }
+    const auto local =
+        static_cast<graph::NodeId>(it - lvl.level_to_base.begin());
+    current = lvl.level_to_base[lvl.clustering.head_index[local]];
+  }
+  return current;
+}
+
+graph::Graph overlay_graph(const graph::Graph& g,
+                           const ClusteringResult& clustering) {
+  const auto& heads = clustering.heads;
+  // head base index -> overlay index
+  std::vector<std::uint32_t> overlay_index(g.node_count(),
+                                           graph::kInvalidNode);
+  for (std::uint32_t i = 0; i < heads.size(); ++i) {
+    overlay_index[heads[i]] = i;
+  }
+
+  graph::Graph overlay(heads.size());
+  // Scan every radio edge once; an edge whose endpoints belong to
+  // different clusters links those clusters' heads in the overlay.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (graph::NodeId a = 0; a < g.node_count(); ++a) {
+    for (graph::NodeId b : g.neighbors(a)) {
+      if (b <= a) continue;
+      const graph::NodeId ha = clustering.head_index[a];
+      const graph::NodeId hb = clustering.head_index[b];
+      if (ha == hb) continue;
+      const auto ia = overlay_index[ha];
+      const auto ib = overlay_index[hb];
+      const auto key = std::minmax(ia, ib);
+      seen.emplace_back(key.first, key.second);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  for (const auto& [ia, ib] : seen) overlay.add_edge(ia, ib);
+  overlay.finalize();
+  return overlay;
+}
+
+Hierarchy build_hierarchy(const graph::Graph& g,
+                          const topology::IdAssignment& uids,
+                          const ClusterOptions& options,
+                          std::size_t max_levels) {
+  if (uids.size() != g.node_count()) {
+    throw std::invalid_argument("build_hierarchy: uids size mismatch");
+  }
+  Hierarchy hierarchy;
+  if (g.node_count() == 0 || max_levels == 0) return hierarchy;
+
+  // Level 0: the radio graph itself. DAG ids are rebuilt per level when
+  // requested — but since overlay graphs are small, we keep the plain
+  // order here and leave DAG renaming to the caller's options for level
+  // 0 only (overlay identifier distributions come from the level-0 head
+  // ids, which are as random as the deployment's).
+  ClusterOptions level_options = options;
+  level_options.use_dag_ids = false;  // see note above
+
+  HierarchyLevel level0;
+  level0.graph = g;
+  level0.level_to_base.resize(g.node_count());
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    level0.level_to_base[p] = p;
+  }
+  level0.clustering = cluster_density(g, uids, level_options);
+  hierarchy.levels.push_back(std::move(level0));
+
+  while (hierarchy.levels.size() < max_levels) {
+    const HierarchyLevel& below = hierarchy.levels.back();
+    const std::size_t head_count = below.clustering.heads.size();
+    if (head_count <= 1) break;
+
+    HierarchyLevel next;
+    next.graph = overlay_graph(below.graph, below.clustering);
+    next.level_to_base.reserve(head_count);
+    topology::IdAssignment level_ids;
+    level_ids.reserve(head_count);
+    for (graph::NodeId local : below.clustering.heads) {
+      next.level_to_base.push_back(below.level_to_base[local]);
+      level_ids.push_back(uids[below.level_to_base[local]]);
+    }
+    next.clustering = cluster_density(next.graph, level_ids, level_options);
+    const std::size_t new_heads = next.clustering.heads.size();
+    hierarchy.levels.push_back(std::move(next));
+    if (new_heads >= head_count) break;  // no longer shrinking
+  }
+  return hierarchy;
+}
+
+}  // namespace ssmwn::core

@@ -1,0 +1,71 @@
+// Hierarchical clustering — the paper's first future-work direction
+// ("Based on these bounds, we also plan to study hierarchical
+// self-stabilization algorithms").
+//
+// Level 0 is the paper's clustering of the radio graph. For level k+1 we
+// build the *overlay graph* of level-k cluster-heads — two heads are
+// overlay-neighbors iff their clusters touch (some member of one has a
+// radio link to some member of the other) — and run the same
+// density-driven election on it. Each level therefore inherits the
+// self-stabilization argument of the base algorithm: the overlay is
+// itself maintainable by local exchanges along inter-cluster border
+// links.
+//
+// The recursion stops when a level no longer shrinks the head count (or
+// after `max_levels`). Typical radio deployments collapse to a handful
+// of super-clusters in 2-3 levels, which is the routing hierarchy the
+// introduction of the paper motivates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+#include "topology/ids.hpp"
+
+namespace ssmwn::core {
+
+/// One level of the hierarchy.
+struct HierarchyLevel {
+  /// The graph this level was clustered on (level 0: the radio graph;
+  /// level k>0: the overlay of level k-1 heads). Node indices are
+  /// *level-local*; `level_to_base` maps them to radio-graph nodes.
+  graph::Graph graph;
+  /// Level-local index -> radio-graph node index.
+  std::vector<graph::NodeId> level_to_base;
+  /// The clustering computed at this level (indices level-local).
+  ClusteringResult clustering;
+};
+
+struct Hierarchy {
+  std::vector<HierarchyLevel> levels;
+
+  [[nodiscard]] std::size_t depth() const noexcept { return levels.size(); }
+
+  /// Heads of the top level, as radio-graph node indices.
+  [[nodiscard]] std::vector<graph::NodeId> top_heads() const;
+
+  /// The level-k cluster-head responsible for radio node `p` (follows
+  /// the chain of head assignments up the hierarchy). k must be <
+  /// depth().
+  [[nodiscard]] graph::NodeId head_at_level(graph::NodeId p,
+                                            std::size_t k) const;
+};
+
+/// Builds the overlay graph of cluster-heads: heads are adjacent iff
+/// their clusters are connected by at least one radio link (including a
+/// direct head-head link). Returned indices are positions in
+/// `clustering.heads`.
+[[nodiscard]] graph::Graph overlay_graph(const graph::Graph& g,
+                                         const ClusteringResult& clustering);
+
+/// Recursively clusters until the head count stops shrinking or
+/// `max_levels` is reached. Level 0 always exists (it is the base
+/// clustering of `g`).
+[[nodiscard]] Hierarchy build_hierarchy(const graph::Graph& g,
+                                        const topology::IdAssignment& uids,
+                                        const ClusterOptions& options,
+                                        std::size_t max_levels = 4);
+
+}  // namespace ssmwn::core

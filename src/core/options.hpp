@@ -1,0 +1,40 @@
+// Feature toggles for the clustering algorithm, mirroring the paper's
+// narrative: the base density-driven heuristic of [16], the constant-height
+// DAG renaming of Section 4.1, and the two stability improvements of
+// Section 4.3.
+#pragma once
+
+namespace ssmwn::core {
+
+struct ClusterOptions {
+  /// Break density ties on the locally-unique DAG identifiers (Section
+  /// 4.1) instead of the global protocol identifiers. Bounds the height of
+  /// the ≺-DAG — and hence stabilization time — by a constant regardless
+  /// of how protocol identifiers are distributed.
+  bool use_dag_ids = false;
+
+  /// Section 4.3, first improvement: on a density tie, a node that is
+  /// currently a cluster-head beats a node that is not, so heads keep
+  /// their role as long as possible.
+  bool incumbency = false;
+
+  /// Section 4.3, second improvement: a node is only a cluster-head if no
+  /// dominating head exists in its 2-neighborhood; a dominated head merges
+  /// its cluster into the dominating one. Guarantees head separation ≥ 3
+  /// hops and cluster diameter ≥ 2.
+  bool fusion = false;
+
+  /// Convenience presets.
+  [[nodiscard]] static ClusterOptions basic() { return {}; }
+  [[nodiscard]] static ClusterOptions with_dag() {
+    return {.use_dag_ids = true, .incumbency = false, .fusion = false};
+  }
+  [[nodiscard]] static ClusterOptions improved() {
+    return {.use_dag_ids = false, .incumbency = true, .fusion = true};
+  }
+  [[nodiscard]] static ClusterOptions full() {
+    return {.use_dag_ids = true, .incumbency = true, .fusion = true};
+  }
+};
+
+}  // namespace ssmwn::core

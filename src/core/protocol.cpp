@@ -1,0 +1,390 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+
+namespace ssmwn::core {
+
+namespace {
+
+/// Binary search for `id` in a digest vector sorted by id.
+bool digest_contains(const std::vector<NeighborDigest>& digests,
+                     topology::ProtocolId id) {
+  auto it = std::lower_bound(
+      digests.begin(), digests.end(), id,
+      [](const NeighborDigest& d, topology::ProtocolId key) {
+        return d.id < key;
+      });
+  return it != digests.end() && it->id == id;
+}
+
+}  // namespace
+
+DensityProtocol::DensityProtocol(topology::IdAssignment uids,
+                                 ProtocolConfig config, util::Rng rng)
+    : uids_(std::move(uids)), config_(config) {
+  name_space_ = config_.dag_name_space;
+  if (name_space_ == 0) {
+    name_space_ = config_.delta_hint * config_.delta_hint + 1;
+  }
+  name_space_ = std::max<std::uint64_t>(name_space_, config_.delta_hint + 1);
+
+  states_.resize(uids_.size());
+  for (graph::NodeId p = 0; p < states_.size(); ++p) {
+    states_[p].uid = uids_[p];
+    states_[p].rng = rng.split();
+    states_[p].dag_id = states_[p].rng.below(name_space_);
+  }
+
+  // The paper's program, verbatim as guarded commands. Guards that are
+  // plain `true` in the paper stay `true` here; N1's effective guard is
+  // the conflict test folded into newId.
+  engine_
+      .add(
+          "N1", [this](const NodeState&) { return config_.cluster.use_dag_ids; },
+          [this](NodeState& s) { rule_n1(s); })
+      .add(
+          "R1", [](const NodeState&) { return true; },
+          [this](NodeState& s) { rule_r1(s); })
+      .add(
+          "R2", [](const NodeState&) { return true; },
+          [this](NodeState& s) { rule_r2(s); });
+}
+
+DensityProtocol::Frame DensityProtocol::make_frame(
+    graph::NodeId sender) const {
+  const NodeState& s = states_[sender];
+  Frame frame;
+  frame.id = s.uid;
+  frame.dag_id = s.dag_id;
+  frame.metric = s.metric;
+  frame.metric_valid = s.metric_valid;
+  frame.head = s.head;
+  frame.head_valid = s.head_valid;
+  frame.digests.reserve(s.cache.size());
+  for (const auto& [id, entry] : s.cache) {  // map order: sorted by id
+    frame.digests.push_back(NeighborDigest{
+        .id = id,
+        .dag_id = entry.dag_id,
+        .metric = entry.metric,
+        .metric_valid = entry.metric_valid,
+        .is_head = entry.head_valid && entry.head == id,
+    });
+  }
+  return frame;
+}
+
+void DensityProtocol::deliver(graph::NodeId receiver, const Frame& frame) {
+  NodeState& s = states_[receiver];
+  if (frame.id == s.uid) return;  // defensive: never cache oneself
+  CacheEntry& entry = s.cache[frame.id];
+  entry.dag_id = frame.dag_id;
+  entry.metric = frame.metric;
+  entry.metric_valid = frame.metric_valid;
+  entry.head = frame.head;
+  entry.head_valid = frame.head_valid;
+  entry.digests = frame.digests;
+  entry.age = 0;
+}
+
+void DensityProtocol::tick(graph::NodeId node) {
+  engine_.sweep(states_[node]);
+}
+
+void DensityProtocol::end_step(graph::NodeId node) {
+  NodeState& s = states_[node];
+  for (auto it = s.cache.begin(); it != s.cache.end();) {
+    if (++it->second.age > config_.cache_max_age) {
+      it = s.cache.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+NodeRank DensityProtocol::self_rank(const NodeState& s) const {
+  return NodeRank{
+      .metric = s.metric,
+      .incumbent = s.head_valid && s.head == s.uid,
+      .tie_id = config_.cluster.use_dag_ids
+                    ? static_cast<topology::ProtocolId>(s.dag_id)
+                    : s.uid,
+      .uid = s.uid,
+  };
+}
+
+NodeRank DensityProtocol::entry_rank(topology::ProtocolId id,
+                                     const CacheEntry& e) const {
+  return NodeRank{
+      .metric = e.metric,
+      .incumbent = e.head_valid && e.head == id,
+      .tie_id = config_.cluster.use_dag_ids
+                    ? static_cast<topology::ProtocolId>(e.dag_id)
+                    : id,
+      .uid = id,
+  };
+}
+
+NodeRank DensityProtocol::digest_rank(const NeighborDigest& d) const {
+  return NodeRank{
+      .metric = d.metric,
+      .incumbent = d.is_head,
+      .tie_id = config_.cluster.use_dag_ids
+                    ? static_cast<topology::ProtocolId>(d.dag_id)
+                    : d.id,
+      .uid = d.id,
+  };
+}
+
+void DensityProtocol::rule_n1(NodeState& s) {
+  // newId: keep the current name unless some cached neighbor holds it.
+  bool conflict = false;
+  for (const auto& [id, entry] : s.cache) {
+    if (entry.dag_id != s.dag_id) continue;
+    switch (config_.dag_policy) {
+      case DagRedrawPolicy::N1Randomized:
+        conflict = true;
+        break;
+      case DagRedrawPolicy::SmallerUidRedraws:
+        if (s.uid < id) conflict = true;
+        break;
+    }
+    if (conflict) break;
+  }
+  if (!conflict) {
+    // Also re-home a corrupted name that escaped the name space.
+    if (s.dag_id < name_space_) return;
+  }
+  // Draw uniformly from γ minus the cached neighbor names.
+  std::vector<std::uint64_t> taken;
+  taken.reserve(s.cache.size());
+  for (const auto& [id, entry] : s.cache) {
+    if (entry.dag_id < name_space_) taken.push_back(entry.dag_id);
+  }
+  std::sort(taken.begin(), taken.end());
+  taken.erase(std::unique(taken.begin(), taken.end()), taken.end());
+  if (taken.size() >= name_space_) return;  // no free name; wait for aging
+  const std::uint64_t free_count = name_space_ - taken.size();
+  std::uint64_t candidate = s.rng.below(free_count);
+  for (std::uint64_t used : taken) {
+    if (used <= candidate) ++candidate;
+  }
+  s.dag_id = candidate;
+}
+
+void DensityProtocol::rule_r1(NodeState& s) {
+  const std::size_t degree = s.cache.size();
+  if (config_.metric == ElectionMetric::Degree) {
+    s.metric = static_cast<double>(degree);
+    s.metric_valid = true;
+    return;
+  }
+  // d_p = (|N_p| + e(N_p)) / |N_p| over the cached neighborhood; links
+  // among neighbors are reconstructed from the relayed digests (an edge
+  // q—r is believed iff either endpoint lists the other).
+  if (degree == 0) {
+    s.metric = 0.0;
+    s.metric_valid = true;
+    return;
+  }
+  std::size_t links = degree;
+  for (auto a = s.cache.begin(); a != s.cache.end(); ++a) {
+    auto b = a;
+    for (++b; b != s.cache.end(); ++b) {
+      if (digest_contains(a->second.digests, b->first) ||
+          digest_contains(b->second.digests, a->first)) {
+        ++links;
+      }
+    }
+  }
+  s.metric = static_cast<double>(links) / static_cast<double>(degree);
+  s.metric_valid = true;
+}
+
+void DensityProtocol::rule_r2(NodeState& s) {
+  if (!s.metric_valid) return;  // R1 always runs first in the sweep
+  const bool inc = config_.cluster.incumbency;
+  const NodeRank me = self_rank(s);
+
+  // Local ≺-maximum test against every cached neighbor with a usable
+  // density.
+  bool local_max = true;
+  for (const auto& [id, entry] : s.cache) {
+    if (!entry.metric_valid) continue;
+    if (precedes(me, entry_rank(id, entry), inc)) {
+      local_max = false;
+      break;
+    }
+  }
+
+  if (local_max) {
+    // Fusion: search the relayed digests for a dominating cluster-head in
+    // N²_p. (1-hop heads cannot dominate here, or local_max were false.)
+    const NeighborDigest* blocking = nullptr;
+    if (config_.cluster.fusion) {
+      for (const auto& [id, entry] : s.cache) {
+        for (const NeighborDigest& d : entry.digests) {
+          if (!d.is_head || !d.metric_valid || d.id == s.uid) continue;
+          if (!precedes(me, digest_rank(d), inc)) continue;
+          if (blocking == nullptr ||
+              precedes(digest_rank(*blocking), digest_rank(d), inc)) {
+            blocking = &d;
+          }
+        }
+      }
+    }
+    if (blocking == nullptr) {
+      // clusterHead = Id_p: p wins in its neighborhood.
+      s.head = s.uid;
+      s.head_valid = true;
+      s.parent = s.uid;
+      s.parent_valid = true;
+      return;
+    }
+    // Demoted: fuse into the dominating head's cluster through the
+    // ≺-best neighbor that can hear it.
+    const topology::ProtocolId dominating = blocking->id;
+    const CacheEntry* witness = nullptr;
+    topology::ProtocolId witness_id = 0;
+    for (const auto& [id, entry] : s.cache) {
+      if (!entry.metric_valid || !digest_contains(entry.digests, dominating)) {
+        continue;
+      }
+      if (witness == nullptr ||
+          precedes(entry_rank(witness_id, *witness), entry_rank(id, entry),
+                   inc)) {
+        witness = &entry;
+        witness_id = id;
+      }
+    }
+    if (witness == nullptr) return;  // stale digest; retry next step
+    s.parent = witness_id;
+    s.parent_valid = true;
+    if (witness->head_valid) {
+      s.head = witness->head;
+      s.head_valid = true;
+    }
+    return;
+  }
+
+  // clusterHead = H(max≺ N_p): join the strongest neighbor and adopt its
+  // head value (which flows down the clusterization tree one hop per
+  // step).
+  const CacheEntry* best = nullptr;
+  topology::ProtocolId best_id = 0;
+  for (const auto& [id, entry] : s.cache) {
+    if (!entry.metric_valid) continue;
+    if (best == nullptr ||
+        precedes(entry_rank(best_id, *best), entry_rank(id, entry), inc)) {
+      best = &entry;
+      best_id = id;
+    }
+  }
+  if (best == nullptr) return;  // unreachable: local_max would be true
+  s.parent = best_id;
+  s.parent_valid = true;
+  if (best->head_valid) {
+    s.head = best->head;
+    s.head_valid = true;
+  }
+}
+
+std::vector<char> DensityProtocol::head_flags() const {
+  std::vector<char> flags(states_.size(), 0);
+  for (graph::NodeId p = 0; p < states_.size(); ++p) {
+    const NodeState& s = states_[p];
+    flags[p] = (s.head_valid && s.head == s.uid) ? 1 : 0;
+  }
+  return flags;
+}
+
+std::vector<topology::ProtocolId> DensityProtocol::head_values() const {
+  std::vector<topology::ProtocolId> values(states_.size(), 0);
+  for (graph::NodeId p = 0; p < states_.size(); ++p) {
+    values[p] = states_[p].head;
+  }
+  return values;
+}
+
+std::vector<topology::ProtocolId> DensityProtocol::parent_values() const {
+  std::vector<topology::ProtocolId> values(states_.size(), 0);
+  for (graph::NodeId p = 0; p < states_.size(); ++p) {
+    values[p] = states_[p].parent;
+  }
+  return values;
+}
+
+std::vector<double> DensityProtocol::metrics() const {
+  std::vector<double> values(states_.size(), 0.0);
+  for (graph::NodeId p = 0; p < states_.size(); ++p) {
+    values[p] = states_[p].metric;
+  }
+  return values;
+}
+
+std::vector<std::uint64_t> DensityProtocol::dag_id_values() const {
+  std::vector<std::uint64_t> values(states_.size(), 0);
+  for (graph::NodeId p = 0; p < states_.size(); ++p) {
+    values[p] = states_[p].dag_id;
+  }
+  return values;
+}
+
+namespace {
+
+void scramble_state(DensityProtocol::NodeState& s, std::uint64_t name_space,
+                    std::size_t node_count, util::Rng& rng) {
+  s.dag_id = rng.below(name_space * 2);  // may even escape the name space
+  s.metric = rng.uniform(0.0, 8.0);
+  s.metric_valid = rng.chance(0.75);
+  s.head = rng.below(node_count * 2);
+  s.head_valid = rng.chance(0.75);
+  s.parent = rng.below(node_count * 2);
+  s.parent_valid = rng.chance(0.75);
+  s.cache.clear();
+  // Plant a few phantom cache entries (possibly naming nodes that do not
+  // exist) with arbitrary contents; eviction and fresh frames must flush
+  // them.
+  const std::size_t phantoms = rng.index(4);
+  for (std::size_t i = 0; i < phantoms; ++i) {
+    DensityProtocol::CacheEntry entry;
+    entry.dag_id = rng.below(name_space * 2);
+    entry.metric = rng.uniform(0.0, 8.0);
+    entry.metric_valid = rng.chance(0.8);
+    entry.head = rng.below(node_count * 2);
+    entry.head_valid = rng.chance(0.8);
+    entry.age = 0;
+    s.cache[rng.below(node_count * 2)] = std::move(entry);
+  }
+}
+
+}  // namespace
+
+void DensityProtocol::corrupt_all(util::Rng& rng) {
+  for (auto& s : states_) {
+    scramble_state(s, name_space_, states_.size(), rng);
+  }
+}
+
+std::size_t DensityProtocol::corrupt_fraction(util::Rng& rng,
+                                              double fraction) {
+  std::size_t hit = 0;
+  for (auto& s : states_) {
+    if (rng.chance(fraction)) {
+      scramble_state(s, name_space_, states_.size(), rng);
+      ++hit;
+    }
+  }
+  return hit;
+}
+
+void DensityProtocol::reset_node(graph::NodeId p) {
+  NodeState& s = states_[p];
+  const auto uid = s.uid;
+  auto rng = s.rng;
+  s = NodeState{};
+  s.uid = uid;
+  s.rng = rng;
+  s.dag_id = s.rng.below(name_space_);
+}
+
+}  // namespace ssmwn::core

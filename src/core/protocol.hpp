@@ -1,0 +1,185 @@
+// The distributed, self-stabilizing density-clustering protocol.
+//
+// This is the message-passing realization of the paper's Section 4: every
+// node holds the shared variables Id_p (its DAG name), d_p (density) and
+// H(p) (chosen cluster-head), periodically broadcasts them together with a
+// digest of its cached 1-neighborhood (the Herman–Tixeuil shared-variable
+// propagation scheme, which is what gives each node its 2-neighborhood
+// view), and repeatedly executes the guarded rules
+//
+//   N1: true → Id_p := newId(Id_p)          (constant-height DAG renaming)
+//   R1: true → d_p  := density               (Definition 1, from caches)
+//   R2: true → H(p) := clusterHead           (≺-max election + fusion)
+//
+// against whatever its caches currently contain. Nothing is assumed about
+// the initial state: caches may hold garbage, shared variables arbitrary
+// values — the protocol converges to the configuration computed by the
+// synchronous oracle (`cluster_by_metric`) regardless, which is exactly
+// the self-stabilization property the paper proves. Knowledge follows the
+// paper's Table 2 schedule: neighbors after 1 step, density after 2,
+// parent after 3, head after 3 + tree depth.
+//
+// The class implements the Protocol concept of sim::Network.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/dag_ids.hpp"
+#include "core/options.hpp"
+#include "core/rank.hpp"
+#include "graph/graph.hpp"
+#include "stabilize/rules.hpp"
+#include "topology/ids.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn::core {
+
+/// One cached-neighbor summary relayed inside a frame; receivers use these
+/// to reconstruct adjacency among their neighbors (for R1) and to spot
+/// cluster-heads at 2 hops (for the fusion rule).
+struct NeighborDigest {
+  topology::ProtocolId id = 0;
+  std::uint64_t dag_id = 0;
+  double metric = 0.0;
+  bool metric_valid = false;
+  bool is_head = false;
+};
+
+/// The broadcast payload: the sender's shared variables plus its digest of
+/// its own 1-neighborhood (sorted by id).
+struct ProtocolFrame {
+  topology::ProtocolId id = 0;
+  std::uint64_t dag_id = 0;
+  double metric = 0.0;
+  bool metric_valid = false;
+  topology::ProtocolId head = 0;
+  bool head_valid = false;
+  std::vector<NeighborDigest> digests;
+};
+
+/// Which metric rule R1 computes. The paper's algorithm is Density; the
+/// conclusion notes the whole self-stabilizing construction applies to
+/// other local metrics "as for instance the node's degree", which
+/// Degree realizes (and the tests verify against the degree oracle).
+enum class ElectionMetric {
+  Density,
+  Degree,
+};
+
+struct ProtocolConfig {
+  ClusterOptions cluster;
+
+  ElectionMetric metric = ElectionMetric::Density;
+
+  /// |γ| for the DAG names; 0 = auto (δ² + 1 from `delta_hint`).
+  std::uint64_t dag_name_space = 0;
+  DagRedrawPolicy dag_policy = DagRedrawPolicy::SmallerUidRedraws;
+  /// Max degree hint used only to size the auto name space. The protocol
+  /// itself never needs δ; the paper assumes it is a known deployment
+  /// constant.
+  std::uint64_t delta_hint = 16;
+
+  /// Steps without hearing a neighbor before its cache entry is evicted;
+  /// tolerates frame loss (τ < 1) while still tracking topology changes.
+  std::uint32_t cache_max_age = 8;
+};
+
+class DensityProtocol {
+ public:
+  struct CacheEntry {
+    std::uint64_t dag_id = 0;
+    double metric = 0.0;
+    bool metric_valid = false;
+    topology::ProtocolId head = 0;
+    bool head_valid = false;
+    std::vector<NeighborDigest> digests;  // sorted by id
+    std::uint32_t age = 0;
+  };
+
+  /// Full per-node state; public so tests and the fault injector can
+  /// reach every bit of it ("arbitrary initial state" means all of this).
+  struct NodeState {
+    topology::ProtocolId uid = 0;
+    std::uint64_t dag_id = 0;
+    double metric = 0.0;
+    bool metric_valid = false;
+    topology::ProtocolId head = 0;
+    bool head_valid = false;
+    topology::ProtocolId parent = 0;
+    bool parent_valid = false;
+    std::map<topology::ProtocolId, CacheEntry> cache;
+    util::Rng rng{0};
+  };
+
+  /// `uids[p]` is node p's globally-unique protocol identifier; `rng`
+  /// seeds the per-node generators used by the DAG renaming rule.
+  DensityProtocol(topology::IdAssignment uids, ProtocolConfig config,
+                  util::Rng rng);
+
+  // --- sim::Network protocol concept ---------------------------------
+  using Frame = ProtocolFrame;
+  [[nodiscard]] Frame make_frame(graph::NodeId sender) const;
+  void deliver(graph::NodeId receiver, const Frame& frame);
+  void tick(graph::NodeId node);
+  void end_step(graph::NodeId node);
+
+  // --- observation ----------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return states_.size();
+  }
+  [[nodiscard]] const NodeState& state(graph::NodeId p) const {
+    return states_[p];
+  }
+  [[nodiscard]] NodeState& mutable_state(graph::NodeId p) {
+    return states_[p];
+  }
+  [[nodiscard]] const ProtocolConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::uint64_t name_space() const noexcept {
+    return name_space_;
+  }
+
+  /// is_head flags (H(p) == Id_p) per graph index.
+  [[nodiscard]] std::vector<char> head_flags() const;
+  /// H(p) per graph index (protocol ids); head_valid must be checked via
+  /// `state()` for transient reads.
+  [[nodiscard]] std::vector<topology::ProtocolId> head_values() const;
+  [[nodiscard]] std::vector<topology::ProtocolId> parent_values() const;
+  [[nodiscard]] std::vector<double> metrics() const;
+  [[nodiscard]] std::vector<std::uint64_t> dag_id_values() const;
+
+  // --- perturbation (self-stabilization experiments) ------------------
+  /// Overwrites every shared variable of every node with random values and
+  /// stuffs caches with garbage entries (including phantom neighbors) —
+  /// the "arbitrary initial state" a self-stabilizing algorithm must
+  /// recover from.
+  void corrupt_all(util::Rng& rng);
+  /// Same, but only for each node independently with probability
+  /// `fraction`. Returns how many nodes were hit.
+  std::size_t corrupt_fraction(util::Rng& rng, double fraction);
+  /// Resets a node to its freshly-booted state (empty caches, invalid
+  /// variables) — models a crash/reboot.
+  void reset_node(graph::NodeId p);
+
+ private:
+  [[nodiscard]] NodeRank self_rank(const NodeState& s) const;
+  [[nodiscard]] NodeRank entry_rank(topology::ProtocolId id,
+                                    const CacheEntry& e) const;
+  [[nodiscard]] NodeRank digest_rank(const NeighborDigest& d) const;
+
+  void rule_n1(NodeState& s);
+  void rule_r1(NodeState& s);
+  void rule_r2(NodeState& s);
+
+  topology::IdAssignment uids_;
+  ProtocolConfig config_;
+  std::uint64_t name_space_ = 1;
+  std::vector<NodeState> states_;
+  stabilize::RuleEngine<NodeState> engine_;
+};
+
+}  // namespace ssmwn::core

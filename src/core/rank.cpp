@@ -1,0 +1,22 @@
+#include "core/rank.hpp"
+
+namespace ssmwn::core {
+
+bool precedes(const NodeRank& p, const NodeRank& q, bool incumbency) noexcept {
+  if (p.metric != q.metric) return p.metric < q.metric;
+  if (incumbency && p.incumbent != q.incumbent) return q.incumbent;
+  if (p.tie_id != q.tie_id) return q.tie_id < p.tie_id;
+  if (p.uid != q.uid) return q.uid < p.uid;
+  return false;  // identical rank: not strictly preceding
+}
+
+std::size_t max_rank_index(std::span<const NodeRank> ranks,
+                           bool incumbency) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    if (precedes(ranks[best], ranks[i], incumbency)) best = i;
+  }
+  return best;
+}
+
+}  // namespace ssmwn::core

@@ -1,0 +1,45 @@
+// The ≺ total order on nodes.
+//
+// Section 4.2 defines: p ≺ q  ⇔  d_p < d_q  ∨  (d_p = d_q ∧ Id_q < Id_p)
+// — higher density dominates; ties go to the smaller identifier.
+//
+// Section 4.3 (incumbency) refines the tie case: an incumbent cluster-head
+// beats a non-incumbent of the same density. The paper's predicate is
+// silent when *both* tied nodes are incumbents; we complete it with the
+// identifier tie-break so ≺ stays total (DESIGN.md deviation D1).
+//
+// When the constant-height DAG of Section 4.1 is active, the identifier
+// compared is the locally-unique DAG name. DAG names may coincide beyond
+// 1 hop (the name space is only δ²), so the globally-unique protocol
+// identifier remains as a final fallback, keeping ≺ a strict total order
+// on any comparison the algorithm performs (including the 2-hop fusion
+// checks).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "topology/ids.hpp"
+
+namespace ssmwn::core {
+
+/// The ≺-relevant attributes of a node.
+struct NodeRank {
+  double metric = 0.0;             ///< density (or a baseline metric)
+  bool incumbent = false;          ///< currently its own cluster-head
+  topology::ProtocolId tie_id = 0; ///< DAG name if in use, else protocol id
+  topology::ProtocolId uid = 0;    ///< globally-unique protocol id
+
+  friend bool operator==(const NodeRank&, const NodeRank&) = default;
+};
+
+/// True iff p ≺ q (q dominates p). With `incumbency` false this is exactly
+/// the Section 4.2 order; with it true, the Section 4.3 refinement.
+[[nodiscard]] bool precedes(const NodeRank& p, const NodeRank& q,
+                            bool incumbency) noexcept;
+
+/// Index of the ≺-maximum among `ranks` (which must be non-empty).
+[[nodiscard]] std::size_t max_rank_index(std::span<const NodeRank> ranks,
+                                         bool incumbency) noexcept;
+
+}  // namespace ssmwn::core

@@ -1,0 +1,78 @@
+#include "energy/energy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/density.hpp"
+
+namespace ssmwn::energy {
+
+EnergyStore::EnergyStore(std::size_t node_count, EnergyConfig config)
+    : config_(config), residual_(node_count, config.capacity) {
+  if (config.capacity <= 0.0) {
+    throw std::invalid_argument("EnergyStore: capacity must be positive");
+  }
+}
+
+double EnergyStore::fraction(graph::NodeId p) const noexcept {
+  return std::max(0.0, residual_[p]) / config_.capacity;
+}
+
+std::size_t EnergyStore::alive_count() const noexcept {
+  std::size_t count = 0;
+  for (double r : residual_) count += r > 0.0;
+  return count;
+}
+
+std::vector<char> EnergyStore::alive_mask() const {
+  std::vector<char> mask(residual_.size(), 0);
+  for (std::size_t p = 0; p < residual_.size(); ++p) {
+    mask[p] = residual_[p] > 0.0 ? 1 : 0;
+  }
+  return mask;
+}
+
+void EnergyStore::charge_window(std::span<const char> is_head) {
+  for (std::size_t p = 0; p < residual_.size(); ++p) {
+    if (residual_[p] <= 0.0) continue;
+    double cost = config_.member_cost;
+    if (p < is_head.size() && is_head[p]) cost += config_.head_premium;
+    residual_[p] = std::max(0.0, residual_[p] - cost);
+  }
+}
+
+void EnergyStore::consume(graph::NodeId p, double amount) {
+  residual_[p] = std::max(0.0, residual_[p] - amount);
+}
+
+std::vector<double> energy_weighted_metric(const graph::Graph& g,
+                                           const EnergyStore& store) {
+  auto metric = core::compute_densities(g);
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    metric[p] *= store.alive(p) ? store.fraction(p) : 0.0;
+  }
+  return metric;
+}
+
+core::ClusteringResult cluster_energy_aware(
+    const graph::Graph& g, const topology::IdAssignment& uids,
+    const EnergyStore& store, const core::ClusterOptions& options,
+    std::span<const char> previous_heads) {
+  const auto metric = energy_weighted_metric(g, store);
+  return core::cluster_by_metric(g, uids, metric, options, {},
+                                 previous_heads);
+}
+
+graph::Graph mask_dead(const graph::Graph& g, const EnergyStore& store) {
+  graph::Graph masked(g.node_count());
+  for (graph::NodeId a = 0; a < g.node_count(); ++a) {
+    if (!store.alive(a)) continue;
+    for (graph::NodeId b : g.neighbors(a)) {
+      if (b > a && store.alive(b)) masked.add_edge(a, b);
+    }
+  }
+  masked.finalize();
+  return masked;
+}
+
+}  // namespace ssmwn::energy

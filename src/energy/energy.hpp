@@ -1,0 +1,87 @@
+// Energy-aware organization — the paper's closing future-work item
+// ("Finally, we also want to consider energy constraints in the
+// stabilization algorithm and we are investigating energy-efficient
+// organization algorithms").
+//
+// Model: every node starts with a battery of `capacity` joule-units.
+// Each maintenance window costs `member_cost` (listening + one hello
+// broadcast); cluster-heads additionally pay `head_premium` (cluster
+// beaconing, inter-cluster relaying). A node whose battery reaches zero
+// is dead and drops out of the radio graph.
+//
+// Election: the energy-aware metric multiplies the paper's density by
+// the node's residual-energy fraction, so depleted nodes hand the head
+// role over before dying (head rotation emerges from re-election instead
+// of being scheduled). Because this is just another metric fed to
+// `cluster_by_metric`, the self-stabilization construction — and the
+// whole DAG/incumbency/fusion machinery — applies unchanged, exactly as
+// the paper's conclusion anticipates for alternative metrics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+#include "topology/ids.hpp"
+
+namespace ssmwn::energy {
+
+struct EnergyConfig {
+  double capacity = 1000.0;     ///< initial battery per node
+  double member_cost = 1.0;     ///< per-window cost of being a member
+  double head_premium = 4.0;    ///< extra per-window cost of heading
+};
+
+/// Tracks per-node batteries across maintenance windows.
+class EnergyStore {
+ public:
+  EnergyStore(std::size_t node_count, EnergyConfig config);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return residual_.size();
+  }
+  [[nodiscard]] double residual(graph::NodeId p) const noexcept {
+    return residual_[p];
+  }
+  /// Residual energy as a fraction of capacity, in [0, 1].
+  [[nodiscard]] double fraction(graph::NodeId p) const noexcept;
+  [[nodiscard]] bool alive(graph::NodeId p) const noexcept {
+    return residual_[p] > 0.0;
+  }
+  [[nodiscard]] std::size_t alive_count() const noexcept;
+  /// alive() flags as a char vector (for masking helpers).
+  [[nodiscard]] std::vector<char> alive_mask() const;
+
+  /// Charges one maintenance window: every alive node pays member_cost,
+  /// every alive head additionally pays head_premium. Batteries floor at
+  /// zero.
+  void charge_window(std::span<const char> is_head);
+
+  /// Direct withdrawal (e.g. data traffic); floors at zero.
+  void consume(graph::NodeId p, double amount);
+
+ private:
+  EnergyConfig config_;
+  std::vector<double> residual_;
+};
+
+/// The energy-aware election metric: density × residual-fraction. Dead
+/// nodes get metric 0 (they also have no links, but the explicit zero
+/// keeps the metric meaningful if a caller forgets to mask the graph).
+[[nodiscard]] std::vector<double> energy_weighted_metric(
+    const graph::Graph& g, const EnergyStore& store);
+
+/// Convenience: cluster with the energy-aware metric.
+[[nodiscard]] core::ClusteringResult cluster_energy_aware(
+    const graph::Graph& g, const topology::IdAssignment& uids,
+    const EnergyStore& store, const core::ClusterOptions& options = {},
+    std::span<const char> previous_heads = {});
+
+/// Copy of `g` with all edges of dead nodes removed (dead nodes stay as
+/// isolated indices so node numbering is stable across windows).
+[[nodiscard]] graph::Graph mask_dead(const graph::Graph& g,
+                                     const EnergyStore& store);
+
+}  // namespace ssmwn::energy

@@ -1,0 +1,69 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace ssmwn::graph {
+
+namespace {
+
+// A qualitative palette that survives both screens and grayscale print.
+constexpr const char* kPalette[] = {
+    "#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e",
+    "#e6ab02", "#a6761d", "#666666", "#1f78b4", "#b2df8a",
+};
+constexpr std::size_t kPaletteSize = std::size(kPalette);
+
+}  // namespace
+
+std::string to_dot(const Graph& g, const DotOptions& options) {
+  std::ostringstream out;
+  out << "graph ssmwn {\n"
+      << "  node [shape=circle, style=filled, fontsize=8];\n";
+
+  // Stable color per cluster id, assigned in first-seen order.
+  std::vector<int> color_of(g.node_count(), -1);
+  int next_color = 0;
+  auto color_index = [&](NodeId cluster) {
+    if (color_of[cluster] < 0) color_of[cluster] = next_color++;
+    return color_of[cluster] % static_cast<int>(kPaletteSize);
+  };
+
+  for (NodeId p = 0; p < g.node_count(); ++p) {
+    out << "  n" << p << " [";
+    if (!options.cluster_of.empty()) {
+      out << "fillcolor=\"" << kPalette[color_index(options.cluster_of[p])]
+          << "\", ";
+    } else {
+      out << "fillcolor=\"#dddddd\", ";
+    }
+    if (!options.is_head.empty() && options.is_head[p]) {
+      out << "peripheries=2, penwidth=2, ";
+    }
+    if (!options.positions.empty()) {
+      out << "pos=\"" << options.positions[p].first * options.scale << ","
+          << options.positions[p].second * options.scale << "!\", ";
+    }
+    out << "label=\"" << p << "\"];\n";
+  }
+
+  // Radio links; the clusterization forest is overlaid in bold.
+  for (NodeId a = 0; a < g.node_count(); ++a) {
+    for (NodeId b : g.neighbors(a)) {
+      if (b <= a) continue;
+      const bool tree_edge =
+          !options.parent.empty() &&
+          (options.parent[a] == b || options.parent[b] == a);
+      out << "  n" << a << " -- n" << b;
+      if (tree_edge) {
+        out << " [penwidth=2.5]";
+      } else {
+        out << " [color=\"#bbbbbb\"]";
+      }
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ssmwn::graph

@@ -1,0 +1,34 @@
+// Graphviz/DOT export of deployments and clusterings, for papers and
+// debugging. Clusters are color-cycled, heads drawn doubled, parent
+// edges (the clusterization forest) drawn bold over the plain radio
+// links.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssmwn::graph {
+
+struct DotOptions {
+  /// Positions in the unit square (scaled by `scale` into DOT
+  /// coordinates); when empty, layout is left to Graphviz.
+  std::vector<std::pair<double, double>> positions;
+  double scale = 10.0;
+  /// Cluster id per node (e.g. ClusteringResult::head_index); same value
+  /// = same color. Empty = uncolored.
+  std::vector<NodeId> cluster_of;
+  /// Head flags; heads are rendered with doubled borders. Empty = none.
+  std::vector<char> is_head;
+  /// Parent per node (parent[p] == p for roots); those edges are drawn
+  /// bold. Empty = no overlay.
+  std::vector<NodeId> parent;
+};
+
+/// Serializes `g` (and the optional clustering overlay) as a DOT graph.
+[[nodiscard]] std::string to_dot(const Graph& g, const DotOptions& options = {});
+
+}  // namespace ssmwn::graph

@@ -1,0 +1,84 @@
+#include "graph/forest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ssmwn::graph {
+
+ParentForest::ParentForest(std::vector<NodeId> parent)
+    : parent_(std::move(parent)),
+      root_(parent_.size(), kInvalidNode),
+      depth_(parent_.size(), 0) {
+  const std::size_t n = parent_.size();
+  for (NodeId p = 0; p < n; ++p) {
+    if (parent_[p] >= n) {
+      throw std::invalid_argument("ParentForest: parent out of range");
+    }
+  }
+  // Resolve each chain iteratively with path memoization; a chain longer
+  // than n nodes implies a cycle.
+  std::vector<NodeId> chain;
+  for (NodeId start = 0; start < n; ++start) {
+    if (root_[start] != kInvalidNode) continue;
+    chain.clear();
+    NodeId cur = start;
+    while (root_[cur] == kInvalidNode && parent_[cur] != cur) {
+      chain.push_back(cur);
+      if (chain.size() > n) {
+        throw std::invalid_argument("ParentForest: cycle in parent chain");
+      }
+      cur = parent_[cur];
+      // Detect a cycle that does not pass through `start`'s memoized zone:
+      // if cur is already on the current chain we are looping.
+      if (std::find(chain.begin(), chain.end(), cur) != chain.end()) {
+        throw std::invalid_argument("ParentForest: cycle in parent chain");
+      }
+    }
+    NodeId chain_root;
+    std::uint32_t base_depth;
+    if (parent_[cur] == cur) {
+      chain_root = cur;
+      base_depth = 0;
+      root_[cur] = cur;
+      depth_[cur] = 0;
+    } else {
+      chain_root = root_[cur];
+      base_depth = depth_[cur];
+    }
+    // Walk the recorded chain backwards assigning depths.
+    for (std::size_t i = chain.size(); i > 0; --i) {
+      const NodeId node = chain[i - 1];
+      root_[node] = chain_root;
+      depth_[node] =
+          base_depth + static_cast<std::uint32_t>(chain.size() - i + 1);
+    }
+  }
+  for (NodeId p = 0; p < n; ++p) {
+    if (parent_[p] == p) roots_.push_back(p);
+  }
+}
+
+std::vector<NodeId> ParentForest::members(NodeId root) const {
+  std::vector<NodeId> out;
+  for (NodeId p = 0; p < parent_.size(); ++p) {
+    if (root_[p] == root) out.push_back(p);
+  }
+  return out;
+}
+
+std::uint32_t ParentForest::tree_depth(NodeId root) const {
+  std::uint32_t deepest = 0;
+  for (NodeId p = 0; p < parent_.size(); ++p) {
+    if (root_[p] == root) deepest = std::max(deepest, depth_[p]);
+  }
+  return deepest;
+}
+
+bool ParentForest::respects_graph(const Graph& g) const {
+  for (NodeId p = 0; p < parent_.size(); ++p) {
+    if (parent_[p] != p && !g.adjacent(p, parent_[p])) return false;
+  }
+  return true;
+}
+
+}  // namespace ssmwn::graph

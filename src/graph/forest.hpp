@@ -1,0 +1,66 @@
+// Parent-forest analysis.
+//
+// The clustering algorithm gives every node a parent F(p) (itself for
+// cluster-heads). The resulting structure is a forest: one tree per
+// cluster, rooted at the cluster-head. This module validates that shape
+// and extracts the statistics the paper reports: tree depth ("tree
+// length", used as a proxy for stabilization time) and membership.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssmwn::graph {
+
+/// A rooted forest encoded as a parent array; parent[r] == r for roots.
+class ParentForest {
+ public:
+  /// Validates the parent array (every chain must reach a self-parent
+  /// without cycling) and precomputes per-node depth and root.
+  /// Throws std::invalid_argument on a cycle or out-of-range parent.
+  explicit ParentForest(std::vector<NodeId> parent);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return parent_.size();
+  }
+  [[nodiscard]] NodeId parent(NodeId node) const noexcept {
+    return parent_[node];
+  }
+  [[nodiscard]] bool is_root(NodeId node) const noexcept {
+    return parent_[node] == node;
+  }
+  /// Root (cluster-head) of the tree containing `node`.
+  [[nodiscard]] NodeId root(NodeId node) const noexcept { return root_[node]; }
+  /// Hop count along parent edges from `node` to its root.
+  [[nodiscard]] std::uint32_t depth(NodeId node) const noexcept {
+    return depth_[node];
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& roots() const noexcept {
+    return roots_;
+  }
+  [[nodiscard]] std::size_t tree_count() const noexcept {
+    return roots_.size();
+  }
+
+  /// Members of the tree rooted at `root` (including the root).
+  [[nodiscard]] std::vector<NodeId> members(NodeId root) const;
+
+  /// Max depth within the tree rooted at `root` — the paper's
+  /// "clusterization tree length" for one cluster.
+  [[nodiscard]] std::uint32_t tree_depth(NodeId root) const;
+
+  /// Checks that every non-root's parent edge exists in `g` (clusters must
+  /// grow along radio links).
+  [[nodiscard]] bool respects_graph(const Graph& g) const;
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> root_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<NodeId> roots_;
+};
+
+}  // namespace ssmwn::graph

@@ -1,0 +1,61 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ssmwn::graph {
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  if (a == b) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (a >= adjacency_.size() || b >= adjacency_.size()) {
+    throw std::out_of_range("Graph::add_edge: node out of range");
+  }
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++edge_count_;
+  finalized_ = false;
+}
+
+void Graph::finalize() {
+  if (finalized_) return;
+  for (auto& list : adjacency_) {
+    std::sort(list.begin(), list.end());
+    const auto last = std::unique(list.begin(), list.end());
+    if (last != list.end()) {
+      throw std::logic_error("Graph::finalize: duplicate edge inserted");
+    }
+  }
+  finalized_ = true;
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t delta = 0;
+  for (const auto& list : adjacency_) delta = std::max(delta, list.size());
+  return delta;
+}
+
+bool Graph::adjacent(NodeId a, NodeId b) const noexcept {
+  const auto& list = adjacency_[a];
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count_);
+  for (NodeId a = 0; a < adjacency_.size(); ++a) {
+    for (NodeId b : adjacency_[a]) {
+      if (a < b) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+Graph from_edges(std::size_t node_count,
+                 std::initializer_list<std::pair<NodeId, NodeId>> edges) {
+  Graph g(node_count);
+  for (auto [a, b] : edges) g.add_edge(a, b);
+  g.finalize();
+  return g;
+}
+
+}  // namespace ssmwn::graph

@@ -1,0 +1,75 @@
+// Undirected graph substrate.
+//
+// The paper's model is a set V of nodes where N_p is the radio
+// neighborhood of p (bidirectional links, p not in N_p). This module gives
+// that model a concrete representation: nodes are dense indices
+// 0..n-1, adjacency is kept as sorted vectors, and all higher layers
+// (density metric, clustering, the radio simulator) consume it read-only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ssmwn::graph {
+
+/// Dense node index. Protocol identifiers (the paper's unique node Ids)
+/// are kept separately (see `topology::IdAssignment`); the graph itself
+/// only knows positions.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Immutable-after-build undirected graph with sorted adjacency.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return adjacency_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Adds the undirected edge {a, b}. Self-loops and duplicates are
+  /// rejected (the radio model never produces them). Invalidates sortedness
+  /// until `finalize()`.
+  void add_edge(NodeId a, NodeId b);
+
+  /// Sorts adjacency lists; must be called once after the last `add_edge`
+  /// and before any query. Idempotent.
+  void finalize();
+
+  /// N_p: the 1-neighborhood of `node` (sorted, never contains `node`).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId node) const noexcept {
+    return adjacency_[node];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId node) const noexcept {
+    return adjacency_[node].size();
+  }
+
+  /// Maximum degree δ over all nodes (the paper's sparseness constant).
+  [[nodiscard]] std::size_t max_degree() const noexcept;
+
+  /// O(log deg) adjacency test on the sorted list.
+  [[nodiscard]] bool adjacent(NodeId a, NodeId b) const noexcept;
+
+  /// All edges as (low, high) pairs, each once.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+  bool finalized_ = true;  // an edgeless graph is trivially finalized
+};
+
+/// Builds a graph from an explicit edge list over `node_count` nodes.
+/// Convenient for tests and the paper's worked example.
+[[nodiscard]] Graph from_edges(
+    std::size_t node_count,
+    std::initializer_list<std::pair<NodeId, NodeId>> edges);
+
+}  // namespace ssmwn::graph

@@ -1,0 +1,120 @@
+#include "metrics/cluster_metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "graph/forest.hpp"
+
+namespace ssmwn::metrics {
+
+ClusterStats analyze(const graph::Graph& g,
+                     const core::ClusteringResult& clustering) {
+  ClusterStats stats;
+  const graph::ParentForest forest = clustering.forest();
+  stats.cluster_count = forest.tree_count();
+  if (stats.cluster_count == 0) return stats;
+
+  // Membership flags reused per cluster for the induced-subgraph BFS.
+  std::vector<char> member(g.node_count(), 0);
+  double ecc_sum = 0.0;
+  double depth_sum = 0.0;
+  double size_sum = 0.0;
+  for (graph::NodeId head : forest.roots()) {
+    const auto members = forest.members(head);
+    for (graph::NodeId m : members) member[m] = 1;
+    const auto dist = graph::bfs_distances_within(
+        g, head, std::span<const char>(member.data(), member.size()));
+    std::uint32_t ecc = 0;
+    for (graph::NodeId m : members) {
+      if (dist[m] != graph::kUnreachable) ecc = std::max(ecc, dist[m]);
+    }
+    ecc_sum += ecc;
+    const std::uint32_t depth = forest.tree_depth(head);
+    depth_sum += depth;
+    stats.max_tree_depth =
+        std::max<std::size_t>(stats.max_tree_depth, depth);
+    size_sum += static_cast<double>(members.size());
+    stats.largest_cluster =
+        std::max(stats.largest_cluster, members.size());
+    for (graph::NodeId m : members) member[m] = 0;
+  }
+  const auto k = static_cast<double>(stats.cluster_count);
+  stats.mean_head_eccentricity = ecc_sum / k;
+  stats.mean_tree_depth = depth_sum / k;
+  stats.mean_cluster_size = size_sum / k;
+
+  // Minimum pairwise head distance: BFS from each head until another head
+  // is met (early exit keeps this cheap at the paper's scales).
+  if (stats.cluster_count >= 2) {
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (graph::NodeId head : forest.roots()) {
+      std::vector<std::uint32_t> dist(g.node_count(), graph::kUnreachable);
+      std::queue<graph::NodeId> frontier;
+      dist[head] = 0;
+      frontier.push(head);
+      while (!frontier.empty()) {
+        const graph::NodeId u = frontier.front();
+        frontier.pop();
+        if (static_cast<std::size_t>(dist[u]) >= best) continue;
+        for (graph::NodeId v : g.neighbors(u)) {
+          if (dist[v] != graph::kUnreachable) continue;
+          dist[v] = dist[u] + 1;
+          if (clustering.is_head[v]) {
+            best = std::min<std::size_t>(best, dist[v]);
+          } else {
+            frontier.push(v);
+          }
+        }
+      }
+    }
+    stats.min_head_separation =
+        best == std::numeric_limits<std::size_t>::max() ? 0 : best;
+  }
+  return stats;
+}
+
+double cluster_size_fairness(const core::ClusteringResult& clustering) {
+  // Tally sizes by head index.
+  std::vector<std::size_t> size_of(clustering.parent.size(), 0);
+  for (graph::NodeId head : clustering.head_index) ++size_of[head];
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t k = 0;
+  for (graph::NodeId head : clustering.heads) {
+    const auto s = static_cast<double>(size_of[head]);
+    sum += s;
+    sum_sq += s * s;
+    ++k;
+  }
+  if (k == 0 || sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(k) * sum_sq);
+}
+
+std::string render_grid_clusters(std::size_t side,
+                                 const core::ClusteringResult& clustering) {
+  // Assign a letter per cluster head in discovery order; cycle the
+  // alphabet if there are more than 26 clusters.
+  std::vector<int> letter_of(clustering.parent.size(), -1);
+  int next = 0;
+  std::string out;
+  out.reserve((side + 1) * side);
+  // Row-major grid with row 0 at the bottom: print top row first.
+  for (std::size_t row = side; row-- > 0;) {
+    for (std::size_t col = 0; col < side; ++col) {
+      const graph::NodeId p = static_cast<graph::NodeId>(row * side + col);
+      const graph::NodeId head = clustering.head_index[p];
+      if (letter_of[head] < 0) letter_of[head] = next++;
+      const char base = static_cast<char>('a' + (letter_of[head] % 26));
+      out += clustering.is_head[p]
+                 ? static_cast<char>(base - 'a' + 'A')
+                 : base;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ssmwn::metrics

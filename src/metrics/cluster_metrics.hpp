@@ -1,0 +1,49 @@
+// The evaluation criteria of Section 5: "number of cluster-heads per
+// surface unit, clusterization tree length (also in order to evaluate time
+// of stabilization) and cluster-head eccentricity" — plus structural
+// quantities used by the property tests (head separation, cluster sizes).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+
+namespace ssmwn::metrics {
+
+struct ClusterStats {
+  /// Number of clusters (= cluster-heads); the unit square has unit
+  /// surface, so this is also heads per surface unit.
+  std::size_t cluster_count = 0;
+  /// ẽ(H(u)/C(u)): eccentricity of each head inside its own cluster
+  /// (hop distances constrained to the cluster's induced subgraph),
+  /// averaged over clusters.
+  double mean_head_eccentricity = 0.0;
+  /// Mean over clusters of the deepest parent-chain ("tree length").
+  double mean_tree_depth = 0.0;
+  std::size_t max_tree_depth = 0;
+  double mean_cluster_size = 0.0;
+  std::size_t largest_cluster = 0;
+  /// Minimum hop distance between any two cluster-heads (0 if < 2 heads).
+  /// The fusion rule guarantees ≥ 3.
+  std::size_t min_head_separation = 0;
+};
+
+[[nodiscard]] ClusterStats analyze(const graph::Graph& g,
+                                   const core::ClusteringResult& clustering);
+
+/// Renders the cluster assignment of a grid deployment as an ASCII map
+/// (one letter per node, same letter = same cluster, uppercase = head).
+/// Reproduces figures 2 and 3 of the paper in text form.
+[[nodiscard]] std::string render_grid_clusters(
+    std::size_t side, const core::ClusteringResult& clustering);
+
+/// Jain fairness index of the cluster sizes: (Σs)² / (k·Σs²), in
+/// (0, 1]; 1 means all clusters equal-sized. Useful when comparing
+/// load balance across clustering metrics. Returns 1 for 0 clusters.
+[[nodiscard]] double cluster_size_fairness(
+    const core::ClusteringResult& clustering);
+
+}  // namespace ssmwn::metrics

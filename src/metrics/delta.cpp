@@ -1,0 +1,26 @@
+#include "metrics/delta.hpp"
+
+#include <stdexcept>
+
+namespace ssmwn::metrics {
+
+ClusterDelta diff_clusterings(const core::ClusteringResult& before,
+                              const core::ClusteringResult& after) {
+  const std::size_t n = before.parent.size();
+  if (after.parent.size() != n) {
+    throw std::invalid_argument("diff_clusterings: node count mismatch");
+  }
+  ClusterDelta delta;
+  delta.node_count = n;
+  delta.heads_before = before.heads.size();
+  delta.heads_after = after.heads.size();
+  for (graph::NodeId p = 0; p < n; ++p) {
+    if (before.is_head[p] != after.is_head[p]) ++delta.role_changes;
+    if (before.is_head[p] && after.is_head[p]) ++delta.heads_kept;
+    if (before.head_id[p] != after.head_id[p]) ++delta.membership_changes;
+    if (before.parent[p] != after.parent[p]) ++delta.parent_changes;
+  }
+  return delta;
+}
+
+}  // namespace ssmwn::metrics

@@ -1,0 +1,47 @@
+// Configuration deltas between two clusterings of the same node set.
+//
+// The robustness story of the paper (and of [16]) is about *how much*
+// of the configuration a topology change invalidates: "a small
+// modification in the network topology often implies new computations
+// to build the new clusters" for rigid schemes, while the density
+// metric localizes the damage. This diff quantifies that damage for any
+// pair of before/after clusterings.
+#pragma once
+
+#include <cstddef>
+
+#include "core/clustering.hpp"
+
+namespace ssmwn::metrics {
+
+struct ClusterDelta {
+  std::size_t node_count = 0;
+  /// Nodes whose head-role changed (gained or lost headship).
+  std::size_t role_changes = 0;
+  /// Nodes whose cluster (resolved head identity) changed.
+  std::size_t membership_changes = 0;
+  /// Nodes whose parent pointer changed.
+  std::size_t parent_changes = 0;
+  /// Heads of `before` still heads in `after`.
+  std::size_t heads_kept = 0;
+  std::size_t heads_before = 0;
+  std::size_t heads_after = 0;
+
+  /// Fraction of nodes whose membership survived, in [0, 1].
+  [[nodiscard]] double membership_stability() const noexcept {
+    return node_count == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(membership_changes) /
+                           static_cast<double>(node_count);
+  }
+};
+
+/// Diffs two clusterings over the same node set (same size and the same
+/// identifier assignment assumed; heads are matched by protocol id so
+/// the diff is meaningful even if graph indices were relabeled).
+/// Throws std::invalid_argument on size mismatch.
+[[nodiscard]] ClusterDelta diff_clusterings(
+    const core::ClusteringResult& before,
+    const core::ClusteringResult& after);
+
+}  // namespace ssmwn::metrics

@@ -1,0 +1,30 @@
+#include "metrics/stability.hpp"
+
+#include <algorithm>
+
+namespace ssmwn::metrics {
+
+double reelection_ratio(std::span<const char> previous_heads,
+                        std::span<const char> current_heads) {
+  const std::size_t n = std::min(previous_heads.size(), current_heads.size());
+  std::size_t was = 0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (previous_heads[i]) {
+      ++was;
+      if (current_heads[i]) ++kept;
+    }
+  }
+  return was == 0 ? 1.0
+                  : static_cast<double>(kept) / static_cast<double>(was);
+}
+
+void ChurnTracker::observe(std::span<const char> head_flags) {
+  if (has_previous_) {
+    ratios_.add(reelection_ratio(previous_, head_flags));
+  }
+  previous_.assign(head_flags.begin(), head_flags.end());
+  has_previous_ = true;
+}
+
+}  // namespace ssmwn::metrics

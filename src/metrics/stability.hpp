@@ -1,0 +1,40 @@
+// Cluster-head stability under mobility (Section 5's final experiment):
+// nodes move for 15 minutes; every 2 seconds the cluster structure is
+// recomputed and we record which previous heads are still heads. The
+// paper reports the mean re-election percentage per window.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/stats.hpp"
+
+namespace ssmwn::metrics {
+
+/// Fraction of heads of the previous snapshot that are still heads in the
+/// current one; 1.0 when the previous snapshot had no heads (nothing to
+/// lose). Flags are indexed by a stable node index across snapshots.
+[[nodiscard]] double reelection_ratio(std::span<const char> previous_heads,
+                                      std::span<const char> current_heads);
+
+/// Accumulates the per-window re-election ratio over a run.
+class ChurnTracker {
+ public:
+  /// Feeds the next snapshot's head flags; from the second snapshot on,
+  /// each call records one window ratio.
+  void observe(std::span<const char> head_flags);
+
+  [[nodiscard]] const util::RunningStats& ratios() const noexcept {
+    return ratios_;
+  }
+  [[nodiscard]] std::size_t windows() const noexcept {
+    return ratios_.count();
+  }
+
+ private:
+  std::vector<char> previous_;
+  bool has_previous_ = false;
+  util::RunningStats ratios_;
+};
+
+}  // namespace ssmwn::metrics

@@ -1,0 +1,103 @@
+#include "mobility/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ssmwn::mobility {
+
+namespace {
+
+/// Reflects `value` into [0, 1] and flips `velocity` when a wall is hit.
+void reflect(double& value, double& velocity) {
+  while (value < 0.0 || value > 1.0) {
+    if (value < 0.0) {
+      value = -value;
+      velocity = -velocity;
+    } else {
+      value = 2.0 - value;
+      velocity = -velocity;
+    }
+  }
+}
+
+}  // namespace
+
+RandomDirection::RandomDirection(std::size_t node_count, SpeedRange speeds,
+                                 double world_size_m, util::Rng rng,
+                                 double mean_epoch_s)
+    : speeds_(speeds),
+      world_size_m_(world_size_m),
+      mean_epoch_s_(mean_epoch_s),
+      rng_(rng),
+      states_(node_count) {
+  for (auto& state : states_) redraw(state);
+}
+
+void RandomDirection::redraw(NodeState& state) {
+  const double speed_mps = rng_.uniform(speeds_.min_mps, speeds_.max_mps);
+  const double speed_units = speed_mps / world_size_m_;
+  const double heading = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  state.vx = speed_units * std::cos(heading);
+  state.vy = speed_units * std::sin(heading);
+  // Exponential epoch via inversion; clamp away from zero so a node cannot
+  // spin through infinitely many epochs in one step.
+  state.remaining_s =
+      std::max(0.05, -mean_epoch_s_ * std::log(1.0 - rng_.uniform()));
+}
+
+void RandomDirection::step(std::span<topology::Point> positions,
+                           double dt_seconds) {
+  for (std::size_t i = 0; i < positions.size() && i < states_.size(); ++i) {
+    NodeState& state = states_[i];
+    double remaining = dt_seconds;
+    while (remaining > 0.0) {
+      const double slice = std::min(remaining, state.remaining_s);
+      positions[i].x += state.vx * slice;
+      positions[i].y += state.vy * slice;
+      reflect(positions[i].x, state.vx);
+      reflect(positions[i].y, state.vy);
+      state.remaining_s -= slice;
+      remaining -= slice;
+      if (state.remaining_s <= 0.0) redraw(state);
+    }
+  }
+}
+
+RandomWaypoint::RandomWaypoint(std::size_t node_count, SpeedRange speeds,
+                               double world_size_m, util::Rng rng)
+    : speeds_(speeds),
+      world_size_m_(world_size_m),
+      rng_(rng),
+      states_(node_count) {}
+
+void RandomWaypoint::step(std::span<topology::Point> positions,
+                          double dt_seconds) {
+  for (std::size_t i = 0; i < positions.size() && i < states_.size(); ++i) {
+    NodeState& state = states_[i];
+    double remaining = dt_seconds;
+    while (remaining > 0.0) {
+      if (!state.has_target) {
+        state.target = topology::Point{rng_.uniform(), rng_.uniform()};
+        state.speed_units =
+            rng_.uniform(speeds_.min_mps, speeds_.max_mps) / world_size_m_;
+        state.has_target = true;
+      }
+      const double dist = topology::distance(positions[i], state.target);
+      if (state.speed_units <= 0.0) break;  // a zero-speed draw parks the node
+      const double time_to_target = dist / state.speed_units;
+      if (time_to_target <= remaining) {
+        positions[i] = state.target;
+        state.has_target = false;
+        remaining -= time_to_target;
+      } else {
+        const double frac = remaining * state.speed_units / dist;
+        positions[i].x += (state.target.x - positions[i].x) * frac;
+        positions[i].y += (state.target.y - positions[i].y) * frac;
+        remaining = 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace ssmwn::mobility

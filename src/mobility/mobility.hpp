@@ -1,0 +1,94 @@
+// Mobility models.
+//
+// The paper's stability experiment moves nodes "randomly at a randomly
+// chosen speed" for 15 minutes and samples the cluster structure every
+// 2 seconds, for pedestrian (0-1.6 m/s) and vehicular (0-10 m/s) speed
+// ranges. The paper does not name the model; we provide the two standard
+// candidates (random direction with boundary reflection, and random
+// waypoint) plus a stationary control. Speeds are physical (m/s); the
+// world maps the unit square to `world_size_m` meters per side (default
+// 1000 m, see DESIGN.md deviation D3).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "topology/point.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn::mobility {
+
+/// Per-node kinematic state advanced in fixed time increments.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Advances all nodes by `dt_seconds` and writes new positions in place.
+  virtual void step(std::span<topology::Point> positions,
+                    double dt_seconds) = 0;
+};
+
+struct SpeedRange {
+  double min_mps = 0.0;
+  double max_mps = 1.6;  // paper's pedestrian upper bound
+};
+
+/// Random-direction model: every node picks a heading and a speed from
+/// `speeds`, travels for an exponentially distributed epoch (mean
+/// `mean_epoch_s`), then re-draws; it reflects off the unit-square walls.
+/// This keeps the spatial distribution near-uniform, matching the paper's
+/// Poisson deployments.
+class RandomDirection final : public MobilityModel {
+ public:
+  RandomDirection(std::size_t node_count, SpeedRange speeds,
+                  double world_size_m, util::Rng rng,
+                  double mean_epoch_s = 10.0);
+
+  void step(std::span<topology::Point> positions, double dt_seconds) override;
+
+ private:
+  struct NodeState {
+    double vx = 0.0;  // unit-square units per second
+    double vy = 0.0;
+    double remaining_s = 0.0;
+  };
+
+  void redraw(NodeState& state);
+
+  SpeedRange speeds_;
+  double world_size_m_;
+  double mean_epoch_s_;
+  util::Rng rng_;
+  std::vector<NodeState> states_;
+};
+
+/// Random-waypoint model: each node picks a uniform destination and a
+/// speed, travels there, then immediately re-draws (no pause time).
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(std::size_t node_count, SpeedRange speeds,
+                 double world_size_m, util::Rng rng);
+
+  void step(std::span<topology::Point> positions, double dt_seconds) override;
+
+ private:
+  struct NodeState {
+    topology::Point target;
+    double speed_units = 0.0;  // unit-square units per second
+    bool has_target = false;
+  };
+
+  SpeedRange speeds_;
+  double world_size_m_;
+  util::Rng rng_;
+  std::vector<NodeState> states_;
+};
+
+/// Control model: nothing moves. Head re-election under it must be 100 %.
+class Stationary final : public MobilityModel {
+ public:
+  void step(std::span<topology::Point>, double) override {}
+};
+
+}  // namespace ssmwn::mobility

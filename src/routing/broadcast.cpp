@@ -1,0 +1,95 @@
+#include "routing/broadcast.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace ssmwn::routing {
+
+namespace {
+
+/// Generic forwarding-set simulation: BFS from `source` where only nodes
+/// with `forwards[node]` set retransmit (the source always transmits).
+BroadcastCost simulate(const graph::Graph& g, graph::NodeId source,
+                       const std::vector<char>& forwards) {
+  BroadcastCost cost;
+  std::vector<std::uint32_t> covered_at(g.node_count(),
+                                        graph::kUnreachable);
+  std::queue<graph::NodeId> transmit_queue;
+  covered_at[source] = 0;
+  transmit_queue.push(source);
+  cost.covered = 1;
+  while (!transmit_queue.empty()) {
+    const graph::NodeId u = transmit_queue.front();
+    transmit_queue.pop();
+    ++cost.transmissions;
+    for (graph::NodeId v : g.neighbors(u)) {
+      if (covered_at[v] != graph::kUnreachable) continue;
+      covered_at[v] = covered_at[u] + 1;
+      cost.steps = std::max<std::size_t>(cost.steps, covered_at[v]);
+      ++cost.covered;
+      if (forwards[v]) transmit_queue.push(v);
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+BroadcastCost flood(const graph::Graph& g, graph::NodeId source) {
+  const std::vector<char> all(g.node_count(), 1);
+  return simulate(g, source, all);
+}
+
+BroadcastCost cluster_broadcast(const graph::Graph& g,
+                                const core::ClusteringResult& clustering,
+                                graph::NodeId source) {
+  std::vector<char> forwards(g.node_count(), 0);
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    if (clustering.is_head[p]) {
+      forwards[p] = 1;
+      continue;
+    }
+    for (graph::NodeId q : g.neighbors(p)) {
+      if (clustering.head_index[q] != clustering.head_index[p]) {
+        forwards[p] = 1;  // gateway
+        break;
+      }
+    }
+    // Relay along the clusterization tree as well: a node whose children
+    // exist in the forest must forward for intra-cluster coverage.
+    if (!forwards[p]) {
+      for (graph::NodeId q : g.neighbors(p)) {
+        if (clustering.parent[q] == p) {
+          forwards[p] = 1;
+          break;
+        }
+      }
+    }
+  }
+  return simulate(g, source, forwards);
+}
+
+BroadcastCost tree_broadcast(const graph::Graph& g, graph::NodeId source) {
+  // Internal nodes of a BFS tree rooted at the source.
+  std::vector<graph::NodeId> parent(g.node_count(), graph::kInvalidNode);
+  std::queue<graph::NodeId> frontier;
+  parent[source] = source;
+  frontier.push(source);
+  std::vector<char> internal(g.node_count(), 0);
+  while (!frontier.empty()) {
+    const graph::NodeId u = frontier.front();
+    frontier.pop();
+    for (graph::NodeId v : g.neighbors(u)) {
+      if (parent[v] != graph::kInvalidNode) continue;
+      parent[v] = u;
+      internal[u] = 1;
+      frontier.push(v);
+    }
+  }
+  return simulate(g, source, internal);
+}
+
+}  // namespace ssmwn::routing

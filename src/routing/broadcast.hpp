@@ -1,0 +1,52 @@
+// Network-wide dissemination — quantifying the traffic claim of the
+// paper's Section 2: clusterization "allows to limit the exchanged
+// traffic generated while clusters are re-built and the nodes' tables
+// updated".
+//
+// Three dissemination strategies for one message that must reach every
+// node, costed in radio transmissions:
+//
+//  * blind flooding          — every node retransmits once (the flat
+//                              baseline; n transmissions);
+//  * clusterized dissemination — only cluster-heads and the gateway
+//                              nodes that bridge adjacent clusters
+//                              retransmit; members just listen;
+//  * tree dissemination      — lower bound for comparison: retransmit
+//                              only on a BFS spanning tree (internal
+//                              nodes only).
+//
+// All three are simulated over the step model (one hop per step) and
+// report transmissions + steps to full coverage.
+#pragma once
+
+#include <cstddef>
+
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+
+namespace ssmwn::routing {
+
+struct BroadcastCost {
+  std::size_t transmissions = 0;  ///< radio sends, the bandwidth cost
+  std::size_t steps = 0;          ///< hops until the last node is covered
+  std::size_t covered = 0;        ///< nodes reached (== component size)
+};
+
+/// Blind flooding from `source`: every covered node retransmits exactly
+/// once.
+[[nodiscard]] BroadcastCost flood(const graph::Graph& g,
+                                  graph::NodeId source);
+
+/// Cluster-based dissemination: a node retransmits iff it is a
+/// cluster-head or a gateway (has a neighbor in another cluster).
+/// Members that are neither only receive.
+[[nodiscard]] BroadcastCost cluster_broadcast(
+    const graph::Graph& g, const core::ClusteringResult& clustering,
+    graph::NodeId source);
+
+/// BFS-spanning-tree dissemination (the idealized lower bound: only
+/// internal tree nodes transmit).
+[[nodiscard]] BroadcastCost tree_broadcast(const graph::Graph& g,
+                                           graph::NodeId source);
+
+}  // namespace ssmwn::routing

@@ -1,0 +1,230 @@
+#include "routing/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace ssmwn::routing {
+
+namespace {
+
+/// BFS shortest path with an optional membership filter.
+std::vector<graph::NodeId> bfs_path(const graph::Graph& g, graph::NodeId src,
+                                    graph::NodeId dst,
+                                    const std::vector<char>* allowed) {
+  if (src == dst) return {src};
+  std::vector<graph::NodeId> parent(g.node_count(), graph::kInvalidNode);
+  std::queue<graph::NodeId> frontier;
+  parent[src] = src;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const graph::NodeId u = frontier.front();
+    frontier.pop();
+    for (graph::NodeId v : g.neighbors(u)) {
+      if (allowed != nullptr && !(*allowed)[v]) continue;
+      if (parent[v] != graph::kInvalidNode) continue;
+      parent[v] = u;
+      if (v == dst) {
+        std::vector<graph::NodeId> path{dst};
+        for (graph::NodeId cur = dst; cur != src;) {
+          cur = parent[cur];
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push(v);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool valid_route(const graph::Graph& g, const Route& route,
+                 graph::NodeId src, graph::NodeId dst) {
+  if (!route.ok()) return false;
+  if (route.hops.front() != src || route.hops.back() != dst) return false;
+  for (std::size_t i = 0; i + 1 < route.hops.size(); ++i) {
+    if (!g.adjacent(route.hops[i], route.hops[i + 1])) return false;
+  }
+  return true;
+}
+
+Route FlatRouter::route(graph::NodeId src, graph::NodeId dst) const {
+  return Route{bfs_path(*graph_, src, dst, nullptr)};
+}
+
+std::size_t FlatRouter::table_entries(graph::NodeId node) const {
+  // One entry per other reachable node.
+  const auto dist = graph::bfs_distances(*graph_, node);
+  std::size_t reachable = 0;
+  for (auto d : dist) reachable += d != graph::kUnreachable;
+  return reachable > 0 ? reachable - 1 : 0;  // minus self
+}
+
+HierarchicalRouter::HierarchicalRouter(
+    const graph::Graph& g, const core::ClusteringResult& clustering)
+    : graph_(&g),
+      clustering_(&clustering),
+      heads_(clustering.heads),
+      overlay_index_(g.node_count(), graph::kInvalidNode) {
+  const std::size_t k = heads_.size();
+  for (std::uint32_t i = 0; i < k; ++i) overlay_index_[heads_[i]] = i;
+
+  // Collect one deterministic gateway (lexicographically smallest border
+  // edge) per ordered cluster pair.
+  borders_.resize(k);
+  for (graph::NodeId a = 0; a < g.node_count(); ++a) {
+    for (graph::NodeId b : g.neighbors(a)) {
+      const graph::NodeId ha = clustering.head_index[a];
+      const graph::NodeId hb = clustering.head_index[b];
+      if (ha == hb) continue;
+      const std::uint32_t ia = overlay_index_[ha];
+      const std::uint32_t ib = overlay_index_[hb];
+      auto& list = borders_[ia];
+      auto it = std::find_if(list.begin(), list.end(),
+                             [&](const Border& br) {
+                               return br.neighbor == ib;
+                             });
+      if (it == list.end()) {
+        list.push_back(Border{ib, a, b});
+      } else if (std::make_pair(a, b) < std::make_pair(it->from, it->to)) {
+        it->from = a;
+        it->to = b;
+      }
+    }
+  }
+
+  // All-pairs next-hop matrix on the overlay (BFS per source; overlays
+  // are small — tens to low hundreds of clusters).
+  next_.assign(k * k, graph::kInvalidNode);
+  std::vector<std::uint32_t> parent(k);
+  for (std::uint32_t source = 0; source < k; ++source) {
+    std::fill(parent.begin(), parent.end(), graph::kInvalidNode);
+    std::queue<std::uint32_t> frontier;
+    parent[source] = source;
+    frontier.push(source);
+    while (!frontier.empty()) {
+      const std::uint32_t u = frontier.front();
+      frontier.pop();
+      for (const Border& border : borders_[u]) {
+        if (parent[border.neighbor] != graph::kInvalidNode) continue;
+        parent[border.neighbor] = u;
+        frontier.push(border.neighbor);
+      }
+    }
+    // Derive "first hop from source toward t" by walking parents back.
+    for (std::uint32_t t = 0; t < k; ++t) {
+      if (t == source || parent[t] == graph::kInvalidNode) continue;
+      std::uint32_t hop = t;
+      while (parent[hop] != source) hop = parent[hop];
+      next_[static_cast<std::size_t>(source) * k + t] = hop;
+    }
+  }
+}
+
+std::vector<graph::NodeId> HierarchicalRouter::intra_cluster_path(
+    graph::NodeId from, graph::NodeId to, graph::NodeId cluster) const {
+  std::vector<char> member(graph_->node_count(), 0);
+  for (graph::NodeId p = 0; p < graph_->node_count(); ++p) {
+    member[p] = clustering_->head_index[p] == cluster ? 1 : 0;
+  }
+  return bfs_path(*graph_, from, to, &member);
+}
+
+Route HierarchicalRouter::route(graph::NodeId src, graph::NodeId dst) const {
+  if (src == dst) return Route{{src}};
+  const graph::NodeId src_head = clustering_->head_index[src];
+  const graph::NodeId dst_head = clustering_->head_index[dst];
+  if (src_head == dst_head) {
+    return Route{intra_cluster_path(src, dst, src_head)};
+  }
+  const std::uint32_t target = overlay_index_[dst_head];
+  std::uint32_t cluster = overlay_index_[src_head];
+  graph::NodeId cursor = src;
+  std::vector<graph::NodeId> hops;
+  while (cluster != target) {
+    const std::uint32_t nc = next_cluster(cluster, target);
+    if (nc == graph::kInvalidNode) return Route{};  // clusters disconnected
+    const auto& list = borders_[cluster];
+    const auto it = std::find_if(list.begin(), list.end(),
+                                 [&](const Border& br) {
+                                   return br.neighbor == nc;
+                                 });
+    if (it == list.end()) return Route{};  // inconsistent (should not happen)
+    auto segment =
+        intra_cluster_path(cursor, it->from, heads_[cluster]);
+    if (segment.empty()) return Route{};
+    // Append segment (skipping the duplicate joint), then the border hop.
+    if (hops.empty()) {
+      hops = std::move(segment);
+    } else {
+      hops.insert(hops.end(), segment.begin() + 1, segment.end());
+    }
+    hops.push_back(it->to);
+    cursor = it->to;
+    cluster = nc;
+  }
+  auto tail = intra_cluster_path(cursor, dst, dst_head);
+  if (tail.empty()) return Route{};
+  if (hops.empty()) {
+    hops = std::move(tail);
+  } else {
+    hops.insert(hops.end(), tail.begin() + 1, tail.end());
+  }
+  return Route{std::move(hops)};
+}
+
+std::size_t HierarchicalRouter::table_entries(graph::NodeId node) const {
+  const graph::NodeId my_head = clustering_->head_index[node];
+  std::size_t members = 0;
+  for (graph::NodeId p = 0; p < graph_->node_count(); ++p) {
+    members += clustering_->head_index[p] == my_head;
+  }
+  // Own-cluster destinations (minus self) + one overlay entry per other
+  // cluster.
+  return (members - 1) + (heads_.size() - 1);
+}
+
+StretchStats compare_routers(const graph::Graph& g, const FlatRouter& flat,
+                             const HierarchicalRouter& hier,
+                             std::size_t pairs, util::Rng& rng) {
+  StretchStats stats;
+  if (g.node_count() < 2) return stats;
+  double stretch_sum = 0.0;
+  double flat_sum = 0.0;
+  double hier_sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto src = static_cast<graph::NodeId>(rng.index(g.node_count()));
+    const auto dst = static_cast<graph::NodeId>(rng.index(g.node_count()));
+    if (src == dst) continue;
+    const auto f = flat.route(src, dst);
+    if (!f.ok()) continue;  // disconnected pair
+    const auto h = hier.route(src, dst);
+    if (!h.ok()) {
+      ++stats.failures;
+      continue;
+    }
+    const double stretch = static_cast<double>(h.length()) /
+                           static_cast<double>(f.length());
+    stretch_sum += stretch;
+    stats.max_stretch = std::max(stats.max_stretch, stretch);
+    flat_sum += static_cast<double>(f.length());
+    hier_sum += static_cast<double>(h.length());
+    ++counted;
+  }
+  stats.pairs = counted;
+  if (counted > 0) {
+    stats.mean_stretch = stretch_sum / static_cast<double>(counted);
+    stats.mean_flat_length = flat_sum / static_cast<double>(counted);
+    stats.mean_hier_length = hier_sum / static_cast<double>(counted);
+  }
+  return stats;
+}
+
+}  // namespace ssmwn::routing

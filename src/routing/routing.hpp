@@ -1,0 +1,126 @@
+// Hierarchical routing on top of the clustering — the paper's motivating
+// application ("specific routing protocols are used within and between
+// the clusters", Section 1).
+//
+// Two routers over the same radio graph:
+//
+//  * FlatRouter — plain shortest-path (what the MANET flat protocols
+//    compute). Optimal routes, but every node must hold state for every
+//    destination: n entries per node, the very thing the introduction
+//    says does not scale.
+//
+//  * HierarchicalRouter — two-level routing over a ClusteringResult.
+//    A node holds: (a) routes inside its own cluster, (b) the overlay
+//    map of cluster-heads, and (c) one gateway link per adjacent
+//    cluster. A packet for another cluster travels intra-cluster to the
+//    gateway, crosses the border link, and repeats — following the
+//    overlay shortest path between the source's and destination's
+//    heads. State per node is O(cluster size + #clusters) instead of
+//    O(n). Routes pay a *stretch* factor over the flat optimum, which
+//    `bench_routing` quantifies — the classic state/stretch trade-off.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn::routing {
+
+struct Route {
+  /// Node sequence from source to destination inclusive; empty iff
+  /// unreachable.
+  std::vector<graph::NodeId> hops;
+
+  [[nodiscard]] bool ok() const noexcept { return !hops.empty(); }
+  /// Number of radio transmissions (hops.size() - 1; 0 for self-routes).
+  [[nodiscard]] std::size_t length() const noexcept {
+    return hops.empty() ? 0 : hops.size() - 1;
+  }
+};
+
+/// True iff consecutive hops are radio neighbors and the route connects
+/// src to dst. Used by tests and as a debug assertion.
+[[nodiscard]] bool valid_route(const graph::Graph& g, const Route& route,
+                               graph::NodeId src, graph::NodeId dst);
+
+/// Flat shortest-path routing (baseline).
+class FlatRouter {
+ public:
+  explicit FlatRouter(const graph::Graph& g) : graph_(&g) {}
+
+  [[nodiscard]] Route route(graph::NodeId src, graph::NodeId dst) const;
+
+  /// Routing-table entries a node must hold: one per reachable node.
+  [[nodiscard]] std::size_t table_entries(graph::NodeId node) const;
+
+ private:
+  const graph::Graph* graph_;
+};
+
+/// Two-level cluster routing.
+class HierarchicalRouter {
+ public:
+  /// Precomputes the overlay graph, overlay routes between heads, and
+  /// per-border gateway links from `clustering`.
+  HierarchicalRouter(const graph::Graph& g,
+                     const core::ClusteringResult& clustering);
+
+  [[nodiscard]] Route route(graph::NodeId src, graph::NodeId dst) const;
+
+  /// Routing-table entries: own-cluster members + one entry per cluster
+  /// (the overlay view every node keeps).
+  [[nodiscard]] std::size_t table_entries(graph::NodeId node) const;
+
+  [[nodiscard]] std::size_t cluster_count() const noexcept {
+    return heads_.size();
+  }
+
+ private:
+  /// Shortest path from `from` to `to` walking only nodes of `cluster`
+  /// (by head index). Returns empty if not connected inside the cluster.
+  [[nodiscard]] std::vector<graph::NodeId> intra_cluster_path(
+      graph::NodeId from, graph::NodeId to, graph::NodeId cluster) const;
+
+  const graph::Graph* graph_;
+  const core::ClusteringResult* clustering_;
+  std::vector<graph::NodeId> heads_;            // overlay index -> head node
+  std::vector<std::uint32_t> overlay_index_;    // head node -> overlay index
+  /// overlay adjacency with a chosen gateway edge per cluster pair:
+  /// gateway_[a][i] = {overlay neighbor, border edge (u in a, v in nbr)}.
+  struct Border {
+    std::uint32_t neighbor;
+    graph::NodeId from;  // node inside this cluster
+    graph::NodeId to;    // node inside the neighbor cluster
+  };
+  std::vector<std::vector<Border>> borders_;
+  /// overlay BFS next-hop matrix: next_[a*k + b] = overlay index of the
+  /// next cluster on the path from a to b (or invalid).
+  std::vector<std::uint32_t> next_;
+
+  [[nodiscard]] std::uint32_t next_cluster(std::uint32_t from,
+                                           std::uint32_t to) const {
+    return next_[static_cast<std::size_t>(from) * heads_.size() + to];
+  }
+};
+
+/// Summary statistics of a route sample (for the bench harness).
+struct StretchStats {
+  double mean_stretch = 0.0;
+  double max_stretch = 0.0;
+  double mean_flat_length = 0.0;
+  double mean_hier_length = 0.0;
+  std::size_t pairs = 0;
+  std::size_t failures = 0;  // hierarchical failed where flat succeeded
+};
+
+/// Compares the two routers over `pairs` random reachable pairs.
+[[nodiscard]] StretchStats compare_routers(const graph::Graph& g,
+                                           const FlatRouter& flat,
+                                           const HierarchicalRouter& hier,
+                                           std::size_t pairs,
+                                           util::Rng& rng);
+
+}  // namespace ssmwn::routing

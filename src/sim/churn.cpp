@@ -1,0 +1,61 @@
+#include "sim/churn.hpp"
+
+#include <stdexcept>
+
+namespace ssmwn::sim {
+
+graph::Graph drop_links(const graph::Graph& base, double drop_probability,
+                        util::Rng& rng) {
+  if (drop_probability < 0.0 || drop_probability > 1.0) {
+    throw std::invalid_argument("drop_links: probability out of range");
+  }
+  graph::Graph out(base.node_count());
+  for (graph::NodeId a = 0; a < base.node_count(); ++a) {
+    for (graph::NodeId b : base.neighbors(a)) {
+      if (b > a && !rng.chance(drop_probability)) out.add_edge(a, b);
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+graph::Graph mask_nodes(const graph::Graph& base,
+                        std::span<const char> alive) {
+  graph::Graph out(base.node_count());
+  for (graph::NodeId a = 0; a < base.node_count(); ++a) {
+    if (a < alive.size() && !alive[a]) continue;
+    for (graph::NodeId b : base.neighbors(a)) {
+      if (b > a && (b >= alive.size() || alive[b])) out.add_edge(a, b);
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+NodeChurn::NodeChurn(std::size_t node_count, double down_rate,
+                     double up_rate, util::Rng rng)
+    : down_rate_(down_rate), up_rate_(up_rate), rng_(rng),
+      alive_(node_count, 1) {
+  if (down_rate < 0.0 || down_rate > 1.0 || up_rate < 0.0 || up_rate > 1.0) {
+    throw std::invalid_argument("NodeChurn: rates out of range");
+  }
+}
+
+const std::vector<char>& NodeChurn::step() {
+  for (auto& flag : alive_) {
+    if (flag) {
+      if (rng_.chance(down_rate_)) flag = 0;
+    } else if (rng_.chance(up_rate_)) {
+      flag = 1;
+    }
+  }
+  return alive_;
+}
+
+std::size_t NodeChurn::alive_count() const noexcept {
+  std::size_t count = 0;
+  for (char flag : alive_) count += flag != 0;
+  return count;
+}
+
+}  // namespace ssmwn::sim

@@ -1,0 +1,55 @@
+// Topology dynamics — the paper's second future-work axis ("sharp bounds
+// on the stabilization as a function of ... frequency of links failure").
+//
+// Two generators over a base radio graph:
+//  * LinkFlapper — each snapshot drops every link independently with a
+//    given probability (fading/interference);
+//  * NodeChurn   — nodes alternate between up and down with geometric
+//    sojourn times (crashes, duty-cycling); a down node keeps its index
+//    but loses all links, matching how the protocol experiences a
+//    silent neighbor.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn::sim {
+
+/// Copy of `base` with each edge independently removed with probability
+/// `drop_probability`.
+[[nodiscard]] graph::Graph drop_links(const graph::Graph& base,
+                                      double drop_probability,
+                                      util::Rng& rng);
+
+/// Copy of `base` with all edges of nodes whose `alive` flag is 0
+/// removed (indices preserved).
+[[nodiscard]] graph::Graph mask_nodes(const graph::Graph& base,
+                                      std::span<const char> alive);
+
+/// Alternating up/down node process: an up node goes down with
+/// probability `down_rate` per snapshot, a down node recovers with
+/// probability `up_rate`.
+class NodeChurn {
+ public:
+  NodeChurn(std::size_t node_count, double down_rate, double up_rate,
+            util::Rng rng);
+
+  /// Advances one snapshot and returns the current alive mask.
+  const std::vector<char>& step();
+
+  [[nodiscard]] const std::vector<char>& alive() const noexcept {
+    return alive_;
+  }
+  [[nodiscard]] std::size_t alive_count() const noexcept;
+
+ private:
+  double down_rate_;
+  double up_rate_;
+  util::Rng rng_;
+  std::vector<char> alive_;
+};
+
+}  // namespace ssmwn::sim

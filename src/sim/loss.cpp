@@ -1,0 +1,34 @@
+#include "sim/loss.hpp"
+
+#include <stdexcept>
+
+namespace ssmwn::sim {
+
+BernoulliDelivery::BernoulliDelivery(double tau, util::Rng rng)
+    : tau_(tau), rng_(rng) {
+  if (tau <= 0.0 || tau > 1.0) {
+    throw std::invalid_argument("BernoulliDelivery: tau must be in (0, 1]");
+  }
+}
+
+bool BernoulliDelivery::delivered(graph::NodeId, graph::NodeId) {
+  return rng_.chance(tau_);
+}
+
+BroadcastCollision::BroadcastCollision(double tau, std::size_t node_count,
+                                       util::Rng rng)
+    : tau_(tau), rng_(rng), collided_(node_count, 0) {
+  if (tau <= 0.0 || tau > 1.0) {
+    throw std::invalid_argument("BroadcastCollision: tau must be in (0, 1]");
+  }
+}
+
+void BroadcastCollision::begin_step() {
+  for (auto& flag : collided_) flag = rng_.chance(1.0 - tau_) ? 1 : 0;
+}
+
+bool BroadcastCollision::delivered(graph::NodeId sender, graph::NodeId) {
+  return collided_[sender] == 0;
+}
+
+}  // namespace ssmwn::sim

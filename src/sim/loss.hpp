@@ -1,0 +1,74 @@
+// Frame-delivery models for the local-broadcast medium.
+//
+// The paper's only MAC assumption is the existence of a constant τ > 0
+// lower-bounding the probability that a frame transmission succeeds
+// without collision, memoryless across transmissions (Section 4,
+// Hypothesis). We expose that abstraction directly: a LossModel decides,
+// independently per frame, whether a given receiver hears a given sender
+// in the current step. τ = 1 recovers the ideal synchronous "step" model
+// of Section 5 (one step = every node broadcasts once and hears all of
+// its 1-neighbors).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn::sim {
+
+/// Per-(sender, receiver, step) delivery decision.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  /// Called once per potential reception each step.
+  [[nodiscard]] virtual bool delivered(graph::NodeId sender,
+                                       graph::NodeId receiver) = 0;
+
+  /// Step boundary notification (per-step draws live here).
+  virtual void begin_step() {}
+};
+
+/// τ = 1: every frame is heard by every 1-neighbor (the paper's Δ(τ) step
+/// abstraction, used for all the evaluation tables).
+class PerfectDelivery final : public LossModel {
+ public:
+  [[nodiscard]] bool delivered(graph::NodeId, graph::NodeId) override {
+    return true;
+  }
+};
+
+/// Independent per-link Bernoulli delivery with success probability τ:
+/// models receiver-side collisions/fading. Used by the stabilization
+/// tests to exercise the τ < 1 hypothesis the proofs rest on.
+class BernoulliDelivery final : public LossModel {
+ public:
+  BernoulliDelivery(double tau, util::Rng rng);
+
+  [[nodiscard]] bool delivered(graph::NodeId sender,
+                               graph::NodeId receiver) override;
+
+  [[nodiscard]] double tau() const noexcept { return tau_; }
+
+ private:
+  double tau_;
+  util::Rng rng_;
+};
+
+/// Sender-side collision model: with probability 1−τ a frame collides and
+/// is lost at *all* receivers in that step (a broadcast either survives
+/// CSMA contention or does not). Drawn once per sender per step.
+class BroadcastCollision final : public LossModel {
+ public:
+  BroadcastCollision(double tau, std::size_t node_count, util::Rng rng);
+
+  void begin_step() override;
+  [[nodiscard]] bool delivered(graph::NodeId sender,
+                               graph::NodeId receiver) override;
+
+ private:
+  double tau_;
+  util::Rng rng_;
+  std::vector<char> collided_;
+};
+
+}  // namespace ssmwn::sim

@@ -1,0 +1,86 @@
+// Synchronous-step network runtime.
+//
+// One `step()` realizes the paper's Δ(τ) time unit: every node builds a
+// frame from its shared variables and locally broadcasts it; the loss
+// model decides per receiver whether the frame is heard; then every node
+// atomically executes its guarded rules against its (possibly stale)
+// caches. Reception is double-buffered — all frames of a step are built
+// from the state *before* any rule of that step fires, exactly matching
+// the synchronous semantics the paper's step-count arguments use.
+//
+// The Protocol type supplies the node behavior:
+//
+//   struct Protocol {
+//     using Frame = ...;                       // broadcast payload
+//     Frame make_frame(graph::NodeId sender);  // read-only snapshot
+//     void deliver(graph::NodeId receiver, const Frame& frame);
+//     void tick(graph::NodeId node);           // run guarded rules
+//     void end_step(graph::NodeId node);       // cache aging etc. (optional hook)
+//   };
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/loss.hpp"
+
+namespace ssmwn::sim {
+
+template <typename Protocol>
+class Network {
+ public:
+  /// The graph reference is observed, not owned; it may be swapped between
+  /// steps (mobility) via `set_graph`.
+  Network(const graph::Graph& g, Protocol& protocol, LossModel& loss)
+      : graph_(&g), protocol_(&protocol), loss_(&loss) {}
+
+  void set_graph(const graph::Graph& g) noexcept { graph_ = &g; }
+
+  [[nodiscard]] std::size_t steps_run() const noexcept { return steps_; }
+
+  /// Runs one synchronous broadcast-receive-compute step.
+  void step() {
+    const graph::Graph& g = *graph_;
+    const std::size_t n = g.node_count();
+    loss_->begin_step();
+
+    // Broadcast phase: snapshot every node's frame first (synchronous
+    // semantics), then deliver.
+    frames_.clear();
+    frames_.reserve(n);
+    for (graph::NodeId p = 0; p < n; ++p) {
+      frames_.push_back(protocol_->make_frame(p));
+    }
+    for (graph::NodeId p = 0; p < n; ++p) {
+      for (graph::NodeId q : g.neighbors(p)) {
+        if (loss_->delivered(p, q)) {
+          protocol_->deliver(q, frames_[p]);
+        }
+      }
+    }
+
+    // Compute phase: every node runs all of its enabled guarded rules.
+    for (graph::NodeId p = 0; p < n; ++p) {
+      protocol_->tick(p);
+    }
+    for (graph::NodeId p = 0; p < n; ++p) {
+      protocol_->end_step(p);
+    }
+    ++steps_;
+  }
+
+  /// Runs `count` steps.
+  void run(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) step();
+  }
+
+ private:
+  const graph::Graph* graph_;
+  Protocol* protocol_;
+  LossModel* loss_;
+  std::size_t steps_ = 0;
+  std::vector<typename Protocol::Frame> frames_;
+};
+
+}  // namespace ssmwn::sim

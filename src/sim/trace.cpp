@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace ssmwn::sim {
+
+std::size_t HeadTrace::nodes_touched() const {
+  std::vector<graph::NodeId> nodes;
+  nodes.reserve(changes_.size());
+  for (const auto& change : changes_) nodes.push_back(change.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes.size();
+}
+
+std::string HeadTrace::render(std::size_t limit) const {
+  std::ostringstream out;
+  std::size_t shown = 0;
+  for (const auto& change : changes_) {
+    if (shown++ >= limit) {
+      out << "... (" << changes_.size() - limit << " more)\n";
+      break;
+    }
+    out << "step " << change.step << ": node " << change.node << " head "
+        << change.old_head << " -> " << change.new_head << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ssmwn::sim

@@ -1,0 +1,73 @@
+// Execution tracing for the distributed protocol.
+//
+// Records per-step observations of a protocol's shared state (head
+// changes, head counts, rule-relevant transitions) so tests and
+// debugging sessions can reconstruct *how* an execution converged, not
+// just whether it did. Header-only; the tracer is observed state from
+// the outside — it never perturbs the protocol.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "topology/ids.hpp"
+
+namespace ssmwn::sim {
+
+/// One recorded head reassignment.
+struct HeadChange {
+  std::size_t step;
+  graph::NodeId node;
+  topology::ProtocolId old_head;
+  topology::ProtocolId new_head;
+};
+
+/// Observes successive snapshots of the per-node head values.
+class HeadTrace {
+ public:
+  /// Feeds the head values after a step; the first call sets the
+  /// baseline. Returns the number of changes recorded for this step.
+  std::size_t observe(const std::vector<topology::ProtocolId>& heads) {
+    std::size_t changed = 0;
+    if (has_baseline_) {
+      for (graph::NodeId p = 0; p < heads.size() && p < last_.size(); ++p) {
+        if (heads[p] != last_[p]) {
+          changes_.push_back(HeadChange{step_, p, last_[p], heads[p]});
+          ++changed;
+        }
+      }
+    }
+    last_ = heads;
+    has_baseline_ = true;
+    ++step_;
+    return changed;
+  }
+
+  [[nodiscard]] const std::vector<HeadChange>& changes() const noexcept {
+    return changes_;
+  }
+  [[nodiscard]] std::size_t steps_observed() const noexcept { return step_; }
+
+  /// Step index after which no change was recorded (the measured
+  /// stabilization point); equals steps_observed() if still churning.
+  [[nodiscard]] std::size_t quiescent_since() const noexcept {
+    return changes_.empty() ? 0 : changes_.back().step + 1;
+  }
+
+  /// Number of distinct nodes that ever changed their head.
+  [[nodiscard]] std::size_t nodes_touched() const;
+
+  /// Human-readable changelog (one line per change).
+  [[nodiscard]] std::string render(std::size_t limit = 50) const;
+
+ private:
+  std::vector<topology::ProtocolId> last_;
+  bool has_baseline_ = false;
+  std::size_t step_ = 0;
+  std::vector<HeadChange> changes_;
+};
+
+}  // namespace ssmwn::sim

@@ -1,0 +1,35 @@
+#include "stabilize/convergence.hpp"
+
+namespace ssmwn::stabilize {
+
+ConvergenceReport run_until_stable(const std::function<void()>& advance,
+                                   const std::function<bool()>& legitimate,
+                                   std::size_t confirm_steps,
+                                   std::size_t max_steps) {
+  ConvergenceReport report;
+  bool was_legit = legitimate();
+  std::size_t legit_since = 0;  // step index where current legit run began
+  std::size_t legit_run = was_legit ? 1 : 0;
+
+  for (std::size_t step = 1; step <= max_steps; ++step) {
+    advance();
+    report.steps_executed = step;
+    const bool legit = legitimate();
+    if (legit) {
+      if (!was_legit) legit_since = step;
+      ++legit_run;
+      if (legit_run > confirm_steps) {
+        report.converged = true;
+        report.stabilization_step = legit_since;
+        return report;
+      }
+    } else {
+      if (was_legit) ++report.relapses;
+      legit_run = 0;
+    }
+    was_legit = legit;
+  }
+  return report;
+}
+
+}  // namespace ssmwn::stabilize

@@ -1,0 +1,41 @@
+// Convergence measurement for self-stabilization experiments.
+//
+// Self-stabilization means: from an *arbitrary* initial state, every
+// execution reaches a legitimate state and stays there. The driver below
+// measures exactly that: it advances a system step by step, evaluates a
+// legitimacy predicate after each step, and reports the first step from
+// which the predicate held continuously through the rest of the
+// observation window ("stays there" is checked, not assumed — a predicate
+// that flickers on and off does not count as converged).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+namespace ssmwn::stabilize {
+
+struct ConvergenceReport {
+  /// True iff legitimacy held from some step onward through the full
+  /// confirmation window.
+  bool converged = false;
+  /// First step index (1-based: after that many steps) from which the
+  /// predicate held without interruption. 0 means "legitimate before any
+  /// step ran".
+  std::size_t stabilization_step = 0;
+  /// Total steps executed.
+  std::size_t steps_executed = 0;
+  /// Number of steps where the predicate flipped from true back to false
+  /// (diagnoses oscillation).
+  std::size_t relapses = 0;
+};
+
+/// Advances the system with `advance` (one synchronous step per call) and
+/// evaluates `legitimate` after each; stops once legitimacy has held for
+/// `confirm_steps` consecutive steps, or after `max_steps` steps.
+[[nodiscard]] ConvergenceReport run_until_stable(
+    const std::function<void()>& advance,
+    const std::function<bool()>& legitimate, std::size_t confirm_steps,
+    std::size_t max_steps);
+
+}  // namespace ssmwn::stabilize

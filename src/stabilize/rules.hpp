@@ -1,0 +1,73 @@
+// Guarded-command rule engine.
+//
+// The paper describes its algorithms in guarded-assignment notation
+// (G → S composed with []), with the execution semantics "when a node
+// executes its program, all statements with true guards are executed
+// within a constant time, in round-robin order". RuleEngine realizes
+// exactly that: a fixed list of named rules, swept in registration order;
+// each rule whose guard holds fires once per sweep.
+//
+// The engine is deliberately tiny — the value is that protocol code reads
+// like the paper (N1, R1, R2 are registered rules) and that tests can
+// observe which rules fired.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ssmwn::stabilize {
+
+template <typename State>
+struct GuardedRule {
+  std::string name;
+  std::function<bool(const State&)> guard;
+  std::function<void(State&)> action;
+};
+
+template <typename State>
+class RuleEngine {
+ public:
+  RuleEngine& add(std::string name, std::function<bool(const State&)> guard,
+                  std::function<void(State&)> action) {
+    rules_.push_back(GuardedRule<State>{std::move(name), std::move(guard),
+                                        std::move(action)});
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t rule_count() const noexcept {
+    return rules_.size();
+  }
+
+  [[nodiscard]] const std::string& rule_name(std::size_t i) const {
+    return rules_[i].name;
+  }
+
+  /// One round-robin sweep: every enabled rule fires once, in order.
+  /// Returns the number of rules that fired.
+  std::size_t sweep(State& state) const {
+    std::size_t fired = 0;
+    for (const auto& rule : rules_) {
+      if (rule.guard(state)) {
+        rule.action(state);
+        ++fired;
+      }
+    }
+    return fired;
+  }
+
+  /// Sweeps until no guard is enabled or `max_sweeps` is reached; returns
+  /// the number of sweeps performed. (Local fixpoint; the distributed
+  /// fixpoint is driven by the sim layer.)
+  std::size_t run_to_fixpoint(State& state, std::size_t max_sweeps) const {
+    std::size_t sweeps = 0;
+    while (sweeps < max_sweeps && sweep(state) > 0) ++sweeps;
+    return sweeps;
+  }
+
+ private:
+  std::vector<GuardedRule<State>> rules_;
+};
+
+}  // namespace ssmwn::stabilize

@@ -1,0 +1,44 @@
+#include "topology/generators.hpp"
+
+#include <cmath>
+
+namespace ssmwn::topology {
+
+std::vector<Point> poisson_points(double lambda, util::Rng& rng) {
+  const std::uint64_t count = rng.poisson(lambda);
+  return uniform_points(static_cast<std::size_t>(count), rng);
+}
+
+std::vector<Point> uniform_points(std::size_t count, util::Rng& rng) {
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back(Point{rng.uniform(), rng.uniform()});
+  }
+  return points;
+}
+
+std::vector<Point> grid_points(std::size_t side) {
+  std::vector<Point> points;
+  points.reserve(side * side);
+  const double cell = 1.0 / static_cast<double>(side);
+  // Row-major order: index = row * side + col, rows from the bottom. The
+  // adversarial Id assignment of Section 5 ("Ids increasing from left to
+  // right and from the bottom to the top") is then simply the identity
+  // permutation over these indices.
+  for (std::size_t row = 0; row < side; ++row) {
+    for (std::size_t col = 0; col < side; ++col) {
+      points.push_back(Point{(static_cast<double>(col) + 0.5) * cell,
+                             (static_cast<double>(row) + 0.5) * cell});
+    }
+  }
+  return points;
+}
+
+std::size_t grid_side_for(std::size_t target_count) noexcept {
+  const auto root = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(target_count))));
+  return root == 0 ? 1 : root;
+}
+
+}  // namespace ssmwn::topology

@@ -1,0 +1,36 @@
+// Node placement generators.
+//
+// The paper deploys nodes two ways: a homogeneous Poisson point process of
+// intensity λ in the 1×1 square ("random geometry"), and a regular grid.
+// Both are reproduced here, plus a fixed-count uniform scatter that is
+// convenient for tests and mobility scenarios (where the node count must
+// stay constant across runs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/point.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn::topology {
+
+/// Homogeneous Poisson point process with intensity `lambda` in the unit
+/// square: the node count is Poisson(λ), positions i.i.d. uniform.
+[[nodiscard]] std::vector<Point> poisson_points(double lambda, util::Rng& rng);
+
+/// Exactly `count` i.i.d. uniform positions in the unit square (the
+/// "binomial point process" — a PPP conditioned on its count).
+[[nodiscard]] std::vector<Point> uniform_points(std::size_t count,
+                                                util::Rng& rng);
+
+/// `side` × `side` grid filling the unit square, margin of half a cell on
+/// every border. With side=32 (the closest square to the paper's λ=1000)
+/// and R=0.05 every interior node has exactly 8 neighbors, which realizes
+/// the "all interior densities equal" pathology of Section 5.
+[[nodiscard]] std::vector<Point> grid_points(std::size_t side);
+
+/// Grid side length whose node count best approximates `target_count`.
+[[nodiscard]] std::size_t grid_side_for(std::size_t target_count) noexcept;
+
+}  // namespace ssmwn::topology

@@ -1,0 +1,39 @@
+#include "topology/hotspots.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ssmwn::topology {
+
+namespace {
+
+double reflect_unit(double v) {
+  while (v < 0.0 || v > 1.0) {
+    if (v < 0.0) v = -v;
+    if (v > 1.0) v = 2.0 - v;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<Point> matern_cluster_points(const MaternConfig& config,
+                                         util::Rng& rng) {
+  std::vector<Point> points;
+  const std::uint64_t parents = rng.poisson(config.parent_intensity);
+  for (std::uint64_t i = 0; i < parents; ++i) {
+    const Point center{rng.uniform(), rng.uniform()};
+    if (config.include_parents) points.push_back(center);
+    const std::uint64_t children = rng.poisson(config.mean_children);
+    for (std::uint64_t c = 0; c < children; ++c) {
+      // Uniform in the disc: radius via sqrt transform.
+      const double r = config.radius * std::sqrt(rng.uniform());
+      const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      points.push_back(Point{reflect_unit(center.x + r * std::cos(angle)),
+                             reflect_unit(center.y + r * std::sin(angle))});
+    }
+  }
+  return points;
+}
+
+}  // namespace ssmwn::topology

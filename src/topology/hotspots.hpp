@@ -1,0 +1,33 @@
+// Non-homogeneous deployments: Matérn cluster process.
+//
+// The paper's simulations use homogeneous Poisson deployments and a
+// grid; real ad-hoc networks are often *clumped* (crowds, convoys,
+// buildings). The Matérn cluster process — Poisson parent points, each
+// spawning a Poisson number of children uniformly in a disc — is the
+// standard model for such hotspots, and is the stress case for a
+// *density*-based election: hotspot centers have both high degree and
+// high link density, so the metric should place heads at hotspot cores.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/point.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn::topology {
+
+struct MaternConfig {
+  double parent_intensity = 20.0;  ///< λ of the hotspot centers
+  double mean_children = 50.0;     ///< mean points per hotspot
+  double radius = 0.08;            ///< hotspot disc radius
+  bool include_parents = false;    ///< also emit the centers as nodes
+};
+
+/// Samples a Matérn cluster process in the unit square. Children falling
+/// outside the square are reflected back in (keeps the intensity roughly
+/// uniform near borders).
+[[nodiscard]] std::vector<Point> matern_cluster_points(
+    const MaternConfig& config, util::Rng& rng);
+
+}  // namespace ssmwn::topology

@@ -1,0 +1,30 @@
+#include "topology/ids.hpp"
+
+#include <numeric>
+
+namespace ssmwn::topology {
+
+IdAssignment random_ids(std::size_t node_count, util::Rng& rng) {
+  const auto perm = util::random_permutation(node_count, rng);
+  IdAssignment ids(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    ids[i] = static_cast<ProtocolId>(perm[i]);
+  }
+  return ids;
+}
+
+IdAssignment sequential_ids(std::size_t node_count) {
+  IdAssignment ids(node_count);
+  std::iota(ids.begin(), ids.end(), ProtocolId{0});
+  return ids;
+}
+
+IdAssignment reversed_ids(std::size_t node_count) {
+  IdAssignment ids(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    ids[i] = static_cast<ProtocolId>(node_count - 1 - i);
+  }
+  return ids;
+}
+
+}  // namespace ssmwn::topology

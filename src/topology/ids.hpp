@@ -1,0 +1,42 @@
+// Protocol identifier assignment.
+//
+// The graph layer indexes nodes 0..n-1, but the clustering algorithm
+// breaks ties on the nodes' *unique protocol identifiers*, and Section 5
+// of the paper shows the algorithm's worst case is driven entirely by how
+// those identifiers are distributed in space. This module supplies the
+// two distributions the paper evaluates (uniformly random, and the
+// adversarial "increasing from left to right and bottom to top" grid
+// order) plus helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn::topology {
+
+/// Protocol identifier (the paper's node Id). Distinct from the dense
+/// graph index; ties in the ≺ order compare these.
+using ProtocolId = std::uint64_t;
+
+/// id_of[node index] -> protocol identifier; always a permutation of
+/// 0..n-1 so uniqueness is guaranteed by construction.
+using IdAssignment = std::vector<ProtocolId>;
+
+/// Uniformly random permutation — the paper's "homogeneously and randomly
+/// distributed" identifier case, where the DAG brings little benefit.
+[[nodiscard]] IdAssignment random_ids(std::size_t node_count, util::Rng& rng);
+
+/// Identity permutation. On a row-major grid this is exactly the paper's
+/// adversarial case: identifiers increase left to right, bottom to top, so
+/// every interior density tie resolves toward one corner and the whole
+/// network collapses into a single cluster (Fig. 2).
+[[nodiscard]] IdAssignment sequential_ids(std::size_t node_count);
+
+/// Reversed identity — the mirror adversary; useful for property tests
+/// (the cluster structure must mirror, not change shape).
+[[nodiscard]] IdAssignment reversed_ids(std::size_t node_count);
+
+}  // namespace ssmwn::topology

@@ -1,0 +1,26 @@
+// 2-D geometry primitives for node placement in the unit square.
+#pragma once
+
+#include <cmath>
+
+namespace ssmwn::topology {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+[[nodiscard]] inline double squared_distance(const Point& a,
+                                             const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+[[nodiscard]] inline double distance(const Point& a, const Point& b) noexcept {
+  return std::sqrt(squared_distance(a, b));
+}
+
+}  // namespace ssmwn::topology

@@ -1,0 +1,78 @@
+#include "topology/udg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace ssmwn::topology {
+
+graph::Graph unit_disk_graph(std::span<const Point> points, double radius) {
+  if (radius <= 0.0) {
+    throw std::invalid_argument("unit_disk_graph: radius must be positive");
+  }
+  const std::size_t n = points.size();
+  graph::Graph g(n);
+  if (n == 0) return g;
+
+  // Bucket nodes into cells of side `radius`; candidate neighbors of a
+  // node then all live in its own or the 8 surrounding cells.
+  double min_x = points[0].x, max_x = points[0].x;
+  double min_y = points[0].y, max_y = points[0].y;
+  for (const Point& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const auto cells_x = static_cast<std::size_t>((max_x - min_x) / radius) + 1;
+  const auto cells_y = static_cast<std::size_t>((max_y - min_y) / radius) + 1;
+  auto cell_of = [&](const Point& p) {
+    auto cx = static_cast<std::size_t>((p.x - min_x) / radius);
+    auto cy = static_cast<std::size_t>((p.y - min_y) / radius);
+    cx = std::min(cx, cells_x - 1);
+    cy = std::min(cy, cells_y - 1);
+    return cy * cells_x + cx;
+  };
+
+  // Counting-sort nodes by cell for cache-friendly traversal.
+  std::vector<std::uint32_t> cell_start(cells_x * cells_y + 1, 0);
+  for (const Point& p : points) ++cell_start[cell_of(p) + 1];
+  for (std::size_t c = 1; c < cell_start.size(); ++c) {
+    cell_start[c] += cell_start[c - 1];
+  }
+  std::vector<graph::NodeId> by_cell(n);
+  {
+    std::vector<std::uint32_t> cursor(cell_start.begin(), cell_start.end() - 1);
+    for (graph::NodeId i = 0; i < n; ++i) {
+      by_cell[cursor[cell_of(points[i])]++] = i;
+    }
+  }
+
+  const double r2 = radius * radius;
+  for (graph::NodeId i = 0; i < n; ++i) {
+    const auto cx = static_cast<long>((points[i].x - min_x) / radius);
+    const auto cy = static_cast<long>((points[i].y - min_y) / radius);
+    for (long dy = -1; dy <= 1; ++dy) {
+      for (long dx = -1; dx <= 1; ++dx) {
+        const long nx = std::clamp(cx + dx, 0L, static_cast<long>(cells_x) - 1);
+        const long ny = std::clamp(cy + dy, 0L, static_cast<long>(cells_y) - 1);
+        // Clamping can alias border cells; skip repeats.
+        if (nx != cx + dx || ny != cy + dy) continue;
+        const std::size_t cell =
+            static_cast<std::size_t>(ny) * cells_x + static_cast<std::size_t>(nx);
+        for (std::uint32_t s = cell_start[cell]; s < cell_start[cell + 1]; ++s) {
+          const graph::NodeId j = by_cell[s];
+          if (j <= i) continue;  // each pair once
+          if (squared_distance(points[i], points[j]) <= r2) {
+            g.add_edge(i, j);
+          }
+        }
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace ssmwn::topology

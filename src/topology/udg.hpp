@@ -1,0 +1,22 @@
+// Unit-disk graph construction.
+//
+// The radio model of the paper: p and q are neighbors iff their distance
+// is at most the transmission range R (bidirectional by construction).
+// Built with a uniform cell hash so construction is O(n + m) rather than
+// O(n²) — the benches rebuild the graph every mobility snapshot.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "topology/point.hpp"
+
+namespace ssmwn::topology {
+
+/// Builds the unit-disk graph over `points` with transmission range
+/// `radius` (inclusive).
+[[nodiscard]] graph::Graph unit_disk_graph(std::span<const Point> points,
+                                           double radius);
+
+}  // namespace ssmwn::topology

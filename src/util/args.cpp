@@ -1,0 +1,84 @@
+#include "util/args.hpp"
+
+#include <stdexcept>
+
+namespace ssmwn::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--flag value` unless the next token is another flag (then it is a
+    // bare boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto raw = get(name, "");
+  if (raw.empty()) return fallback;
+  try {
+    return std::stoll(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": expected an integer, got '" +
+                                raw + "'");
+  }
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto raw = get(name, "");
+  if (raw.empty()) return fallback;
+  try {
+    return std::stod(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": expected a number, got '" +
+                                raw + "'");
+  }
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto raw = get(name, "");
+  if (raw.empty()) return fallback;
+  if (raw == "true" || raw == "1" || raw == "yes" || raw == "on") return true;
+  if (raw == "false" || raw == "0" || raw == "no" || raw == "off") {
+    return false;
+  }
+  throw std::invalid_argument("--" + name + ": expected a boolean, got '" +
+                              raw + "'");
+}
+
+std::vector<std::string> Args::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace ssmwn::util

@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for the CLI driver (`apps/ssmwn`).
+// Flags are `--name value` or `--name=value`; booleans accept bare
+// `--name`. No external dependencies; unknown flags are reported.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ssmwn::util {
+
+class Args {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input
+  /// (missing value for the last flag).
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  /// Flags that were provided but never queried via get*/has.
+  [[nodiscard]] std::vector<std::string> unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ssmwn::util

@@ -1,0 +1,26 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace ssmwn::util {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return parsed;
+}
+
+std::size_t bench_runs(std::size_t fallback) {
+  const std::int64_t value =
+      env_int("SSMWN_RUNS", static_cast<std::int64_t>(fallback));
+  return value > 0 ? static_cast<std::size_t>(value) : fallback;
+}
+
+std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(env_int("SSMWN_SEED", 20050612));
+}
+
+}  // namespace ssmwn::util

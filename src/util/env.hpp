@@ -1,0 +1,24 @@
+// Environment-variable configuration for the bench harness.
+//
+// The paper averages each statistic over 1000 simulation runs. The bench
+// binaries default to a smaller run count so the whole suite finishes in
+// minutes; set SSMWN_RUNS to restore paper-scale averaging, SSMWN_SEED to
+// change the experiment seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ssmwn::util {
+
+/// Integer env var with default; malformed values fall back to `fallback`.
+[[nodiscard]] std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Number of simulation runs per configuration (SSMWN_RUNS, default given
+/// by the caller per bench).
+[[nodiscard]] std::size_t bench_runs(std::size_t fallback);
+
+/// Root experiment seed (SSMWN_SEED, default 20050612).
+[[nodiscard]] std::uint64_t bench_seed();
+
+}  // namespace ssmwn::util

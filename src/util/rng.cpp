@@ -1,0 +1,65 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace ssmwn::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method: multiply-shift with rejection of
+  // the biased low band.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::poisson(double lambda) noexcept {
+  if (lambda <= 0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion in the log domain to avoid underflow.
+    const double limit = -lambda;
+    double sum = 0.0;
+    std::uint64_t k = 0;
+    while (true) {
+      sum += std::log(uniform());
+      if (sum < limit) return k;
+      ++k;
+    }
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // large-lambda topology workloads (lambda >= 30) used here.
+  while (true) {
+    const double draw = lambda + std::sqrt(lambda) * normal() + 0.5;
+    if (draw >= 0.0) return static_cast<std::uint64_t>(draw);
+  }
+}
+
+double Rng::normal() noexcept {
+  while (true) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(perm));
+  return perm;
+}
+
+}  // namespace ssmwn::util

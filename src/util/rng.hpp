@@ -1,0 +1,117 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components of the library (topology generation, mobility,
+// the lossy radio medium, the randomized DAG renaming rule N1) draw from a
+// `Rng` passed in by the caller, so every experiment is reproducible from a
+// single 64-bit seed. The generator is xoshiro256**, seeded via SplitMix64,
+// which is both fast and statistically strong enough for simulation work.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace ssmwn::util {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into a full
+/// xoshiro256** state. Also usable standalone as a hash/mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies `std::uniform_random_bit_generator`,
+/// so it can also feed standard-library distributions if ever needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire rejection).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in the closed range [lo, hi].
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Poisson-distributed integer with mean `lambda` (inversion for small
+  /// lambda, normal-tail rejection for large).
+  [[nodiscard]] std::uint64_t poisson(double lambda) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Uniformly chosen element index of a non-empty container size.
+  [[nodiscard]] std::size_t index(std::size_t size) noexcept {
+    return static_cast<std::size_t>(below(size));
+  }
+
+  /// Fisher-Yates shuffle of `items` in place.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each node or each
+  /// run its own stream so per-node randomness is order-independent.
+  [[nodiscard]] Rng split() noexcept {
+    return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Returns a uniformly random permutation of {0, ..., n-1}.
+[[nodiscard]] std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng);
+
+}  // namespace ssmwn::util

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace ssmwn::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  return count_ > 0 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+double percentile(std::span<const double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> sample) noexcept {
+  if (sample.empty()) return 0.0;
+  return std::accumulate(sample.begin(), sample.end(), 0.0) /
+         static_cast<double>(sample.size());
+}
+
+double stddev_of(std::span<const double> sample) noexcept {
+  RunningStats stats;
+  for (double x : sample) stats.add(x);
+  return stats.stddev();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) noexcept {
+  const auto nbins = bins_.size();
+  std::size_t idx = 0;
+  if (x >= hi_) {
+    idx = nbins - 1;
+  } else if (x > lo_) {
+    idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                   static_cast<double>(nbins));
+    idx = std::min(idx, nbins - 1);
+  }
+  ++bins_[idx];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(bins_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const noexcept {
+  return bin_low(i + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t count : bins_) peak = std::max(peak, count);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const auto bar =
+        bins_[i] * width / peak;
+    out << '[';
+    out.precision(3);
+    out << bin_low(i) << ", " << bin_high(i) << ") ";
+    out << std::string(bar, '#') << ' ' << bins_[i] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ssmwn::util

@@ -1,0 +1,68 @@
+// Online and batch statistics used by the benchmark harness and the
+// metrics library: Welford running moments, percentiles, and histograms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ssmwn::util {
+
+/// Numerically stable (Welford) accumulator for mean / variance / extrema.
+/// Every benchmark averages hundreds of simulation runs through this.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolation percentile of an unsorted sample (copies and sorts).
+/// `q` in [0, 1]; returns 0 for an empty sample.
+[[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+[[nodiscard]] double mean_of(std::span<const double> sample) noexcept;
+[[nodiscard]] double stddev_of(std::span<const double> sample) noexcept;
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so mass is never dropped silently.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::span<const std::size_t> bins() const noexcept { return bins_; }
+  [[nodiscard]] double bin_low(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_high(std::size_t i) const noexcept;
+
+  /// Renders a compact ASCII bar chart, one line per bin.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> bins_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ssmwn::util

@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace ssmwn::util {
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::note(std::string text) {
+  notes_.push_back(std::move(text));
+  return *this;
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string Table::integer(long long value) { return std::to_string(value); }
+
+namespace {
+
+std::string pad(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return text + std::string(width - text.size(), ' ');
+}
+
+std::string rule(const std::vector<std::size_t>& widths) {
+  std::string line = "+";
+  for (std::size_t w : widths) {
+    line += std::string(w + 2, '-');
+    line += '+';
+  }
+  line += '\n';
+  return line;
+}
+
+}  // namespace
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  if (!widths.empty()) {
+    out << rule(widths);
+    if (!header_.empty()) {
+      out << "|";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        out << ' ' << pad(i < header_.size() ? header_[i] : "", widths[i])
+            << " |";
+      }
+      out << '\n' << rule(widths);
+    }
+    for (const auto& r : rows_) {
+      out << "|";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        out << ' ' << pad(i < r.size() ? r[i] : "", widths[i]) << " |";
+      }
+      out << '\n';
+    }
+    out << rule(widths);
+  }
+  for (const auto& n : notes_) out << "  * " << n << '\n';
+  return out.str();
+}
+
+std::string Table::csv() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) line += ',';
+      // Cells are simple numerics/labels; quote only if a comma sneaks in.
+      if (cells[i].find(',') != std::string::npos) {
+        line += '"' + cells[i] + '"';
+      } else {
+        line += cells[i];
+      }
+    }
+    return line;
+  };
+  std::string out;
+  if (!header_.empty()) out += join(header_) + '\n';
+  for (const auto& r : rows_) out += join(r) + '\n';
+  return out;
+}
+
+}  // namespace ssmwn::util

@@ -1,0 +1,38 @@
+// Console table rendering for the benchmark harness. Every bench binary
+// prints the paper's table next to the measured values, so a reader can
+// eyeball the reproduction without post-processing. Also emits CSV for
+// plotting.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ssmwn::util {
+
+/// Column-aligned text table with a title and optional footnotes.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+  Table& note(std::string text);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double value, int precision = 2);
+  static std::string integer(long long value);
+
+  /// Renders the table with box-drawing rules and padding.
+  [[nodiscard]] std::string render() const;
+  /// Renders header+rows as comma-separated values (no title/notes).
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace ssmwn::util

@@ -1,0 +1,132 @@
+// Tests for the k-hop clustering generalization.
+#include "cluster/khop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/density.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/forest.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Khop, KEqualsOneContainsAllLocalMaxima) {
+  // The greedy ≺-descending election always elects the paper's local
+  // maxima (nothing larger is near them to dominate first), plus extra
+  // heads for 1-hop coverage — so it is a superset, and every non-head
+  // has a head within 1 hop (maximality).
+  util::Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto pts = topology::uniform_points(250, rng);
+    const auto g = topology::unit_disk_graph(pts, 0.09);
+    const auto ids = topology::random_ids(g.node_count(), rng);
+    const auto base = core::cluster_density(g, ids, {});
+    const auto khop = cluster::cluster_khop_density(g, ids, 1);
+    for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+      if (base.is_head[p]) {
+        EXPECT_TRUE(khop.is_head[p]) << "local maximum " << p << " dropped";
+      }
+    }
+    for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+      if (khop.is_head[p]) continue;
+      bool head_adjacent = false;
+      for (graph::NodeId q : g.neighbors(p)) {
+        head_adjacent = head_adjacent || khop.is_head[q];
+      }
+      EXPECT_TRUE(head_adjacent) << "node " << p << " uncovered at k=1";
+    }
+  }
+}
+
+TEST(Khop, MembersWithinKHopsOfTheirHead) {
+  util::Rng rng(2);
+  for (const std::size_t k : {1u, 2u, 3u}) {
+    const auto pts = topology::uniform_points(300, rng);
+    const auto g = topology::unit_disk_graph(pts, 0.08);
+    const auto ids = topology::random_ids(g.node_count(), rng);
+    const auto r = cluster::cluster_khop_density(g, ids, k);
+    const auto forest = r.forest();
+    EXPECT_TRUE(forest.respects_graph(g));
+    // Membership follows a global multi-source BFS, so depth can exceed
+    // k only for nodes no head could absorb within its greedy ball;
+    // heads themselves must pairwise respect the k separation.
+    for (graph::NodeId h : r.heads) {
+      const auto dist = graph::bfs_distances(g, h);
+      for (graph::NodeId other : r.heads) {
+        if (other == h) continue;
+        if (dist[other] != graph::kUnreachable) {
+          EXPECT_GT(dist[other], k) << "heads " << h << " and " << other;
+        }
+      }
+    }
+  }
+}
+
+TEST(Khop, LargerKGivesFewerClusters) {
+  util::Rng rng(3);
+  const auto pts = topology::uniform_points(400, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.08);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  std::size_t previous = g.node_count() + 1;
+  for (const std::size_t k : {1u, 2u, 3u, 4u}) {
+    const auto r = cluster::cluster_khop_density(g, ids, k);
+    EXPECT_LE(r.cluster_count(), previous) << "k=" << k;
+    previous = r.cluster_count();
+  }
+}
+
+TEST(Khop, EveryNodeAssignedAndForestValid) {
+  util::Rng rng(4);
+  const auto pts = topology::uniform_points(200, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.07);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto r = cluster::cluster_khop_density(g, ids, 2);
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    EXPECT_NE(r.head_index[p], graph::kInvalidNode);
+    EXPECT_EQ(r.head_index[p], r.head_index[r.parent[p]]);
+  }
+}
+
+TEST(Khop, IsolatedNodesBecomeHeads) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  const auto r =
+      cluster::cluster_khop_density(g, topology::sequential_ids(3), 2);
+  EXPECT_TRUE(r.is_head[2]);
+}
+
+TEST(Khop, RejectsBadArguments) {
+  const auto g = graph::from_edges(2, {{0, 1}});
+  EXPECT_THROW(
+      cluster::cluster_khop_density(g, topology::sequential_ids(2), 0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      cluster::cluster_khop_density(g, topology::sequential_ids(1), 2),
+      std::invalid_argument);
+}
+
+TEST(Khop, PathGraphKTwo) {
+  // Path 0..6 with a metric peaking at node 3: one head, everyone within
+  // 3 hops joins it (multi-source BFS covers the whole path).
+  graph::Graph g(7);
+  for (graph::NodeId p = 0; p + 1 < 7; ++p) g.add_edge(p, p + 1);
+  g.finalize();
+  const std::vector<double> metric{0, 1, 2, 9, 2, 1, 0};
+  const auto r = cluster::cluster_khop_metric(
+      g, topology::sequential_ids(7), metric, 2);
+  EXPECT_TRUE(r.is_head[3]);
+  // Nodes within 2 hops of node 3 cannot be heads; 0 and 6 are 3 hops
+  // away — outside the ball — so the greedy pass may elect them.
+  EXPECT_FALSE(r.is_head[1]);
+  EXPECT_FALSE(r.is_head[2]);
+  EXPECT_FALSE(r.is_head[4]);
+  EXPECT_FALSE(r.is_head[5]);
+}
+
+}  // namespace
+}  // namespace ssmwn

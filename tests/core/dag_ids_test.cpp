@@ -1,0 +1,144 @@
+// Tests for the constant-height DAG construction (Section 4.1 / the
+// simulation discipline of Section 5).
+#include "core/dag_ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(DagIds, ProducesLocallyUniqueNames) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pts = topology::uniform_points(200, rng);
+    const auto g = topology::unit_disk_graph(pts, 0.1);
+    const auto uids = topology::random_ids(g.node_count(), rng);
+    const auto result = core::build_dag_ids(g, uids, {}, rng);
+    ASSERT_TRUE(result.converged);
+    EXPECT_TRUE(core::locally_unique(g, result.ids));
+    for (auto id : result.ids) EXPECT_LT(id, result.name_space);
+  }
+}
+
+TEST(DagIds, RandomizedPolicyAlsoConverges) {
+  util::Rng rng(2);
+  core::DagOptions opt;
+  opt.policy = core::DagRedrawPolicy::N1Randomized;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pts = topology::uniform_points(200, rng);
+    const auto g = topology::unit_disk_graph(pts, 0.1);
+    const auto uids = topology::random_ids(g.node_count(), rng);
+    const auto result = core::build_dag_ids(g, uids, opt, rng);
+    ASSERT_TRUE(result.converged);
+    EXPECT_TRUE(core::locally_unique(g, result.ids));
+  }
+}
+
+TEST(DagIds, AutoNameSpaceIsDeltaSquaredPlusOne) {
+  // The paper's simulations draw names from [0, δ²].
+  util::Rng rng(3);
+  const auto pts = topology::uniform_points(150, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.1);
+  const auto uids = topology::random_ids(g.node_count(), rng);
+  const auto result = core::build_dag_ids(g, uids, {}, rng);
+  const auto delta = static_cast<std::uint64_t>(g.max_degree());
+  EXPECT_EQ(result.name_space, delta * delta + 1);
+}
+
+TEST(DagIds, TinyNameSpaceIsRaisedAboveDelta) {
+  // With |γ| ≤ δ a conflicted node could have no free name; the
+  // implementation floors the space at δ + 1 (the theory's minimum).
+  const auto g = graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  core::DagOptions opt;
+  opt.name_space = 1;
+  util::Rng rng(4);
+  const auto result =
+      core::build_dag_ids(g, topology::sequential_ids(4), opt, rng);
+  EXPECT_GE(result.name_space, g.max_degree() + 1);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(DagIds, ConvergesInAboutTwoRoundsAtPaperScale) {
+  // Table 3: ~2 rounds on λ=1000 deployments, for every R in 0.05..0.1.
+  util::Rng rng(5);
+  double total_rounds = 0.0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto pts = topology::uniform_points(1000, rng);
+    const auto g = topology::unit_disk_graph(pts, 0.07);
+    const auto uids = topology::random_ids(g.node_count(), rng);
+    const auto result = core::build_dag_ids(g, uids, {}, rng);
+    ASSERT_TRUE(result.converged);
+    total_rounds += static_cast<double>(result.rounds);
+  }
+  const double mean = total_rounds / trials;
+  EXPECT_GE(mean, 1.0);
+  EXPECT_LE(mean, 3.5);
+}
+
+TEST(DagIds, HeightIsBoundedByNameSpace) {
+  // Theorem 1's bound: height ≤ |γ| + 1 (a proper coloring actually gives
+  // ≤ |γ| − 1 edges on any monotone path).
+  util::Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto pts = topology::uniform_points(300, rng);
+    const auto g = topology::unit_disk_graph(pts, 0.08);
+    const auto uids = topology::random_ids(g.node_count(), rng);
+    core::DagOptions opt;
+    opt.name_space = g.max_degree() + 1;  // smallest allowed space
+    const auto result = core::build_dag_ids(g, uids, opt, rng);
+    ASSERT_TRUE(result.converged);
+    EXPECT_LE(core::dag_height(g, result.ids), result.name_space - 1);
+  }
+}
+
+TEST(DagIds, SmallerNameSpaceGivesLowerHeight) {
+  // The tuning trade-off discussed after Theorem 1: |γ| = δ+1 bounds the
+  // DAG height harder than |γ| = δ⁶ does in practice.
+  util::Rng rng(7);
+  const auto pts = topology::uniform_points(500, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.08);
+  const auto uids = topology::random_ids(g.node_count(), rng);
+  const auto delta = static_cast<std::uint64_t>(g.max_degree());
+
+  core::DagOptions small;
+  small.name_space = delta + 1;
+  core::DagOptions huge;
+  huge.name_space = delta * delta * delta;
+
+  util::RunningStats small_h, huge_h;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = core::build_dag_ids(g, uids, small, rng);
+    const auto b = core::build_dag_ids(g, uids, huge, rng);
+    ASSERT_TRUE(a.converged && b.converged);
+    small_h.add(static_cast<double>(core::dag_height(g, a.ids)));
+    huge_h.add(static_cast<double>(core::dag_height(g, b.ids)));
+  }
+  EXPECT_LT(small_h.mean(), huge_h.mean());
+}
+
+TEST(DagIds, EdgelessGraphTrivially) {
+  graph::Graph g(5);
+  util::Rng rng(8);
+  const auto result =
+      core::build_dag_ids(g, topology::sequential_ids(5), {}, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(core::dag_height(g, result.ids), 0u);
+}
+
+TEST(DagIds, RejectsSizeMismatch) {
+  const auto g = graph::from_edges(3, {{0, 1}});
+  util::Rng rng(9);
+  EXPECT_THROW(core::build_dag_ids(g, topology::sequential_ids(2), {}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,0 +1,122 @@
+// Tests for the hierarchical clustering extension (overlay graphs and
+// multi-level head election).
+#include "core/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Overlay, HeadsAdjacentIffClustersTouch) {
+  // Two 2-cluster paths joined by one radio edge: 0-1-2 | 3-4-5 with the
+  // bridge 2-3. Force the clustering by metric.
+  const auto g =
+      graph::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  const std::vector<double> metric{3, 1, 1, 1, 1, 3};  // heads: 0 and 5
+  const auto r =
+      core::cluster_by_metric(g, topology::sequential_ids(6), metric, {});
+  ASSERT_EQ(r.cluster_count(), 2u);
+  const auto overlay = core::overlay_graph(g, r);
+  EXPECT_EQ(overlay.node_count(), 2u);
+  EXPECT_EQ(overlay.edge_count(), 1u);  // the 2-3 bridge links the clusters
+  EXPECT_TRUE(overlay.adjacent(0, 1));
+}
+
+TEST(Overlay, NoEdgeBetweenDisconnectedClusters) {
+  const auto g = graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto r = core::cluster_density(g, topology::sequential_ids(4), {});
+  ASSERT_EQ(r.cluster_count(), 2u);
+  const auto overlay = core::overlay_graph(g, r);
+  EXPECT_EQ(overlay.edge_count(), 0u);
+}
+
+TEST(Hierarchy, ShrinksHeadCountPerLevel) {
+  util::Rng rng(1);
+  const auto pts = topology::uniform_points(600, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.07);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto h = core::build_hierarchy(g, ids, {}, 4);
+  ASSERT_GE(h.depth(), 2u);
+  for (std::size_t k = 1; k < h.depth(); ++k) {
+    EXPECT_LE(h.levels[k].clustering.heads.size(),
+              h.levels[k - 1].clustering.heads.size())
+        << "level " << k;
+  }
+  // Level-k node sets are exactly the level-(k-1) head sets.
+  for (std::size_t k = 1; k < h.depth(); ++k) {
+    EXPECT_EQ(h.levels[k].graph.node_count(),
+              h.levels[k - 1].clustering.heads.size());
+  }
+}
+
+TEST(Hierarchy, TopHeadsAreBaseNodes) {
+  util::Rng rng(2);
+  const auto pts = topology::uniform_points(300, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.09);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto h = core::build_hierarchy(g, ids, {}, 3);
+  const auto tops = h.top_heads();
+  EXPECT_FALSE(tops.empty());
+  for (graph::NodeId p : tops) EXPECT_LT(p, g.node_count());
+  // Top heads must be level-0 heads too (the hierarchy is nested).
+  std::set<graph::NodeId> level0_heads(h.levels[0].clustering.heads.begin(),
+                                       h.levels[0].clustering.heads.end());
+  for (graph::NodeId p : tops) EXPECT_TRUE(level0_heads.count(p));
+}
+
+TEST(Hierarchy, HeadAtLevelChainsUp) {
+  util::Rng rng(3);
+  const auto pts = topology::uniform_points(300, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.09);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto h = core::build_hierarchy(g, ids, {}, 3);
+  ASSERT_GE(h.depth(), 2u);
+  for (graph::NodeId p = 0; p < g.node_count(); p += 7) {
+    const auto h0 = h.head_at_level(p, 0);
+    // Level-0 head matches the clustering directly.
+    EXPECT_EQ(h0, h.levels[0].clustering.head_index[p]);
+    // The level-1 head of p equals the level-1 head of its level-0 head.
+    const auto h1 = h.head_at_level(p, 1);
+    EXPECT_EQ(h1, h.head_at_level(h0, 1));
+  }
+}
+
+TEST(Hierarchy, SingleClusterStops) {
+  // A clique collapses to one head at level 0; the hierarchy must stop.
+  graph::Graph g(5);
+  for (graph::NodeId a = 0; a < 5; ++a) {
+    for (graph::NodeId b = a + 1; b < 5; ++b) g.add_edge(a, b);
+  }
+  g.finalize();
+  const auto h =
+      core::build_hierarchy(g, topology::sequential_ids(5), {}, 4);
+  EXPECT_EQ(h.depth(), 1u);
+  EXPECT_EQ(h.top_heads().size(), 1u);
+}
+
+TEST(Hierarchy, EmptyGraph) {
+  graph::Graph g(0);
+  const auto h = core::build_hierarchy(g, {}, {}, 4);
+  EXPECT_EQ(h.depth(), 0u);
+  EXPECT_TRUE(h.top_heads().empty());
+}
+
+TEST(Hierarchy, RespectsMaxLevels) {
+  util::Rng rng(4);
+  const auto pts = topology::uniform_points(800, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.05);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto h = core::build_hierarchy(g, ids, {}, 2);
+  EXPECT_LE(h.depth(), 2u);
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,0 +1,122 @@
+// Tests for the energy extension: battery accounting, the
+// energy-weighted metric, head rotation, and dead-node masking.
+#include "energy/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/density.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Energy, ChargingAndDeath) {
+  energy::EnergyStore store(3, {.capacity = 10.0,
+                                .member_cost = 2.0,
+                                .head_premium = 3.0});
+  EXPECT_EQ(store.alive_count(), 3u);
+  const std::vector<char> heads{1, 0, 0};
+  store.charge_window(heads);  // node 0 pays 5, others 2
+  EXPECT_DOUBLE_EQ(store.residual(0), 5.0);
+  EXPECT_DOUBLE_EQ(store.residual(1), 8.0);
+  store.charge_window(heads);
+  EXPECT_DOUBLE_EQ(store.residual(0), 0.0);
+  EXPECT_FALSE(store.alive(0));
+  EXPECT_EQ(store.alive_count(), 2u);
+  // Dead nodes pay nothing further.
+  store.charge_window(heads);
+  EXPECT_DOUBLE_EQ(store.residual(0), 0.0);
+  EXPECT_DOUBLE_EQ(store.residual(1), 4.0);
+}
+
+TEST(Energy, FractionAndConsume) {
+  energy::EnergyStore store(1, {.capacity = 100.0});
+  EXPECT_DOUBLE_EQ(store.fraction(0), 1.0);
+  store.consume(0, 25.0);
+  EXPECT_DOUBLE_EQ(store.fraction(0), 0.75);
+  store.consume(0, 1000.0);
+  EXPECT_DOUBLE_EQ(store.fraction(0), 0.0);
+  EXPECT_FALSE(store.alive(0));
+}
+
+TEST(Energy, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(energy::EnergyStore(1, {.capacity = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Energy, WeightedMetricScalesDensity) {
+  const auto g = graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  energy::EnergyStore store(3, {.capacity = 10.0});
+  store.consume(1, 5.0);  // node 1 at 50%
+  const auto metric = energy::energy_weighted_metric(g, store);
+  const auto density = core::compute_densities(g);
+  EXPECT_DOUBLE_EQ(metric[0], density[0]);
+  EXPECT_DOUBLE_EQ(metric[1], density[1] * 0.5);
+  EXPECT_DOUBLE_EQ(metric[2], density[2]);
+}
+
+TEST(Energy, DepletedHeadHandsOver) {
+  // Triangle: all densities equal (1.5). With full batteries the
+  // smallest id heads; once it drains, the energy-aware election moves
+  // the head to a fresher node.
+  const auto g = graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const topology::IdAssignment ids{0, 1, 2};
+  energy::EnergyStore store(3, {.capacity = 10.0});
+  auto r = energy::cluster_energy_aware(g, ids, store);
+  EXPECT_TRUE(r.is_head[0]);
+  store.consume(0, 6.0);  // node 0 down to 40%
+  r = energy::cluster_energy_aware(g, ids, store);
+  EXPECT_FALSE(r.is_head[0]);
+  EXPECT_TRUE(r.is_head[1]);  // next-smallest id at full charge
+}
+
+TEST(Energy, MaskDeadRemovesOnlyDeadEdges) {
+  const auto g = graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  energy::EnergyStore store(4, {.capacity = 1.0});
+  store.consume(1, 1.0);
+  const auto masked = energy::mask_dead(g, store);
+  EXPECT_EQ(masked.node_count(), 4u);
+  EXPECT_EQ(masked.degree(1), 0u);
+  EXPECT_FALSE(masked.adjacent(0, 1));
+  EXPECT_TRUE(masked.adjacent(2, 3));
+}
+
+TEST(Energy, RotationExtendsTimeToFirstDeath) {
+  // Lifetime experiment in miniature: static network, repeated
+  // maintenance windows. With the plain density metric the same heads
+  // pay the premium until they die; the energy-aware metric rotates the
+  // role. Time-to-first-death must be at least as long with rotation.
+  util::Rng rng(7);
+  const auto pts = topology::uniform_points(150, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.12);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const energy::EnergyConfig config{.capacity = 60.0,
+                                    .member_cost = 1.0,
+                                    .head_premium = 4.0};
+
+  auto first_death = [&](bool energy_aware) {
+    energy::EnergyStore store(g.node_count(), config);
+    for (int window = 0;; ++window) {
+      const auto masked = energy::mask_dead(g, store);
+      const auto r =
+          energy_aware
+              ? energy::cluster_energy_aware(masked, ids, store)
+              : core::cluster_density(masked, ids, {});
+      store.charge_window(
+          std::span<const char>(r.is_head.data(), r.is_head.size()));
+      if (store.alive_count() < g.node_count()) return window;
+      if (window > 500) return window;  // safety
+    }
+  };
+
+  const int plain = first_death(false);
+  const int rotated = first_death(true);
+  EXPECT_GE(rotated, plain);
+  EXPECT_GT(rotated, 12);  // strictly later than capacity/(member+premium)
+}
+
+}  // namespace
+}  // namespace ssmwn

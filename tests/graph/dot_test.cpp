@@ -1,0 +1,67 @@
+// Tests for the DOT exporter.
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/clustering.hpp"
+#include "topology/ids.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Dot, PlainGraphContainsAllNodesAndEdges) {
+  const auto g = graph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto dot = graph::to_dot(g);
+  EXPECT_NE(dot.find("graph ssmwn {"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find("n2"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+  // Each undirected edge appears exactly once.
+  EXPECT_EQ(dot.find("n1 -- n0"), std::string::npos);
+}
+
+TEST(Dot, ClusterOverlayMarksHeadsAndTreeEdges) {
+  const auto g = graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  const auto r = core::cluster_density(g, topology::sequential_ids(4), {});
+  graph::DotOptions options;
+  options.cluster_of = r.head_index;
+  options.is_head = r.is_head;
+  options.parent = r.parent;
+  const auto dot = graph::to_dot(g, options);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=\"#"), std::string::npos);
+}
+
+TEST(Dot, PositionsArePinnedWhenProvided) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  g.finalize();
+  graph::DotOptions options;
+  options.positions = {{0.5, 0.25}, {1.0, 1.0}};
+  options.scale = 4.0;
+  const auto dot = graph::to_dot(g, options);
+  EXPECT_NE(dot.find("pos=\"2,1!\""), std::string::npos);
+  EXPECT_NE(dot.find("pos=\"4,4!\""), std::string::npos);
+}
+
+TEST(Dot, SameClusterSameColor) {
+  const auto g = graph::from_edges(3, {{0, 1}, {1, 2}});
+  graph::DotOptions options;
+  options.cluster_of = {2, 2, 2};  // everyone in cluster rooted at 2
+  const auto dot = graph::to_dot(g, options);
+  // Exactly one palette color is used three times.
+  const auto first = dot.find("fillcolor=\"#");
+  ASSERT_NE(first, std::string::npos);
+  const auto color = dot.substr(first + 11, 9);
+  std::size_t count = 0;
+  for (auto pos = dot.find(color); pos != std::string::npos;
+       pos = dot.find(color, pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,0 +1,91 @@
+// Unit tests for parent-forest validation and tree metrics.
+#include "graph/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Forest, SingleTreeDepths) {
+  // 0 <- 1 <- 2 <- 3 and 0 <- 4.
+  graph::ParentForest forest({0, 0, 1, 2, 0});
+  EXPECT_EQ(forest.tree_count(), 1u);
+  EXPECT_TRUE(forest.is_root(0));
+  EXPECT_EQ(forest.depth(0), 0u);
+  EXPECT_EQ(forest.depth(1), 1u);
+  EXPECT_EQ(forest.depth(3), 3u);
+  EXPECT_EQ(forest.depth(4), 1u);
+  EXPECT_EQ(forest.tree_depth(0), 3u);
+  for (graph::NodeId p = 0; p < 5; ++p) EXPECT_EQ(forest.root(p), 0u);
+}
+
+TEST(Forest, MultipleTrees) {
+  graph::ParentForest forest({0, 0, 2, 2, 3});
+  EXPECT_EQ(forest.tree_count(), 2u);
+  EXPECT_EQ(forest.root(1), 0u);
+  EXPECT_EQ(forest.root(4), 2u);
+  EXPECT_EQ(forest.depth(4), 2u);
+  const auto members = forest.members(2);
+  EXPECT_EQ(members.size(), 3u);
+}
+
+TEST(Forest, DetectsTwoCycle) {
+  EXPECT_THROW(graph::ParentForest({1, 0}), std::invalid_argument);
+}
+
+TEST(Forest, DetectsLongCycle) {
+  EXPECT_THROW(graph::ParentForest({1, 2, 3, 0}), std::invalid_argument);
+}
+
+TEST(Forest, DetectsCycleBehindChain) {
+  // 0 -> 1 -> 2 -> 1: a tail leading into a cycle.
+  EXPECT_THROW(graph::ParentForest({1, 2, 1}), std::invalid_argument);
+}
+
+TEST(Forest, RejectsOutOfRangeParent) {
+  EXPECT_THROW(graph::ParentForest({0, 5}), std::invalid_argument);
+}
+
+TEST(Forest, AllRoots) {
+  graph::ParentForest forest({0, 1, 2});
+  EXPECT_EQ(forest.tree_count(), 3u);
+  for (graph::NodeId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(forest.is_root(p));
+    EXPECT_EQ(forest.tree_depth(p), 0u);
+  }
+}
+
+TEST(Forest, RespectsGraph) {
+  const auto g = graph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(graph::ParentForest({0, 0, 1}).respects_graph(g));
+  // Parent edge 2 -> 0 does not exist in the path graph.
+  EXPECT_FALSE(graph::ParentForest({0, 0, 0}).respects_graph(g));
+}
+
+TEST(Forest, MemoizedResolutionAcrossSharedChains) {
+  // Deep chain visited from multiple entry points exercises the
+  // memoization path: 0 <- 1 <- ... <- 9, plus 10..19 all pointing into
+  // the middle of the chain.
+  std::vector<graph::NodeId> parent(20);
+  parent[0] = 0;
+  for (graph::NodeId p = 1; p < 10; ++p) parent[p] = p - 1;
+  for (graph::NodeId p = 10; p < 20; ++p) parent[p] = 5;
+  graph::ParentForest forest(parent);
+  for (graph::NodeId p = 10; p < 20; ++p) {
+    EXPECT_EQ(forest.root(p), 0u);
+    EXPECT_EQ(forest.depth(p), 6u);
+  }
+  EXPECT_EQ(forest.tree_depth(0), 9u);
+}
+
+TEST(Forest, EmptyForest) {
+  graph::ParentForest forest(std::vector<graph::NodeId>{});
+  EXPECT_EQ(forest.tree_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ssmwn

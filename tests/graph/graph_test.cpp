@@ -1,0 +1,85 @@
+// Unit tests for the undirected graph substrate.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ssmwn {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  graph::Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, AddEdgeIsBidirectional) {
+  graph::Graph g(3);
+  g.add_edge(0, 2);
+  g.finalize();
+  EXPECT_TRUE(g.adjacent(0, 2));
+  EXPECT_TRUE(g.adjacent(2, 0));
+  EXPECT_FALSE(g.adjacent(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, NeighborsAreSortedAndExcludeSelf) {
+  graph::Graph g(5);
+  g.add_edge(3, 4);
+  g.add_edge(3, 0);
+  g.add_edge(3, 2);
+  g.finalize();
+  const auto n3 = g.neighbors(3);
+  ASSERT_EQ(n3.size(), 3u);
+  EXPECT_EQ(n3[0], 0u);
+  EXPECT_EQ(n3[1], 2u);
+  EXPECT_EQ(n3[2], 4u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  graph::Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  graph::Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+}
+
+TEST(Graph, RejectsDuplicateEdgeAtFinalize) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(g.finalize(), std::logic_error);
+}
+
+TEST(Graph, MaxDegree) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.finalize();
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, EdgesListsEachPairOnce) {
+  const auto g = graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 4u);
+  for (const auto& [a, b] : edges) EXPECT_LT(a, b);
+}
+
+TEST(Graph, FromEdgesBuilder) {
+  const auto g = graph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.adjacent(0, 1));
+  EXPECT_FALSE(g.adjacent(0, 2));
+}
+
+}  // namespace
+}  // namespace ssmwn

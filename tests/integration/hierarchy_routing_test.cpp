@@ -1,0 +1,93 @@
+// Integration: the hierarchy and routing layers working together, plus
+// error-path coverage for the hierarchy accessor API.
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.hpp"
+#include "routing/broadcast.hpp"
+#include "routing/routing.hpp"
+#include "topology/generators.hpp"
+#include "topology/hotspots.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(HierarchyRouting, LevelZeroClusteringDrivesValidRoutes) {
+  util::Rng rng(1);
+  const auto pts = topology::uniform_points(350, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.09);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto hierarchy = core::build_hierarchy(g, ids, {}, 3);
+  ASSERT_GE(hierarchy.depth(), 1u);
+
+  routing::HierarchicalRouter router(g, hierarchy.levels[0].clustering);
+  routing::FlatRouter flat(g);
+  for (int i = 0; i < 40; ++i) {
+    const auto src = static_cast<graph::NodeId>(rng.index(g.node_count()));
+    const auto dst = static_cast<graph::NodeId>(rng.index(g.node_count()));
+    const auto reference = flat.route(src, dst);
+    if (!reference.ok()) continue;
+    const auto r = router.route(src, dst);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(routing::valid_route(g, r, src, dst));
+  }
+}
+
+TEST(HierarchyRouting, HeadAtLevelRejectsOutOfRange) {
+  util::Rng rng(2);
+  const auto pts = topology::uniform_points(100, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.12);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto hierarchy = core::build_hierarchy(g, ids, {}, 2);
+  EXPECT_THROW((void)hierarchy.head_at_level(0, hierarchy.depth()),
+               std::out_of_range);
+}
+
+TEST(HierarchyRouting, TopLevelBroadcastCoversOverlay) {
+  // Broadcasting over the level-1 overlay graph must reach every level-0
+  // head of the overlay's component: the hierarchy's backbone is usable
+  // as a dissemination structure.
+  util::Rng rng(3);
+  const auto pts = topology::uniform_points(500, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.08);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto hierarchy = core::build_hierarchy(g, ids, {}, 2);
+  if (hierarchy.depth() < 2) GTEST_SKIP() << "degenerate hierarchy";
+  const auto& overlay = hierarchy.levels[1].graph;
+  if (overlay.node_count() == 0) GTEST_SKIP();
+  const auto cost = routing::flood(overlay, 0);
+  // Coverage equals the overlay component of node 0; with a connected
+  // deployment that is the whole overlay.
+  EXPECT_GE(cost.covered, 1u);
+  EXPECT_LE(cost.covered, overlay.node_count());
+  EXPECT_EQ(cost.transmissions, cost.covered);
+}
+
+TEST(HierarchyRouting, HotspotCityEndToEnd) {
+  // The city_mesh example's pipeline as a test: hotspots -> hierarchy ->
+  // routing -> broadcast, all structurally consistent.
+  util::Rng rng(4);
+  const auto pts = topology::matern_cluster_points(
+      {.parent_intensity = 12, .mean_children = 40, .radius = 0.06}, rng);
+  if (pts.size() < 50) GTEST_SKIP();
+  const auto g = topology::unit_disk_graph(pts, 0.08);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto hierarchy = core::build_hierarchy(g, ids, {}, 3);
+  ASSERT_GE(hierarchy.depth(), 1u);
+  const auto& clustering = hierarchy.levels[0].clustering;
+
+  routing::HierarchicalRouter router(g, clustering);
+  routing::FlatRouter flat(g);
+  const auto stats = routing::compare_routers(g, flat, router, 100, rng);
+  EXPECT_EQ(stats.failures, 0u);
+
+  const auto f = routing::flood(g, 0);
+  const auto c = routing::cluster_broadcast(g, clustering, 0);
+  EXPECT_EQ(c.covered, f.covered);
+  EXPECT_LE(c.transmissions, f.transmissions);
+}
+
+}  // namespace
+}  // namespace ssmwn

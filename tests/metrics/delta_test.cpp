@@ -1,0 +1,83 @@
+// Tests for the clustering diff and the locality of topology damage.
+#include "metrics/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Delta, IdenticalClusteringsHaveZeroDelta) {
+  util::Rng rng(1);
+  const auto pts = topology::uniform_points(150, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.1);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto r = core::cluster_density(g, ids, {});
+  const auto delta = metrics::diff_clusterings(r, r);
+  EXPECT_EQ(delta.role_changes, 0u);
+  EXPECT_EQ(delta.membership_changes, 0u);
+  EXPECT_EQ(delta.parent_changes, 0u);
+  EXPECT_EQ(delta.heads_kept, r.cluster_count());
+  EXPECT_DOUBLE_EQ(delta.membership_stability(), 1.0);
+}
+
+TEST(Delta, CountsEveryKindOfChange) {
+  core::ClusteringResult a;
+  a.parent = {0, 0, 2, 2};
+  a.head_index = {0, 0, 2, 2};
+  a.head_id = {10, 10, 12, 12};
+  a.is_head = {1, 0, 1, 0};
+  a.heads = {0, 2};
+
+  core::ClusteringResult b;       // node 2's cluster absorbed into 0's
+  b.parent = {0, 0, 1, 2};
+  b.head_index = {0, 0, 0, 0};
+  b.head_id = {10, 10, 10, 10};
+  b.is_head = {1, 0, 0, 0};
+  b.heads = {0};
+
+  const auto delta = metrics::diff_clusterings(a, b);
+  EXPECT_EQ(delta.node_count, 4u);
+  EXPECT_EQ(delta.role_changes, 1u);        // node 2 lost headship
+  EXPECT_EQ(delta.membership_changes, 2u);  // nodes 2, 3 moved
+  EXPECT_EQ(delta.parent_changes, 1u);      // node 2 re-parented
+  EXPECT_EQ(delta.heads_kept, 1u);
+  EXPECT_EQ(delta.heads_before, 2u);
+  EXPECT_EQ(delta.heads_after, 1u);
+  EXPECT_DOUBLE_EQ(delta.membership_stability(), 0.5);
+}
+
+TEST(Delta, MismatchThrows) {
+  core::ClusteringResult a;
+  a.parent = {0};
+  core::ClusteringResult b;
+  EXPECT_THROW((void)metrics::diff_clusterings(a, b), std::invalid_argument);
+}
+
+TEST(Delta, SmallTopologyChangesCauseSmallDeltas) {
+  // The robustness framing: nudging one node re-clusters only a small
+  // fraction of a 400-node network, on average.
+  util::Rng rng(2);
+  util::RunningStats stability;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto pts = topology::uniform_points(400, rng);
+    const auto ids = topology::random_ids(pts.size(), rng);
+    const auto g1 = topology::unit_disk_graph(pts, 0.08);
+    const auto before = core::cluster_density(g1, ids, {});
+    const std::size_t victim = rng.index(pts.size());
+    pts[victim] = topology::Point{rng.uniform(), rng.uniform()};
+    const auto g2 = topology::unit_disk_graph(pts, 0.08);
+    const auto after = core::cluster_density(g2, ids, {});
+    stability.add(
+        metrics::diff_clusterings(before, after).membership_stability());
+  }
+  EXPECT_GT(stability.mean(), 0.8);
+}
+
+}  // namespace
+}  // namespace ssmwn

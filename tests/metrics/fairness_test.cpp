@@ -1,0 +1,66 @@
+// Tests for the Jain cluster-size fairness index.
+#include <gtest/gtest.h>
+
+#include "core/clustering.hpp"
+#include "metrics/cluster_metrics.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+core::ClusteringResult fake_clustering(std::vector<graph::NodeId> head_index,
+                                       std::vector<graph::NodeId> heads) {
+  core::ClusteringResult r;
+  const std::size_t n = head_index.size();
+  r.head_index = std::move(head_index);
+  r.heads = std::move(heads);
+  r.parent.resize(n);
+  r.is_head.assign(n, 0);
+  for (graph::NodeId p = 0; p < n; ++p) r.parent[p] = r.head_index[p];
+  for (graph::NodeId h : r.heads) {
+    r.parent[h] = h;
+    r.is_head[h] = 1;
+  }
+  return r;
+}
+
+TEST(Fairness, EqualSizedClustersGiveOne) {
+  // Two clusters of 3: {0,1,2} headed by 0, {3,4,5} headed by 3.
+  const auto r = fake_clustering({0, 0, 0, 3, 3, 3}, {0, 3});
+  EXPECT_DOUBLE_EQ(metrics::cluster_size_fairness(r), 1.0);
+}
+
+TEST(Fairness, SkewedClustersScoreLower) {
+  // Sizes 5 and 1: J = 36 / (2 * 26) = 0.6923...
+  const auto r = fake_clustering({0, 0, 0, 0, 0, 5}, {0, 5});
+  EXPECT_NEAR(metrics::cluster_size_fairness(r), 36.0 / 52.0, 1e-12);
+}
+
+TEST(Fairness, SingleClusterIsTriviallyFair) {
+  const auto r = fake_clustering({0, 0, 0}, {0});
+  EXPECT_DOUBLE_EQ(metrics::cluster_size_fairness(r), 1.0);
+}
+
+TEST(Fairness, EmptyClusteringIsFairByConvention) {
+  core::ClusteringResult r;
+  EXPECT_DOUBLE_EQ(metrics::cluster_size_fairness(r), 1.0);
+}
+
+TEST(Fairness, RealClusteringsLandInUnitInterval) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto pts = topology::uniform_points(300, rng);
+    const auto g = topology::unit_disk_graph(pts, 0.08);
+    const auto ids = topology::random_ids(g.node_count(), rng);
+    const auto r = core::cluster_density(g, ids, {});
+    const double j = metrics::cluster_size_fairness(r);
+    EXPECT_GT(j, 0.0);
+    EXPECT_LE(j, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,0 +1,138 @@
+// Unit tests for the evaluation metrics: cluster census, eccentricity,
+// tree depth, head separation, grid rendering, and churn tracking.
+#include <gtest/gtest.h>
+
+#include "core/clustering.hpp"
+#include "metrics/cluster_metrics.hpp"
+#include "metrics/stability.hpp"
+#include "support/paper_example.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+using namespace testsupport;
+
+TEST(ClusterMetrics, PaperExampleStats) {
+  const auto g = paper_example_graph();
+  const auto r = core::cluster_density(g, paper_example_ids(), {});
+  const auto stats = metrics::analyze(g, r);
+  EXPECT_EQ(stats.cluster_count, 2u);
+  // Cluster of h = {h, b, c, i, e}: distances from h are 1 (b, i) and 2
+  // (c, e) -> eccentricity 2, tree depth 2 (c and e at depth 2).
+  // Cluster of j = {j, f, d, a}: f and d at 1, a at 2 -> both 2.
+  EXPECT_DOUBLE_EQ(stats.mean_head_eccentricity, 2.0);
+  EXPECT_DOUBLE_EQ(stats.mean_tree_depth, 2.0);
+  EXPECT_EQ(stats.max_tree_depth, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_cluster_size, 4.5);
+  EXPECT_EQ(stats.largest_cluster, 5u);
+  // h..j hop distance: h-b-d-j = 3.
+  EXPECT_EQ(stats.min_head_separation, 3u);
+}
+
+TEST(ClusterMetrics, EccentricityIsWithinInducedSubgraph) {
+  // Path 0-1-2-3-4 with cluster {0,1} | {2,3,4}: head of {2,3,4} at node
+  // 2 has in-cluster eccentricity 2 even though graph paths through 1
+  // don't exist for it.
+  graph::Graph g(5);
+  for (graph::NodeId p = 0; p + 1 < 5; ++p) g.add_edge(p, p + 1);
+  g.finalize();
+  core::ClusteringResult r;
+  r.parent = {0, 0, 2, 2, 3};
+  r.head_index = {0, 0, 2, 2, 2};
+  r.head_id = {0, 0, 2, 2, 2};
+  r.is_head = {1, 0, 1, 0, 0};
+  r.heads = {0, 2};
+  r.metric.assign(5, 0.0);
+  const auto stats = metrics::analyze(g, r);
+  EXPECT_EQ(stats.cluster_count, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_head_eccentricity, (1.0 + 2.0) / 2.0);
+}
+
+TEST(ClusterMetrics, SingleClusterSeparationIsZero) {
+  const auto g = graph::from_edges(2, {{0, 1}});
+  const auto r = core::cluster_density(g, {1, 2}, {});
+  const auto stats = metrics::analyze(g, r);
+  EXPECT_EQ(stats.cluster_count, 1u);
+  EXPECT_EQ(stats.min_head_separation, 0u);
+}
+
+TEST(ClusterMetrics, FusionSeparationAtLeastThree) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto pts = topology::uniform_points(400, rng);
+    const auto g = topology::unit_disk_graph(pts, 0.06);
+    const auto ids = topology::random_ids(g.node_count(), rng);
+    core::ClusterOptions opt;
+    opt.fusion = true;
+    const auto r = core::cluster_density(g, ids, opt);
+    const auto stats = metrics::analyze(g, r);
+    if (stats.cluster_count >= 2 && stats.min_head_separation > 0) {
+      EXPECT_GE(stats.min_head_separation, 3u);
+    }
+  }
+}
+
+TEST(ClusterMetrics, GridRenderShape) {
+  const auto pts = topology::grid_points(8);
+  const auto g = topology::unit_disk_graph(pts, 0.2);
+  const auto r =
+      core::cluster_density(g, topology::sequential_ids(64), {});
+  const auto art = metrics::render_grid_clusters(8, r);
+  // 8 rows of 8 letters plus newlines.
+  EXPECT_EQ(art.size(), 8u * 9u);
+  // Exactly one uppercase letter per cluster head.
+  std::size_t heads = 0;
+  for (char c : art) {
+    if (c >= 'A' && c <= 'Z') ++heads;
+  }
+  EXPECT_EQ(heads, r.cluster_count());
+}
+
+TEST(Stability, ReelectionRatioBasics) {
+  const std::vector<char> prev{1, 0, 1, 0, 1};
+  const std::vector<char> same{1, 0, 1, 0, 1};
+  const std::vector<char> lost_one{1, 0, 0, 0, 1};
+  const std::vector<char> none{0, 0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(metrics::reelection_ratio(prev, same), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::reelection_ratio(prev, lost_one), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(metrics::reelection_ratio(prev, none), 0.0);
+  // New heads appearing do not count against the ratio.
+  const std::vector<char> extra{1, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(metrics::reelection_ratio(prev, extra), 1.0);
+  // Degenerate: no previous heads -> nothing lost.
+  EXPECT_DOUBLE_EQ(metrics::reelection_ratio(none, prev), 1.0);
+}
+
+TEST(Stability, ChurnTrackerAveragesWindows) {
+  metrics::ChurnTracker tracker;
+  const std::vector<char> a{1, 1, 0, 0};
+  const std::vector<char> b{1, 0, 0, 0};  // keeps 1 of 2
+  const std::vector<char> c{1, 0, 0, 0};  // keeps 1 of 1
+  tracker.observe(a);
+  EXPECT_EQ(tracker.windows(), 0u);
+  tracker.observe(b);
+  tracker.observe(c);
+  EXPECT_EQ(tracker.windows(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.ratios().mean(), (0.5 + 1.0) / 2.0);
+}
+
+TEST(Stability, StationaryNetworkHasPerfectReelection) {
+  util::Rng rng(2);
+  const auto pts = topology::uniform_points(200, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.1);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  metrics::ChurnTracker tracker;
+  for (int window = 0; window < 5; ++window) {
+    const auto r = core::cluster_density(g, ids, {});
+    tracker.observe(
+        std::span<const char>(r.is_head.data(), r.is_head.size()));
+  }
+  EXPECT_DOUBLE_EQ(tracker.ratios().mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,0 +1,131 @@
+// Unit tests for the mobility models: boundary containment, speed
+// fidelity, and distributional sanity.
+#include "mobility/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topology/generators.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Mobility, StationaryDoesNotMove) {
+  util::Rng rng(1);
+  auto pts = topology::uniform_points(50, rng);
+  const auto before = pts;
+  mobility::Stationary model;
+  model.step(pts, 10.0);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i], before[i]);
+  }
+}
+
+TEST(Mobility, RandomDirectionStaysInUnitSquare) {
+  util::Rng rng(2);
+  auto pts = topology::uniform_points(100, rng);
+  mobility::RandomDirection model(pts.size(), {0.0, 10.0}, 1000.0,
+                                  util::Rng(3));
+  for (int step = 0; step < 200; ++step) {
+    model.step(pts, 2.0);
+    for (const auto& p : pts) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 1.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 1.0);
+    }
+  }
+}
+
+TEST(Mobility, RandomWaypointStaysInUnitSquare) {
+  util::Rng rng(4);
+  auto pts = topology::uniform_points(100, rng);
+  mobility::RandomWaypoint model(pts.size(), {0.5, 10.0}, 1000.0,
+                                 util::Rng(5));
+  for (int step = 0; step < 200; ++step) {
+    model.step(pts, 2.0);
+    for (const auto& p : pts) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 1.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 1.0);
+    }
+  }
+}
+
+TEST(Mobility, DisplacementMatchesSpeedScale) {
+  // A single node at fixed speed v m/s in a W-meter world moves at most
+  // v*dt/W units per step (less when it reflects or redraws), and on
+  // average a substantial fraction of it.
+  const double speed = 5.0;
+  const double world = 1000.0;
+  const double dt = 1.0;
+  std::vector<topology::Point> pts{{0.5, 0.5}};
+  mobility::RandomDirection model(1, {speed, speed}, world, util::Rng(6),
+                                  /*mean_epoch_s=*/1e9);
+  util::RunningStats hops;
+  for (int step = 0; step < 500; ++step) {
+    const auto before = pts[0];
+    model.step(pts, dt);
+    hops.add(topology::distance(before, pts[0]));
+  }
+  const double per_step = speed * dt / world;
+  EXPECT_LE(hops.max(), per_step + 1e-9);
+  EXPECT_GT(hops.mean(), per_step * 0.5);
+}
+
+TEST(Mobility, ZeroSpeedRangeParksNodes) {
+  util::Rng rng(7);
+  auto pts = topology::uniform_points(20, rng);
+  const auto before = pts;
+  mobility::RandomDirection model(pts.size(), {0.0, 0.0}, 1000.0,
+                                  util::Rng(8));
+  model.step(pts, 100.0);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR(pts[i].x, before[i].x, 1e-12);
+    EXPECT_NEAR(pts[i].y, before[i].y, 1e-12);
+  }
+}
+
+TEST(Mobility, FasterRangeMovesFarther) {
+  util::Rng rng(9);
+  const auto original = topology::uniform_points(200, rng);
+
+  auto slow_pts = original;
+  mobility::RandomDirection slow(slow_pts.size(), {0.0, 1.6}, 1000.0,
+                                 util::Rng(10));
+  auto fast_pts = original;
+  mobility::RandomDirection fast(fast_pts.size(), {0.0, 10.0}, 1000.0,
+                                 util::Rng(11));
+  for (int step = 0; step < 100; ++step) {
+    slow.step(slow_pts, 2.0);
+    fast.step(fast_pts, 2.0);
+  }
+  util::RunningStats slow_d, fast_d;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    slow_d.add(topology::distance(original[i], slow_pts[i]));
+    fast_d.add(topology::distance(original[i], fast_pts[i]));
+  }
+  EXPECT_GT(fast_d.mean(), slow_d.mean());
+}
+
+TEST(Mobility, WaypointReachesTargetEventually) {
+  // With a single fast node and long steps, positions must keep changing
+  // (fresh waypoints are drawn after arrival, no pause).
+  std::vector<topology::Point> pts{{0.5, 0.5}};
+  mobility::RandomWaypoint model(1, {50.0, 50.0}, 1000.0, util::Rng(12));
+  topology::Point last = pts[0];
+  int moved = 0;
+  for (int step = 0; step < 50; ++step) {
+    model.step(pts, 5.0);
+    if (topology::distance(last, pts[0]) > 1e-6) ++moved;
+    last = pts[0];
+  }
+  EXPECT_GT(moved, 40);
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,0 +1,84 @@
+// Tests for the dissemination strategies.
+#include "routing/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/clustering.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Broadcast, FloodCoversComponentAndCountsEveryNode) {
+  const auto g = graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}});
+  const auto cost = routing::flood(g, 0);
+  EXPECT_EQ(cost.covered, 4u);        // node 4 is isolated
+  EXPECT_EQ(cost.transmissions, 4u);  // every covered node sends once
+  EXPECT_EQ(cost.steps, 3u);
+}
+
+TEST(Broadcast, TreeBroadcastSendsOnlyInternalNodes) {
+  // Star: flooding costs n sends, the BFS tree costs 1 (the center).
+  graph::Graph g(6);
+  for (graph::NodeId leaf = 1; leaf < 6; ++leaf) g.add_edge(0, leaf);
+  g.finalize();
+  const auto flood_cost = routing::flood(g, 0);
+  const auto tree_cost = routing::tree_broadcast(g, 0);
+  EXPECT_EQ(flood_cost.transmissions, 6u);
+  EXPECT_EQ(tree_cost.transmissions, 1u);
+  EXPECT_EQ(tree_cost.covered, 6u);
+}
+
+TEST(Broadcast, AllStrategiesReachEveryReachableNode) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto pts = topology::uniform_points(250, rng);
+    const auto g = topology::unit_disk_graph(pts, 0.1);
+    const auto ids = topology::random_ids(g.node_count(), rng);
+    const auto clustering = core::cluster_density(g, ids, {});
+    const auto source =
+        static_cast<graph::NodeId>(rng.index(g.node_count()));
+    const auto f = routing::flood(g, source);
+    const auto c = routing::cluster_broadcast(g, clustering, source);
+    const auto t = routing::tree_broadcast(g, source);
+    EXPECT_EQ(c.covered, f.covered) << "cluster broadcast lost coverage";
+    EXPECT_EQ(t.covered, f.covered) << "tree broadcast lost coverage";
+  }
+}
+
+TEST(Broadcast, ClusterBroadcastSavesTransmissionsOverFlooding) {
+  // The Section 2 claim: the cluster structure limits exchanged traffic.
+  util::Rng rng(2);
+  double flood_total = 0.0;
+  double cluster_total = 0.0;
+  double tree_total = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto pts = topology::uniform_points(400, rng);
+    const auto g = topology::unit_disk_graph(pts, 0.09);
+    const auto ids = topology::random_ids(g.node_count(), rng);
+    const auto clustering = core::cluster_density(g, ids, {});
+    const auto source =
+        static_cast<graph::NodeId>(rng.index(g.node_count()));
+    flood_total += static_cast<double>(routing::flood(g, source).transmissions);
+    cluster_total += static_cast<double>(
+        routing::cluster_broadcast(g, clustering, source).transmissions);
+    tree_total += static_cast<double>(
+        routing::tree_broadcast(g, source).transmissions);
+  }
+  EXPECT_LT(cluster_total, flood_total);
+  EXPECT_LE(tree_total, cluster_total);  // the idealized lower bound
+}
+
+TEST(Broadcast, SingleNode) {
+  graph::Graph g(1);
+  const auto cost = routing::flood(g, 0);
+  EXPECT_EQ(cost.covered, 1u);
+  EXPECT_EQ(cost.transmissions, 1u);
+  EXPECT_EQ(cost.steps, 0u);
+}
+
+}  // namespace
+}  // namespace ssmwn

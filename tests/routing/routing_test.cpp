@@ -1,0 +1,164 @@
+// Tests for flat and hierarchical routing over the clustering.
+#include "routing/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(FlatRouter, ShortestPathOnPathGraph) {
+  graph::Graph g(5);
+  for (graph::NodeId p = 0; p + 1 < 5; ++p) g.add_edge(p, p + 1);
+  g.finalize();
+  routing::FlatRouter router(g);
+  const auto r = router.route(0, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.length(), 4u);
+  EXPECT_TRUE(routing::valid_route(g, r, 0, 4));
+  const auto self = router.route(2, 2);
+  EXPECT_EQ(self.length(), 0u);
+}
+
+TEST(FlatRouter, UnreachableGivesEmptyRoute) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  routing::FlatRouter router(g);
+  EXPECT_FALSE(router.route(0, 3).ok());
+  EXPECT_EQ(router.table_entries(0), 1u);  // only node 1 reachable
+}
+
+TEST(ValidRoute, RejectsBrokenRoutes) {
+  const auto g = graph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(routing::valid_route(g, routing::Route{{0, 1, 2}}, 0, 2));
+  EXPECT_FALSE(routing::valid_route(g, routing::Route{{0, 2}}, 0, 2));
+  EXPECT_FALSE(routing::valid_route(g, routing::Route{{0, 1}}, 0, 2));
+  EXPECT_FALSE(routing::valid_route(g, routing::Route{}, 0, 2));
+}
+
+TEST(HierarchicalRouter, IntraClusterRouteStaysInCluster) {
+  util::Rng rng(1);
+  const auto pts = topology::uniform_points(200, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.12);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto clustering = core::cluster_density(g, ids, {});
+  routing::HierarchicalRouter router(g, clustering);
+
+  int checked = 0;
+  for (graph::NodeId src = 0; src < g.node_count() && checked < 40; ++src) {
+    for (graph::NodeId dst = src + 1; dst < g.node_count(); ++dst) {
+      if (clustering.head_index[src] != clustering.head_index[dst]) continue;
+      const auto r = router.route(src, dst);
+      ASSERT_TRUE(r.ok()) << src << "->" << dst;
+      EXPECT_TRUE(routing::valid_route(g, r, src, dst));
+      for (graph::NodeId hop : r.hops) {
+        EXPECT_EQ(clustering.head_index[hop], clustering.head_index[src]);
+      }
+      ++checked;
+      break;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(HierarchicalRouter, CrossClusterRoutesAreValid) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto pts = topology::uniform_points(250, rng);
+    const auto g = topology::unit_disk_graph(pts, 0.11);
+    const auto ids = topology::random_ids(g.node_count(), rng);
+    const auto clustering = core::cluster_density(g, ids, {});
+    routing::HierarchicalRouter router(g, clustering);
+    routing::FlatRouter flat(g);
+
+    for (int i = 0; i < 60; ++i) {
+      const auto src = static_cast<graph::NodeId>(rng.index(g.node_count()));
+      const auto dst = static_cast<graph::NodeId>(rng.index(g.node_count()));
+      const auto reference = flat.route(src, dst);
+      const auto r = router.route(src, dst);
+      if (!reference.ok()) continue;  // disconnected in the radio graph
+      ASSERT_TRUE(r.ok()) << src << "->" << dst;
+      EXPECT_TRUE(routing::valid_route(g, r, src, dst));
+      // Hierarchical routes can never beat the shortest path.
+      EXPECT_GE(r.length(), reference.length());
+    }
+  }
+}
+
+TEST(HierarchicalRouter, TablesAreSmallerThanFlatOnLargeNetworks) {
+  util::Rng rng(3);
+  const auto pts = topology::uniform_points(600, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.08);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto clustering = core::cluster_density(g, ids, {});
+  routing::HierarchicalRouter hier(g, clustering);
+  routing::FlatRouter flat(g);
+
+  // Compare on nodes of the giant component.
+  double flat_sum = 0.0, hier_sum = 0.0;
+  int counted = 0;
+  for (graph::NodeId p = 0; p < g.node_count(); p += 13) {
+    const auto f = flat.table_entries(p);
+    if (f < 200) continue;  // skip small components
+    flat_sum += static_cast<double>(f);
+    hier_sum += static_cast<double>(hier.table_entries(p));
+    ++counted;
+  }
+  ASSERT_GT(counted, 5);
+  EXPECT_LT(hier_sum, flat_sum / 2.0);  // the scalability argument
+}
+
+TEST(HierarchicalRouter, CompareRoutersReportsSaneStretch) {
+  util::Rng rng(4);
+  const auto pts = topology::uniform_points(300, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.1);
+  const auto ids = topology::random_ids(g.node_count(), rng);
+  const auto clustering = core::cluster_density(g, ids, {});
+  routing::FlatRouter flat(g);
+  routing::HierarchicalRouter hier(g, clustering);
+  const auto stats = routing::compare_routers(g, flat, hier, 300, rng);
+  EXPECT_GT(stats.pairs, 100u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GE(stats.mean_stretch, 1.0);
+  EXPECT_LT(stats.mean_stretch, 3.0);
+  EXPECT_GE(stats.mean_hier_length, stats.mean_flat_length);
+}
+
+TEST(HierarchicalRouter, SingleClusterDegeneratesToIntraRouting) {
+  // A clique: one cluster; all routes are 1 hop.
+  graph::Graph g(6);
+  for (graph::NodeId a = 0; a < 6; ++a) {
+    for (graph::NodeId b = a + 1; b < 6; ++b) g.add_edge(a, b);
+  }
+  g.finalize();
+  const auto clustering =
+      core::cluster_density(g, topology::sequential_ids(6), {});
+  ASSERT_EQ(clustering.cluster_count(), 1u);
+  routing::HierarchicalRouter router(g, clustering);
+  const auto r = router.route(1, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.length(), 1u);
+  EXPECT_EQ(router.table_entries(0), 5u);  // 5 members, 0 other clusters
+}
+
+TEST(HierarchicalRouter, DisconnectedClustersFailCleanly) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  const auto clustering =
+      core::cluster_density(g, topology::sequential_ids(4), {});
+  routing::HierarchicalRouter router(g, clustering);
+  EXPECT_FALSE(router.route(0, 3).ok());
+  EXPECT_TRUE(router.route(0, 1).ok());
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,0 +1,119 @@
+// Unit tests for the guarded-rule engine and the convergence detector.
+#include <gtest/gtest.h>
+
+#include "stabilize/convergence.hpp"
+#include "stabilize/rules.hpp"
+
+namespace ssmwn {
+namespace {
+
+struct Counter {
+  int value = 0;
+  int fires = 0;
+};
+
+TEST(Rules, FiresOnlyEnabledGuards) {
+  stabilize::RuleEngine<Counter> engine;
+  engine
+      .add(
+          "increment-below-3",
+          [](const Counter& c) { return c.value < 3; },
+          [](Counter& c) {
+            ++c.value;
+            ++c.fires;
+          })
+      .add(
+          "never", [](const Counter&) { return false; },
+          [](Counter& c) { c.value = 100; });
+  Counter c;
+  EXPECT_EQ(engine.sweep(c), 1u);
+  EXPECT_EQ(c.value, 1);
+  EXPECT_EQ(engine.rule_count(), 2u);
+  EXPECT_EQ(engine.rule_name(0), "increment-below-3");
+}
+
+TEST(Rules, SweepRunsRulesInRegistrationOrder) {
+  stabilize::RuleEngine<Counter> engine;
+  engine
+      .add(
+          "double", [](const Counter&) { return true; },
+          [](Counter& c) { c.value *= 2; })
+      .add(
+          "add-one", [](const Counter&) { return true; },
+          [](Counter& c) { c.value += 1; });
+  Counter c;
+  c.value = 3;
+  engine.sweep(c);
+  EXPECT_EQ(c.value, 7);  // (3*2)+1, not (3+1)*2
+}
+
+TEST(Rules, RunToFixpoint) {
+  stabilize::RuleEngine<Counter> engine;
+  engine.add(
+      "increment-below-5", [](const Counter& c) { return c.value < 5; },
+      [](Counter& c) { ++c.value; });
+  Counter c;
+  const auto sweeps = engine.run_to_fixpoint(c, 100);
+  EXPECT_EQ(c.value, 5);
+  EXPECT_EQ(sweeps, 5u);
+}
+
+TEST(Rules, RunToFixpointHonorsBound) {
+  stabilize::RuleEngine<Counter> engine;
+  engine.add(
+      "always", [](const Counter&) { return true; },
+      [](Counter& c) { ++c.value; });
+  Counter c;
+  EXPECT_EQ(engine.run_to_fixpoint(c, 10), 10u);
+  EXPECT_EQ(c.value, 10);
+}
+
+TEST(Convergence, DetectsStabilizationStep) {
+  int t = 0;
+  const auto report = stabilize::run_until_stable(
+      [&] { ++t; }, [&] { return t >= 4; }, /*confirm_steps=*/3,
+      /*max_steps=*/50);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.stabilization_step, 4u);
+  EXPECT_EQ(report.relapses, 0u);
+}
+
+TEST(Convergence, AlreadyLegitimate) {
+  int t = 0;
+  const auto report = stabilize::run_until_stable(
+      [&] { ++t; }, [&] { return true; }, 3, 50);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.stabilization_step, 0u);
+}
+
+TEST(Convergence, FlickeringIsNotConvergence) {
+  // Legitimacy alternates: never holds for 3 consecutive steps.
+  int t = 0;
+  const auto report = stabilize::run_until_stable(
+      [&] { ++t; }, [&] { return t % 2 == 0; }, 3, 40);
+  EXPECT_FALSE(report.converged);
+  EXPECT_GT(report.relapses, 5u);
+  EXPECT_EQ(report.steps_executed, 40u);
+}
+
+TEST(Convergence, RelapseThenSettle) {
+  // Legitimate at steps 2..3, relapse, then legitimate from 6 on.
+  int t = 0;
+  const auto report = stabilize::run_until_stable(
+      [&] { ++t; },
+      [&] { return (t >= 2 && t <= 3) || t >= 6; }, 4, 100);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.stabilization_step, 6u);
+  EXPECT_EQ(report.relapses, 1u);
+}
+
+TEST(Convergence, TimesOut) {
+  int t = 0;
+  const auto report = stabilize::run_until_stable(
+      [&] { ++t; }, [&] { return false; }, 2, 15);
+  EXPECT_FALSE(report.converged);
+  EXPECT_EQ(report.steps_executed, 15u);
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,0 +1,51 @@
+// The worked example of the paper (Figure 1 / Table 1), reconstructed as
+// the unique-up-to-relabeling 9-node graph consistent with every number
+// the paper states:
+//
+//   * N_a = {d, i} with links {(a,d), (a,i)}           (given verbatim)
+//   * N_b = {c, d, h, i} with links {(b,c), (b,d), (b,h), (b,i), (h,i)}
+//   * the per-node neighbor/link counts and densities of Table 1
+//   * the narrative: F(c)=b, F(b)=h, H(h)=h; d_j = d_f with j's Id
+//     smaller, so F(f)=j, H(j)=j; final heads are exactly {h, j}.
+//
+// Edge set: a-d a-i b-c b-d b-h b-i h-i e-i d-f d-j f-j.
+// Table 1 check: densities a:1, b:1.25, c:1, d:1.25, e:1, f:1.5, h:1.5,
+// i:1.25, j:1.5.
+#pragma once
+
+#include <array>
+
+#include "graph/graph.hpp"
+#include "topology/ids.hpp"
+
+namespace ssmwn::testsupport {
+
+// Dense indices for the named nodes.
+inline constexpr graph::NodeId A = 0, B = 1, C = 2, D = 3, E = 4, F = 5,
+                               H = 6, I = 7, J = 8;
+
+inline graph::Graph paper_example_graph() {
+  return graph::from_edges(9, {{A, D},
+                               {A, I},
+                               {B, C},
+                               {B, D},
+                               {B, H},
+                               {B, I},
+                               {H, I},
+                               {E, I},
+                               {D, F},
+                               {D, J},
+                               {F, J}});
+}
+
+// Protocol identifiers honoring the paper's one constraint (Id_j smallest
+// among the tied pair {f, j}); the rest are arbitrary but fixed.
+inline topology::IdAssignment paper_example_ids() {
+  return topology::IdAssignment{10, 11, 12, 13, 14, 15, 16, 17, 1};
+}
+
+// Table 1, in index order a..j.
+inline constexpr std::array<double, 9> kPaperDensities = {
+    1.0, 1.25, 1.0, 1.25, 1.0, 1.5, 1.5, 1.25, 1.5};
+
+}  // namespace ssmwn::testsupport

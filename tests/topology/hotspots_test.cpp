@@ -1,0 +1,93 @@
+// Tests for the Matérn cluster (hotspot) deployment and the density
+// metric's behavior on it.
+#include "topology/hotspots.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/clustering.hpp"
+#include "core/density.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Hotspots, PointsStayInUnitSquare) {
+  util::Rng rng(1);
+  const auto pts = topology::matern_cluster_points(
+      {.parent_intensity = 15, .mean_children = 40, .radius = 0.1}, rng);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+TEST(Hotspots, MeanCountMatchesIntensityProduct) {
+  util::Rng rng(2);
+  util::RunningStats counts;
+  const topology::MaternConfig config{
+      .parent_intensity = 10, .mean_children = 30, .radius = 0.05};
+  for (int i = 0; i < 200; ++i) {
+    counts.add(static_cast<double>(
+        topology::matern_cluster_points(config, rng).size()));
+  }
+  EXPECT_NEAR(counts.mean(), 300.0, 25.0);
+}
+
+TEST(Hotspots, IncludeParentsAddsCenters) {
+  util::Rng rng(3);
+  topology::MaternConfig config{
+      .parent_intensity = 10, .mean_children = 0.0, .radius = 0.05};
+  config.include_parents = true;
+  util::RunningStats counts;
+  for (int i = 0; i < 100; ++i) {
+    counts.add(static_cast<double>(
+        topology::matern_cluster_points(config, rng).size()));
+  }
+  EXPECT_NEAR(counts.mean(), 10.0, 2.0);
+}
+
+TEST(Hotspots, ClumpedDeploymentsAreDenserThanUniform) {
+  // Same expected node count; hotspot deployments must exhibit higher
+  // mean density (more links per neighbor) than uniform ones.
+  util::Rng rng(4);
+  util::RunningStats uniform_density, hotspot_density;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto uni = topology::uniform_points(400, rng);
+    const auto gu = topology::unit_disk_graph(uni, 0.07);
+    for (double d : core::compute_densities(gu)) uniform_density.add(d);
+
+    const auto hot = topology::matern_cluster_points(
+        {.parent_intensity = 10, .mean_children = 40, .radius = 0.06}, rng);
+    const auto gh = topology::unit_disk_graph(hot, 0.07);
+    for (double d : core::compute_densities(gh)) hotspot_density.add(d);
+  }
+  EXPECT_GT(hotspot_density.mean(), uniform_density.mean());
+}
+
+TEST(Hotspots, ClusteringInvariantsStillHold) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto pts = topology::matern_cluster_points(
+        {.parent_intensity = 12, .mean_children = 35, .radius = 0.07}, rng);
+    if (pts.size() < 10) continue;
+    const auto g = topology::unit_disk_graph(pts, 0.07);
+    const auto ids = topology::random_ids(g.node_count(), rng);
+    core::ClusterOptions opt;
+    opt.fusion = true;
+    const auto r = core::cluster_density(g, ids, opt);
+    const auto forest = r.forest();  // throws on cycles
+    EXPECT_TRUE(forest.respects_graph(g));
+    for (graph::NodeId p : r.heads) {
+      for (graph::NodeId q : g.neighbors(p)) EXPECT_FALSE(r.is_head[q]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssmwn

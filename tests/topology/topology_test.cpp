@@ -1,0 +1,138 @@
+// Unit tests for point generators, the unit-disk-graph builder and the
+// identifier assignments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/point.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Points, Distance) {
+  const topology::Point a{0.0, 0.0};
+  const topology::Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(topology::distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(topology::squared_distance(a, b), 25.0);
+}
+
+TEST(Generators, UniformPointsStayInUnitSquare) {
+  util::Rng rng(1);
+  const auto pts = topology::uniform_points(500, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+}
+
+TEST(Generators, PoissonCountHasCorrectMean) {
+  util::Rng rng(2);
+  util::RunningStats counts;
+  for (int i = 0; i < 300; ++i) {
+    counts.add(static_cast<double>(topology::poisson_points(100.0, rng).size()));
+  }
+  // Mean 100, sd 10; 300 samples put the sample mean within ~2.
+  EXPECT_NEAR(counts.mean(), 100.0, 3.0);
+}
+
+TEST(Generators, GridPointsLayoutRowMajorFromBottom) {
+  const auto pts = topology::grid_points(4);
+  ASSERT_EQ(pts.size(), 16u);
+  // Index 0 is bottom-left, index 3 is bottom-right, index 15 top-right.
+  EXPECT_LT(pts[0].x, pts[3].x);
+  EXPECT_DOUBLE_EQ(pts[0].y, pts[3].y);
+  EXPECT_LT(pts[0].y, pts[12].y);
+  // All inside the unit square with half-cell margins.
+  for (const auto& p : pts) {
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+  }
+}
+
+TEST(Generators, GridSideForTargetCount) {
+  EXPECT_EQ(topology::grid_side_for(1000), 32u);
+  EXPECT_EQ(topology::grid_side_for(1024), 32u);
+  EXPECT_EQ(topology::grid_side_for(100), 10u);
+  EXPECT_EQ(topology::grid_side_for(0), 1u);
+}
+
+TEST(Udg, MatchesBruteForce) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto pts = topology::uniform_points(120, rng);
+    const double radius = 0.1 + 0.05 * trial;
+    const auto g = topology::unit_disk_graph(pts, radius);
+    for (graph::NodeId a = 0; a < pts.size(); ++a) {
+      for (graph::NodeId b = a + 1; b < pts.size(); ++b) {
+        const bool expected =
+            topology::distance(pts[a], pts[b]) <= radius;
+        EXPECT_EQ(g.adjacent(a, b), expected)
+            << "trial " << trial << " pair " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(Udg, RangeIsInclusive) {
+  const std::vector<topology::Point> pts{{0.0, 0.0}, {0.5, 0.0}};
+  const auto g = topology::unit_disk_graph(pts, 0.5);
+  EXPECT_TRUE(g.adjacent(0, 1));
+}
+
+TEST(Udg, EmptyAndSingle) {
+  const std::vector<topology::Point> none;
+  EXPECT_EQ(topology::unit_disk_graph(none, 0.1).node_count(), 0u);
+  const std::vector<topology::Point> one{{0.5, 0.5}};
+  const auto g = topology::unit_disk_graph(one, 0.1);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Udg, RejectsNonPositiveRadius) {
+  const std::vector<topology::Point> pts{{0.1, 0.1}};
+  EXPECT_THROW(topology::unit_disk_graph(pts, 0.0), std::invalid_argument);
+}
+
+TEST(Udg, GridConnectivityAtPaperScale) {
+  // 32×32 grid with R=0.05: spacing 1/32 ≈ 0.0313, diagonal ≈ 0.0442,
+  // two-step ≈ 0.0625 — interior nodes have exactly 8 neighbors, the
+  // premise of the Section 5 equal-density pathology.
+  const auto pts = topology::grid_points(32);
+  const auto g = topology::unit_disk_graph(pts, 0.05);
+  std::size_t eight = 0;
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    if (g.degree(p) == 8) ++eight;
+  }
+  EXPECT_EQ(eight, 30u * 30u);  // all interior nodes
+  EXPECT_EQ(g.max_degree(), 8u);
+}
+
+TEST(Ids, RandomIdsAreAPermutation) {
+  util::Rng rng(4);
+  const auto ids = topology::random_ids(100, rng);
+  std::set<topology::ProtocolId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 99u);
+}
+
+TEST(Ids, SequentialAndReversed) {
+  const auto seq = topology::sequential_ids(5);
+  const auto rev = topology::reversed_ids(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(seq[i], i);
+    EXPECT_EQ(rev[i], 4 - i);
+  }
+}
+
+}  // namespace
+}  // namespace ssmwn

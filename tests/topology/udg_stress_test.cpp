@@ -1,0 +1,82 @@
+// Stress and boundary tests for the cell-hashed unit-disk-graph builder.
+#include <gtest/gtest.h>
+
+#include "topology/generators.hpp"
+#include "topology/hotspots.hpp"
+#include "topology/point.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(UdgStress, TenThousandNodesSampledAgainstBruteForce) {
+  util::Rng rng(1);
+  const auto pts = topology::uniform_points(10000, rng);
+  const double radius = 0.02;
+  const auto g = topology::unit_disk_graph(pts, radius);
+  // Spot-check 200 random pairs plus all neighbors of 50 random nodes.
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<graph::NodeId>(rng.index(pts.size()));
+    const auto b = static_cast<graph::NodeId>(rng.index(pts.size()));
+    if (a == b) continue;
+    EXPECT_EQ(g.adjacent(a, b),
+              topology::distance(pts[a], pts[b]) <= radius);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto a = static_cast<graph::NodeId>(rng.index(pts.size()));
+    std::size_t brute = 0;
+    for (graph::NodeId b = 0; b < pts.size(); ++b) {
+      if (b != a && topology::distance(pts[a], pts[b]) <= radius) ++brute;
+    }
+    EXPECT_EQ(g.degree(a), brute) << "node " << a;
+  }
+}
+
+TEST(UdgStress, CoincidentPointsAreMutuallyAdjacent) {
+  const std::vector<topology::Point> pts{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}};
+  const auto g = topology::unit_disk_graph(pts, 0.01);
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(UdgStress, PointsOnSquareCorners) {
+  const std::vector<topology::Point> pts{
+      {0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const auto unit_diag = topology::unit_disk_graph(pts, 1.5);
+  EXPECT_EQ(unit_diag.edge_count(), 6u);  // all pairs within sqrt(2)
+  const auto sides_only = topology::unit_disk_graph(pts, 1.0);
+  EXPECT_EQ(sides_only.edge_count(), 4u);  // diagonals excluded
+}
+
+TEST(UdgStress, DegenerateColinearCluster) {
+  // Points on a line spaced exactly at the radius (a power of two, so
+  // the inclusive boundary is exact in floating point): a path graph.
+  const double spacing = 1.0 / 128.0;
+  std::vector<topology::Point> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({spacing * static_cast<double>(i), 0.5});
+  }
+  const auto g = topology::unit_disk_graph(pts, spacing);
+  EXPECT_EQ(g.edge_count(), 49u);
+  for (graph::NodeId p = 1; p + 1 < 50; ++p) EXPECT_EQ(g.degree(p), 2u);
+}
+
+TEST(UdgStress, HotspotPileupDoesNotBreakCellHash) {
+  // Extremely clumped deployment: many points in few cells exercises the
+  // bucket path.
+  util::Rng rng(2);
+  const auto pts = topology::matern_cluster_points(
+      {.parent_intensity = 3, .mean_children = 400, .radius = 0.02}, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.05);
+  // Verify a sample against brute force.
+  for (int i = 0; i < 100 && pts.size() >= 2; ++i) {
+    const auto a = static_cast<graph::NodeId>(rng.index(pts.size()));
+    const auto b = static_cast<graph::NodeId>(rng.index(pts.size()));
+    if (a == b) continue;
+    EXPECT_EQ(g.adjacent(a, b),
+              topology::distance(pts[a], pts[b]) <= 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,0 +1,72 @@
+// Tests for the CLI flag parser.
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssmwn {
+namespace {
+
+util::Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return util::Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, SpaceAndEqualsSyntax) {
+  const auto args = parse({"--n", "500", "--radius=0.08"});
+  EXPECT_EQ(args.get_int("n", 0), 500);
+  EXPECT_DOUBLE_EQ(args.get_double("radius", 0.0), 0.08);
+}
+
+TEST(Args, BareBooleanFlags) {
+  const auto args = parse({"--grid", "--fusion", "--n", "10"});
+  EXPECT_TRUE(args.get_bool("grid", false));
+  EXPECT_TRUE(args.get_bool("fusion", false));
+  EXPECT_FALSE(args.get_bool("dag", false));
+  EXPECT_EQ(args.get_int("n", 0), 10);
+}
+
+TEST(Args, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--x", "yes"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x", "on"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x", "0"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x", "no"}).get_bool("x", true));
+  EXPECT_THROW((void)parse({"--x", "maybe"}).get_bool("x", true),
+               std::invalid_argument);
+}
+
+TEST(Args, PositionalArguments) {
+  const auto args = parse({"cluster", "--n", "5", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "cluster");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(Args, Fallbacks) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  EXPECT_THROW((void)parse({"--n", "abc"}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)parse({"--r", "abc"}).get_double("r", 0),
+               std::invalid_argument);
+}
+
+TEST(Args, UnknownTracksUnqueriedFlags) {
+  const auto args = parse({"--known", "1", "--typo", "2"});
+  EXPECT_EQ(args.get_int("known", 0), 1);
+  const auto unknown = args.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Args, LastValueWins) {
+  const auto args = parse({"--n", "1", "--n", "2"});
+  EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace ssmwn

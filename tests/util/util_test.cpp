@@ -1,0 +1,215 @@
+// Unit tests for the utility layer: RNG determinism and distributions,
+// running statistics, table rendering, env configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  util::Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool diverged = false;
+  util::Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2() != c()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformInRange) {
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  util::Rng rng(2);
+  std::vector<std::size_t> counts(7, 0);
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.below(7)];
+  for (std::size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 7.0, 500.0);
+  }
+}
+
+TEST(Rng, BelowZeroAndOne) {
+  util::Rng rng(3);
+  EXPECT_EQ(rng.below(0), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  util::Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, PoissonMeanSmallAndLargeLambda) {
+  util::Rng rng(5);
+  for (const double lambda : {3.0, 50.0, 400.0}) {
+    util::RunningStats stats;
+    for (int i = 0; i < 3000; ++i) {
+      stats.add(static_cast<double>(rng.poisson(lambda)));
+    }
+    EXPECT_NEAR(stats.mean(), lambda, 4.0 * std::sqrt(lambda / 3000.0) + 1.0)
+        << "lambda " << lambda;
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  util::Rng rng(6);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  util::Rng rng(7);
+  std::vector<int> items{1, 2, 3, 4, 5, 6};
+  auto shuffled = items;
+  rng.shuffle(std::span<int>(shuffled));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  util::Rng parent(8);
+  auto a = parent.split();
+  auto b = parent.split();
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a() != b()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Stats, RunningMoments) {
+  util::RunningStats stats;
+  EXPECT_TRUE(stats.empty());
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(Stats, MergeMatchesCombined) {
+  util::Rng rng(9);
+  util::RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal() * 3.0 + 1.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, MergeWithEmpty) {
+  util::RunningStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> sample{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(util::percentile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(sample, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(util::percentile(sample, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(util::percentile(sample, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(util::percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, HistogramBinning) {
+  util::Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(15.0);  // clamps to bin 4
+  h.add(-3.0);  // clamps to bin 0
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bins()[0], 2u);
+  EXPECT_EQ(h.bins()[2], 1u);
+  EXPECT_EQ(h.bins()[4], 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(2), 6.0);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Table, RendersAlignedCells) {
+  util::Table t("demo");
+  t.header({"R", "value"});
+  t.row({"0.05", "61.0"});
+  t.row({"0.1", "11.7"});
+  t.note("paper reference");
+  const auto text = t.render();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("0.05"), std::string::npos);
+  EXPECT_NE(text.find("61.0"), std::string::npos);
+  EXPECT_NE(text.find("paper reference"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  util::Table t("demo");
+  t.header({"a", "b"});
+  t.row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(util::Table::num(1.256, 2), "1.26");
+  EXPECT_EQ(util::Table::num(2.0, 1), "2.0");
+  EXPECT_EQ(util::Table::integer(42), "42");
+}
+
+TEST(Env, ParsesAndFallsBack) {
+  ::setenv("SSMWN_TEST_INT", "17", 1);
+  EXPECT_EQ(util::env_int("SSMWN_TEST_INT", 3), 17);
+  ::setenv("SSMWN_TEST_INT", "junk", 1);
+  EXPECT_EQ(util::env_int("SSMWN_TEST_INT", 3), 3);
+  ::unsetenv("SSMWN_TEST_INT");
+  EXPECT_EQ(util::env_int("SSMWN_TEST_INT", 3), 3);
+}
+
+TEST(Env, BenchRunsRespectsOverride) {
+  ::setenv("SSMWN_RUNS", "25", 1);
+  EXPECT_EQ(util::bench_runs(100), 25u);
+  ::unsetenv("SSMWN_RUNS");
+  EXPECT_EQ(util::bench_runs(100), 100u);
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -4,7 +4,7 @@
 //                  [--metric density|degree|lowest-id|max-min]
 //                  [--seed S] [--dot out.dot] [--csv out.csv] [--map]
 //   ssmwn protocol --n 200 --radius 0.1 [--tau 0.8] [--steps 100]
-//                  [--corrupt 0.3] [--dag]
+//                  [--corrupt 0.3] [--dag] [--threads 4]
 //   ssmwn routing  --n 500 --radius 0.08 [--pairs 300]
 //
 // `cluster` builds a deployment, clusters it, and prints the metrics of
@@ -144,7 +144,21 @@ int run_protocol(const util::Args& args, util::Rng& rng) {
   sim::LossModel& medium = tau < 1.0
                                ? static_cast<sim::LossModel&>(lossy)
                                : static_cast<sim::LossModel&>(perfect);
-  sim::Network network(d.graph, protocol, medium);
+  // --threads N parallelizes the step engine; 0 = hardware concurrency.
+  // Results are bit-identical for any value (see docs/ARCHITECTURE.md).
+  const auto threads_arg = args.get_int("threads", 1);
+  if (threads_arg < 0 || threads_arg > 65536) {
+    std::fprintf(stderr, "error: --threads must be in [0, 65536] (got %lld)\n",
+                 static_cast<long long>(threads_arg));
+    return 2;
+  }
+  const auto threads = static_cast<unsigned>(threads_arg);
+  sim::Network network(d.graph, protocol, medium, threads);
+  if (threads != 1) {
+    // Report the effective size: 0 resolves to hardware concurrency and
+    // oversized requests are clamped by the engine.
+    std::printf("step engine threads: %u\n", network.thread_count());
+  }
 
   const auto steps = static_cast<std::size_t>(args.get_int("steps", 100));
   sim::HeadTrace trace;
@@ -203,6 +217,7 @@ void usage() {
       "  cluster : [--metric density|degree|lowest-id|max-min] [--dag]\n"
       "            [--fusion] [--incumbency] [--dot F] [--csv F] [--map]\n"
       "  protocol: [--tau T] [--steps K] [--corrupt FRAC] [--dag] [--fusion]\n"
+      "            [--threads N]  (0 = hardware concurrency)\n"
       "  routing : [--pairs K]\n"
       "  common  : [--seed S]");
 }

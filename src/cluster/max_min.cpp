@@ -94,10 +94,6 @@ core::ClusteringResult cluster_max_min(const graph::Graph& g,
   // back to a plain BFS parent when the head is not reachable within the
   // cluster (can happen with rule-3 fallbacks); final fallback: the node
   // becomes its own head.
-  std::vector<graph::NodeId> index_of_id(n);
-  for (graph::NodeId p = 0; p < n; ++p) {
-    index_of_id[static_cast<std::size_t>(uids[p])] = p;
-  }
   std::vector<graph::NodeId> parent(n);
   std::vector<char> same_head(n, 0);
   for (graph::NodeId p = 0; p < n; ++p) parent[p] = p;
@@ -124,19 +120,13 @@ core::ClusteringResult cluster_max_min(const graph::Graph& g,
       frontier = std::move(next);
     }
   }
-  // Nodes whose elected head never adopted them (unreachable or the head
-  // itself elected someone else) become their own heads — Max-Min's
-  // original "orphan" repair.
-  for (graph::NodeId p = 0; p < n; ++p) {
-    if (parent[p] == p && head_of[p] != uids[p]) {
-      const graph::NodeId h = index_of_id[static_cast<std::size_t>(head_of[p])];
-      const bool head_accepted = head_of[h] == uids[h];
-      if (!head_accepted) head_of[p] = uids[p];
-      // else: parent stays self but only if BFS missed it — make it a
-      // head too, keeping the forest consistent.
-      if (head_accepted) head_of[p] = uids[p];
-    }
-  }
+  // Nodes whose elected head never adopted them (unreachable within the
+  // cluster, or the head itself elected someone else) keep parent[p] == p
+  // and therefore become their own heads below — Max-Min's original
+  // "orphan" repair falls out of the forest construction. (The seed code
+  // patched head_of here through a uids-indexed table, which both
+  // overflowed on sparse id spaces and was dead: head_of is never read
+  // again.)
 
   core::ClusteringResult result;
   result.metric.resize(n);

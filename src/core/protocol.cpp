@@ -50,40 +50,67 @@ DensityProtocol::DensityProtocol(topology::IdAssignment uids,
           [this](NodeState& s) { rule_r2(s); });
 }
 
-DensityProtocol::Frame DensityProtocol::make_frame(
-    graph::NodeId sender) const {
+void DensityProtocol::make_frame(graph::NodeId sender, FrameHeader& header,
+                                 std::span<Digest> digests) const {
   const NodeState& s = states_[sender];
-  Frame frame;
-  frame.id = s.uid;
-  frame.dag_id = s.dag_id;
-  frame.metric = s.metric;
-  frame.metric_valid = s.metric_valid;
-  frame.head = s.head;
-  frame.head_valid = s.head_valid;
-  frame.digests.reserve(s.cache.size());
+  header.id = s.uid;
+  header.dag_id = s.dag_id;
+  header.metric = s.metric;
+  header.metric_valid = s.metric_valid;
+  header.head = s.head;
+  header.head_valid = s.head_valid;
+  std::size_t i = 0;
   for (const auto& [id, entry] : s.cache) {  // map order: sorted by id
-    frame.digests.push_back(NeighborDigest{
+    digests[i++] = NeighborDigest{
         .id = id,
         .dag_id = entry.dag_id,
         .metric = entry.metric,
         .metric_valid = entry.metric_valid,
         .is_head = entry.head_valid && entry.head == id,
-    });
+    };
   }
+}
+
+DensityProtocol::Frame DensityProtocol::make_frame(
+    graph::NodeId sender) const {
+  Frame frame;
+  frame.digests.resize(digest_count(sender));
+  FrameHeader header;
+  make_frame(sender, header, frame.digests);
+  frame.id = header.id;
+  frame.dag_id = header.dag_id;
+  frame.metric = header.metric;
+  frame.metric_valid = header.metric_valid;
+  frame.head = header.head;
+  frame.head_valid = header.head_valid;
   return frame;
 }
 
-void DensityProtocol::deliver(graph::NodeId receiver, const Frame& frame) {
+void DensityProtocol::deliver(graph::NodeId receiver,
+                              const FrameHeader& header,
+                              std::span<const Digest> digests) {
   NodeState& s = states_[receiver];
-  if (frame.id == s.uid) return;  // defensive: never cache oneself
-  CacheEntry& entry = s.cache[frame.id];
-  entry.dag_id = frame.dag_id;
-  entry.metric = frame.metric;
-  entry.metric_valid = frame.metric_valid;
-  entry.head = frame.head;
-  entry.head_valid = frame.head_valid;
-  entry.digests = frame.digests;
+  if (header.id == s.uid) return;  // defensive: never cache oneself
+  CacheEntry& entry = s.cache[header.id];
+  entry.dag_id = header.dag_id;
+  entry.metric = header.metric;
+  entry.metric_valid = header.metric_valid;
+  entry.head = header.head;
+  entry.head_valid = header.head_valid;
+  entry.digests.assign(digests.begin(), digests.end());
   entry.age = 0;
+}
+
+void DensityProtocol::deliver(graph::NodeId receiver, const Frame& frame) {
+  const FrameHeader header{
+      .id = frame.id,
+      .dag_id = frame.dag_id,
+      .metric = frame.metric,
+      .metric_valid = frame.metric_valid,
+      .head = frame.head,
+      .head_valid = frame.head_valid,
+  };
+  deliver(receiver, header, frame.digests);
 }
 
 void DensityProtocol::tick(graph::NodeId node) {

@@ -23,11 +23,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/dag_ids.hpp"
+#include "core/flat_cache.hpp"
 #include "core/options.hpp"
 #include "core/rank.hpp"
 #include "graph/graph.hpp"
@@ -58,6 +59,18 @@ struct ProtocolFrame {
   topology::ProtocolId head = 0;
   bool head_valid = false;
   std::vector<NeighborDigest> digests;
+};
+
+/// The fixed-size part of a frame, used by the arena step engine: the
+/// variable-length digest list lives in a flat pool owned by the engine
+/// and travels alongside as a span. Same wire content as ProtocolFrame.
+struct ProtocolFrameHeader {
+  topology::ProtocolId id = 0;
+  std::uint64_t dag_id = 0;
+  double metric = 0.0;
+  bool metric_valid = false;
+  topology::ProtocolId head = 0;
+  bool head_valid = false;
 };
 
 /// Which metric rule R1 computes. The paper's algorithm is Density; the
@@ -110,7 +123,9 @@ class DensityProtocol {
     bool head_valid = false;
     topology::ProtocolId parent = 0;
     bool parent_valid = false;
-    std::map<topology::ProtocolId, CacheEntry> cache;
+    /// Sorted by id — same iteration order as the std::map it replaced,
+    /// but contiguous, so the per-step rule sweeps stream memory.
+    FlatMap<topology::ProtocolId, CacheEntry> cache;
     util::Rng rng{0};
   };
 
@@ -125,6 +140,25 @@ class DensityProtocol {
   void deliver(graph::NodeId receiver, const Frame& frame);
   void tick(graph::NodeId node);
   void end_step(graph::NodeId node);
+
+  // --- arena step-engine concept (zero-alloc hot path) -----------------
+  // sim::Network detects these via `if constexpr` and then builds frames
+  // into preallocated flat buffers instead of heap-owning ProtocolFrames.
+  using FrameHeader = ProtocolFrameHeader;
+  using Digest = NeighborDigest;
+  /// Number of digest slots `make_frame` will fill for `sender` right now
+  /// (its current cache size); the engine sizes the pool from these.
+  [[nodiscard]] std::size_t digest_count(graph::NodeId sender) const {
+    return states_[sender].cache.size();
+  }
+  /// Arena overload: writes the shared variables into `header` and
+  /// exactly `digest_count(sender)` digests into `digests`.
+  void make_frame(graph::NodeId sender, FrameHeader& header,
+                  std::span<Digest> digests) const;
+  /// Arena overload of `deliver`; digest storage is only borrowed for the
+  /// duration of the call (the cache copies what it keeps).
+  void deliver(graph::NodeId receiver, const FrameHeader& header,
+               std::span<const Digest> digests);
 
   // --- observation ----------------------------------------------------
   [[nodiscard]] std::size_t node_count() const noexcept {

@@ -7,43 +7,84 @@ namespace ssmwn::graph {
 
 void Graph::add_edge(NodeId a, NodeId b) {
   if (a == b) throw std::invalid_argument("Graph::add_edge: self-loop");
-  if (a >= adjacency_.size() || b >= adjacency_.size()) {
+  if (a >= node_count_ || b >= node_count_) {
     throw std::out_of_range("Graph::add_edge: node out of range");
   }
-  adjacency_[a].push_back(b);
-  adjacency_[b].push_back(a);
+  if (staging_.size() != node_count_) {
+    // Re-opening a finalized graph: unpack the CSR arrays back into
+    // staging lists so further edges can be added.
+    staging_.assign(node_count_, {});
+    for (NodeId p = 0; p < node_count_; ++p) {
+      const auto ns = neighbors(p);
+      staging_[p].assign(ns.begin(), ns.end());
+    }
+  }
+  staging_[a].push_back(b);
+  staging_[b].push_back(a);
   ++edge_count_;
   finalized_ = false;
 }
 
 void Graph::finalize() {
   if (finalized_) return;
-  for (auto& list : adjacency_) {
+
+  offsets_.assign(node_count_ + 1, 0);
+  for (NodeId p = 0; p < node_count_; ++p) {
+    auto& list = staging_[p];
     std::sort(list.begin(), list.end());
-    const auto last = std::unique(list.begin(), list.end());
-    if (last != list.end()) {
+    if (std::adjacent_find(list.begin(), list.end()) != list.end()) {
       throw std::logic_error("Graph::finalize: duplicate edge inserted");
     }
+    offsets_[p + 1] = offsets_[p] + list.size();
   }
+
+  flat_.resize(offsets_[node_count_]);
+  for (NodeId p = 0; p < node_count_; ++p) {
+    std::copy(staging_[p].begin(), staging_[p].end(),
+              flat_.begin() + static_cast<std::ptrdiff_t>(offsets_[p]));
+  }
+  staging_.clear();
+  staging_.shrink_to_fit();
+  mirror_.clear();  // stale after a rebuild; rebuilt on demand
+
   finalized_ = true;
+}
+
+void Graph::build_mirror() const {
+  // Mirror index: directed edge e = (p → q) maps to the position of
+  // (q → p) inside q's sorted row.
+  mirror_.resize(flat_.size());
+  for (NodeId p = 0; p < node_count_; ++p) {
+    for (std::size_t e = offsets_[p]; e < offsets_[p + 1]; ++e) {
+      const NodeId q = flat_[e];
+      const auto row_begin =
+          flat_.begin() + static_cast<std::ptrdiff_t>(offsets_[q]);
+      const auto row_end =
+          flat_.begin() + static_cast<std::ptrdiff_t>(offsets_[q + 1]);
+      const auto it = std::lower_bound(row_begin, row_end, p);
+      mirror_[e] = static_cast<std::size_t>(it - flat_.begin());
+    }
+  }
 }
 
 std::size_t Graph::max_degree() const noexcept {
   std::size_t delta = 0;
-  for (const auto& list : adjacency_) delta = std::max(delta, list.size());
+  for (NodeId p = 0; p < node_count_; ++p) {
+    delta = std::max(delta, degree(p));
+  }
   return delta;
 }
 
 bool Graph::adjacent(NodeId a, NodeId b) const noexcept {
-  const auto& list = adjacency_[a];
-  return std::binary_search(list.begin(), list.end(), b);
+  const auto row = neighbors(a);
+  return std::binary_search(row.begin(), row.end(), b);
 }
 
 std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
   std::vector<std::pair<NodeId, NodeId>> out;
   out.reserve(edge_count_);
-  for (NodeId a = 0; a < adjacency_.size(); ++a) {
-    for (NodeId b : adjacency_[a]) {
+  for (NodeId a = 0; a < node_count_; ++a) {
+    for (NodeId b : neighbors(a)) {
       if (a < b) out.emplace_back(a, b);
     }
   }

@@ -2,9 +2,15 @@
 //
 // The paper's model is a set V of nodes where N_p is the radio
 // neighborhood of p (bidirectional links, p not in N_p). This module gives
-// that model a concrete representation: nodes are dense indices
-// 0..n-1, adjacency is kept as sorted vectors, and all higher layers
-// (density metric, clustering, the radio simulator) consume it read-only.
+// that model a concrete representation: nodes are dense indices 0..n-1 and
+// adjacency is stored in CSR (compressed sparse row) form — one flat,
+// cache-contiguous array of neighbor indices plus per-node offsets — so
+// that the simulation hot path (`sim::Network::step` touching every
+// directed edge every step) streams memory instead of chasing one heap
+// allocation per node. Edges are staged in per-node vectors during
+// construction; `finalize()` sorts them, packs the CSR arrays, and
+// releases the staging memory. All higher layers (density metric,
+// clustering, the radio simulator) consume the graph read-only.
 #pragma once
 
 #include <cstddef>
@@ -22,33 +28,39 @@ using NodeId = std::uint32_t;
 
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
-/// Immutable-after-build undirected graph with sorted adjacency.
+/// Immutable-after-build undirected graph with sorted CSR adjacency.
 class Graph {
  public:
   Graph() = default;
-  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+  explicit Graph(std::size_t node_count)
+      : node_count_(node_count),
+        staging_(node_count),
+        offsets_(node_count + 1, 0) {}
 
-  [[nodiscard]] std::size_t node_count() const noexcept {
-    return adjacency_.size();
-  }
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
   [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
 
   /// Adds the undirected edge {a, b}. Self-loops and duplicates are
-  /// rejected (the radio model never produces them). Invalidates sortedness
-  /// until `finalize()`.
+  /// rejected (the radio model never produces them). Queries reflect the
+  /// state as of the last `finalize()`: edges staged since then are
+  /// invisible to `neighbors()`/`degree()`/`adjacent()`/`edges()` until
+  /// `finalize()` runs again (only `edge_count()` updates immediately).
   void add_edge(NodeId a, NodeId b);
 
-  /// Sorts adjacency lists; must be called once after the last `add_edge`
-  /// and before any query. Idempotent.
+  /// Sorts adjacency, packs the CSR arrays (including the mirror-edge
+  /// index used by the parallel step engine), and frees the staging
+  /// lists; must be called once after the last `add_edge` and before any
+  /// query. Idempotent.
   void finalize();
 
-  /// N_p: the 1-neighborhood of `node` (sorted, never contains `node`).
+  /// N_p: the 1-neighborhood of `node` (sorted, never contains `node`),
+  /// as a view into the flat CSR neighbor array.
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId node) const noexcept {
-    return adjacency_[node];
+    return {flat_.data() + offsets_[node], offsets_[node + 1] - offsets_[node]};
   }
 
   [[nodiscard]] std::size_t degree(NodeId node) const noexcept {
-    return adjacency_[node].size();
+    return offsets_[node + 1] - offsets_[node];
   }
 
   /// Maximum degree δ over all nodes (the paper's sparseness constant).
@@ -60,9 +72,43 @@ class Graph {
   /// All edges as (low, high) pairs, each once.
   [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
 
+  // --- CSR access (engine hot paths) ----------------------------------
+
+  /// Per-node offsets into `csr_neighbors()`; size `node_count() + 1`.
+  /// `offsets[p]..offsets[p+1]` is p's directed out-edge range.
+  [[nodiscard]] std::span<const std::size_t> csr_offsets() const noexcept {
+    return offsets_;
+  }
+
+  /// Flat neighbor array; size `2 * edge_count()` (each undirected edge
+  /// appears once per direction).
+  [[nodiscard]] std::span<const NodeId> csr_neighbors() const noexcept {
+    return flat_;
+  }
+
+  /// For the directed edge at CSR position `e` (some p → q), the CSR
+  /// position of its mirror q → p. Lets per-receiver loops reuse
+  /// decisions made in sender-major order without any searching. Built
+  /// lazily on first use (only the lossy-delivery phase of the arena
+  /// engine needs it); the first call must not race — the engine's only
+  /// call site is its serial decision pass.
+  [[nodiscard]] std::size_t mirror_edge(std::size_t e) const {
+    if (mirror_.size() != flat_.size()) build_mirror();
+    return mirror_[e];
+  }
+
  private:
-  std::vector<std::vector<NodeId>> adjacency_;
+  void build_mirror() const;
+
+  std::size_t node_count_ = 0;
   std::size_t edge_count_ = 0;
+  /// Build-time per-node edge lists; emptied by `finalize()`.
+  std::vector<std::vector<NodeId>> staging_;
+  std::vector<std::size_t> offsets_{0};  // CSR row offsets, n + 1 entries
+  std::vector<NodeId> flat_;             // CSR neighbor array, 2|E| entries
+  /// Reverse directed-edge index; lazily derived from the CSR arrays
+  /// (hence mutable), sized `flat_.size()` once built.
+  mutable std::vector<std::size_t> mirror_;
   bool finalized_ = true;  // an edgeless graph is trivially finalized
 };
 

@@ -26,6 +26,12 @@ class LossModel {
 
   /// Step boundary notification (per-step draws live here).
   virtual void begin_step() {}
+
+  /// True iff `delivered` is unconditionally true (τ = 1). The step
+  /// engine then skips the per-edge decision pass entirely; stateful
+  /// models keep the default and are polled serially in sender-major
+  /// order, preserving their RNG draw sequence for any thread count.
+  [[nodiscard]] virtual bool always_delivers() const noexcept { return false; }
 };
 
 /// τ = 1: every frame is heard by every 1-neighbor (the paper's Δ(τ) step
@@ -35,6 +41,7 @@ class PerfectDelivery final : public LossModel {
   [[nodiscard]] bool delivered(graph::NodeId, graph::NodeId) override {
     return true;
   }
+  [[nodiscard]] bool always_delivers() const noexcept override { return true; }
 };
 
 /// Independent per-link Bernoulli delivery with success probability τ:

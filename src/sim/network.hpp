@@ -17,33 +17,142 @@
 //     void tick(graph::NodeId node);           // run guarded rules
 //     void end_step(graph::NodeId node);       // cache aging etc. (optional hook)
 //   };
+//
+// Protocols may additionally implement the *arena* extension (see
+// ArenaProtocol below): fixed-size frame headers plus variable-length
+// digest lists written into flat, engine-owned buffers keyed by per-step
+// CSR-style offsets. The engine then reuses those buffers across steps,
+// so a steady-state step performs zero heap allocations, and all four
+// phases (build, deliver, tick, end-step) run data-parallel on a worker
+// pool. Every phase writes only the state of the node it is indexed by
+// and each node's inputs are fixed before the phase starts, so results
+// are bit-identical for any thread count (asserted by the sim tests);
+// stateful loss models are always polled serially in sender-major order
+// to keep their RNG draw sequence identical to the classic engine.
 #pragma once
 
+#include <algorithm>
+#include <concepts>
 #include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/loss.hpp"
+#include "sim/parallel.hpp"
 
 namespace ssmwn::sim {
+
+/// Optional zero-alloc extension of the Protocol concept: split frames
+/// into a POD header plus digests written into caller-provided storage.
+template <typename P>
+concept ArenaProtocol =
+    requires(const P& cp, P& p, graph::NodeId node,
+             typename P::FrameHeader& header,
+             std::span<typename P::Digest> out,
+             std::span<const typename P::Digest> in) {
+      { cp.digest_count(node) } -> std::convertible_to<std::size_t>;
+      cp.make_frame(node, header, out);
+      p.deliver(node, header, in);
+    };
+
+namespace detail {
+
+/// Reusable flat frame storage; empty for protocols without the arena
+/// extension (the legacy engine keeps a vector of owning frames instead).
+template <typename Protocol, bool = ArenaProtocol<Protocol>>
+struct ArenaStorage {};
+
+template <typename Protocol>
+struct ArenaStorage<Protocol, true> {
+  std::vector<typename Protocol::FrameHeader> headers;  // one per node
+  std::vector<typename Protocol::Digest> pool;          // all digests, flat
+  std::vector<std::size_t> offsets;                     // n + 1 row offsets
+};
+
+}  // namespace detail
 
 template <typename Protocol>
 class Network {
  public:
   /// The graph reference is observed, not owned; it may be swapped between
-  /// steps (mobility) via `set_graph`.
-  Network(const graph::Graph& g, Protocol& protocol, LossModel& loss)
-      : graph_(&g), protocol_(&protocol), loss_(&loss) {}
+  /// steps (mobility) via `set_graph`. `threads` is the step-engine
+  /// parallelism (1 = fully inline, 0 = hardware concurrency).
+  Network(const graph::Graph& g, Protocol& protocol, LossModel& loss,
+          unsigned threads = 1)
+      : graph_(&g), protocol_(&protocol), loss_(&loss) {
+    set_threads(threads);
+  }
 
   void set_graph(const graph::Graph& g) noexcept { graph_ = &g; }
+
+  /// Rebuilds the worker pool synchronously (joins the old workers,
+  /// spawns the new ones); steps use the new size from the next call.
+  /// 0 = hardware concurrency; absurd counts (e.g. an unsigned-cast -1)
+  /// are clamped — more workers than cores can ever help is waste.
+  /// `thread_count()` reports the effective size after clamping.
+  void set_threads(unsigned threads) {
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(threads,
+                       std::max(64u, 4u * std::thread::hardware_concurrency()));
+    if (threads == thread_count()) return;
+    pool_ = threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  }
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return pool_ ? pool_->thread_count() : 1u;
+  }
+
+  /// Forces the pre-arena engine (per-step owning frames) even when the
+  /// protocol supports the arena extension. Exists so benchmarks can
+  /// compare against the seed behavior; never faster.
+  void set_legacy_engine(bool on) noexcept { legacy_engine_ = on; }
+  [[nodiscard]] bool legacy_engine() const noexcept { return legacy_engine_; }
 
   [[nodiscard]] std::size_t steps_run() const noexcept { return steps_; }
 
   /// Runs one synchronous broadcast-receive-compute step.
   void step() {
+    loss_->begin_step();
+    if constexpr (ArenaProtocol<Protocol>) {
+      if (!legacy_engine_) {
+        step_arena();
+        ++steps_;
+        return;
+      }
+    }
+    step_legacy();
+    ++steps_;
+  }
+
+  /// Runs `count` steps.
+  void run(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) step();
+  }
+
+ private:
+  /// Maps `body(node)` over [0, n), inline or across the pool. Phases
+  /// must write only state owned by `node`.
+  template <typename F>
+  void for_nodes(std::size_t n, F&& body) {
+    if (!pool_) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    pool_->parallel_for(
+        n, 0,
+        [](void* ctx, std::size_t begin, std::size_t end) {
+          auto& f = *static_cast<std::remove_reference_t<F>*>(ctx);
+          for (std::size_t i = begin; i < end; ++i) f(i);
+        },
+        &body);
+  }
+
+  void step_legacy() {
     const graph::Graph& g = *graph_;
     const std::size_t n = g.node_count();
-    loss_->begin_step();
 
     // Broadcast phase: snapshot every node's frame first (synchronous
     // semantics), then deliver.
@@ -67,20 +176,84 @@ class Network {
     for (graph::NodeId p = 0; p < n; ++p) {
       protocol_->end_step(p);
     }
-    ++steps_;
   }
 
-  /// Runs `count` steps.
-  void run(std::size_t count) {
-    for (std::size_t i = 0; i < count; ++i) step();
+  void step_arena() {
+    const graph::Graph& g = *graph_;
+    const std::size_t n = g.node_count();
+    auto& arena = arena_;
+
+    // Phase 0 (serial, O(n)): size the digest pool. Row p of the pool is
+    // [offsets[p], offsets[p+1]), mirroring the CSR layout of the graph.
+    arena.offsets.resize(n + 1);
+    arena.offsets[0] = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      arena.offsets[p + 1] =
+          arena.offsets[p] +
+          protocol_->digest_count(static_cast<graph::NodeId>(p));
+    }
+    arena.pool.resize(arena.offsets[n]);
+    arena.headers.resize(n);
+
+    // Phase 1 (parallel by sender): snapshot all frames into the arena.
+    auto* protocol = protocol_;
+    for_nodes(n, [protocol, &arena](std::size_t p) {
+      protocol->make_frame(
+          static_cast<graph::NodeId>(p), arena.headers[p],
+          std::span(arena.pool.data() + arena.offsets[p],
+                    arena.offsets[p + 1] - arena.offsets[p]));
+    });
+
+    // Phase 2 (serial unless τ = 1): per-edge delivery decisions, polled
+    // in the classic sender-major order so stateful loss models draw the
+    // same RNG sequence as the legacy engine. The decision for p → q is
+    // stored at q's incoming CSR slot via the mirror index.
+    const auto offsets = g.csr_offsets();
+    const auto flat = g.csr_neighbors();
+    const bool hear_all = loss_->always_delivers();
+    if (!hear_all) {
+      incoming_.resize(flat.size());
+      for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t e = offsets[p]; e < offsets[p + 1]; ++e) {
+          incoming_[g.mirror_edge(e)] =
+              loss_->delivered(static_cast<graph::NodeId>(p), flat[e]);
+        }
+      }
+    }
+
+    // Phase 3 (parallel by receiver): each node pulls the heard frames
+    // from its sorted neighbor row — the same ascending-sender order the
+    // legacy sender-major loops produce.
+    for_nodes(n, [protocol, &arena, offsets, flat, hear_all,
+                  this](std::size_t q) {
+      for (std::size_t e = offsets[q]; e < offsets[q + 1]; ++e) {
+        if (!hear_all && !incoming_[e]) continue;
+        const graph::NodeId p = flat[e];
+        protocol->deliver(
+            static_cast<graph::NodeId>(q), arena.headers[p],
+            std::span(arena.pool.data() + arena.offsets[p],
+                      arena.offsets[p + 1] - arena.offsets[p]));
+      }
+    });
+
+    // Phase 4 + 5 (parallel): guarded rules, then cache aging.
+    for_nodes(n, [protocol](std::size_t p) {
+      protocol->tick(static_cast<graph::NodeId>(p));
+    });
+    for_nodes(n, [protocol](std::size_t p) {
+      protocol->end_step(static_cast<graph::NodeId>(p));
+    });
   }
 
- private:
   const graph::Graph* graph_;
   Protocol* protocol_;
   LossModel* loss_;
   std::size_t steps_ = 0;
-  std::vector<typename Protocol::Frame> frames_;
+  bool legacy_engine_ = false;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<typename Protocol::Frame> frames_;       // legacy engine
+  detail::ArenaStorage<Protocol> arena_;               // arena engine
+  std::vector<unsigned char> incoming_;                // per-edge decisions
 };
 
 }  // namespace ssmwn::sim

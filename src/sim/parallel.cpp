@@ -1,0 +1,81 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+
+namespace ssmwn::sim {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunks() {
+  for (;;) {
+    const std::size_t begin = cursor_.fetch_add(grain_, std::memory_order_relaxed);
+    if (begin >= count_) break;
+    fn_(ctx_, begin, std::min(begin + grain_, count_));
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, std::size_t grain, RangeFn fn,
+                              void* ctx) {
+  if (count == 0) return;
+  if (grain == 0) {
+    // ~4 chunks per thread: dynamic enough to balance uneven rows,
+    // coarse enough that the atomic cursor never contends.
+    grain = std::max<std::size_t>(1, count / (4 * thread_count()));
+  }
+  if (workers_.empty() || count <= grain) {
+    fn(ctx, 0, count);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    fn_ = fn;
+    ctx_ = ctx;
+    count_ = count;
+    grain_ = grain;
+    cursor_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunks();
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_chunks();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace ssmwn::sim

@@ -1,0 +1,75 @@
+// Allocation-free fork-join worker pool for the step engine.
+//
+// The synchronous step is data-parallel by construction: each of its
+// phases (frame building, delivery, rule execution, cache aging) touches
+// every node exactly once and writes only that node's state. The pool
+// maps such a phase over an index range. Two properties matter more than
+// raw sophistication here:
+//
+//   * Determinism — tasks receive index ranges, never thread identities,
+//     and every index is processed exactly once, so results are
+//     bit-identical for any worker count (asserted by the sim tests).
+//   * Zero steady-state allocation — jobs are a function pointer plus a
+//     context pointer stored in fixed members (no std::function), and
+//     chunks are claimed with an atomic cursor, so dispatching a phase
+//     never allocates.
+//
+// Workers are spawned once and parked on a condition variable between
+// steps; a pool of size 1 degenerates to an inline loop on the caller.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssmwn::sim {
+
+class ThreadPool {
+ public:
+  /// `fn(ctx, begin, end)` processes the half-open index range.
+  using RangeFn = void (*)(void*, std::size_t, std::size_t);
+
+  /// `threads` is the total parallelism including the calling thread;
+  /// 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs `fn` over [0, count), split into chunks of ~`grain` indices
+  /// claimed dynamically by the caller and the workers. Returns when the
+  /// whole range is done. `grain == 0` picks a chunk size that gives each
+  /// thread a handful of chunks (load balance without contention).
+  void parallel_for(std::size_t count, std::size_t grain, RangeFn fn,
+                    void* ctx);
+
+ private:
+  void worker_loop();
+  void run_chunks();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  unsigned active_ = 0;
+  bool stop_ = false;
+
+  // Current job; valid while active_ > 0 or the caller is in run_chunks.
+  RangeFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t grain_ = 1;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace ssmwn::sim

@@ -1,0 +1,119 @@
+// CSR adjacency vs an independent reference representation.
+//
+// The CSR arrays are the hot path of the step engine; these tests pin
+// them to a straightforward set-based adjacency built from the same
+// random edge list, and check the mirror-edge index the parallel
+// delivery phase relies on.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+struct Reference {
+  std::vector<std::set<graph::NodeId>> adjacency;
+  std::size_t edge_count = 0;
+};
+
+/// G(n, p) built simultaneously into a Graph and a reference structure.
+std::pair<graph::Graph, Reference> random_pair(std::size_t n, double p,
+                                               util::Rng& rng) {
+  graph::Graph g(n);
+  Reference ref;
+  ref.adjacency.resize(n);
+  for (graph::NodeId a = 0; a < n; ++a) {
+    for (graph::NodeId b = a + 1; b < n; ++b) {
+      if (rng.chance(p)) {
+        g.add_edge(a, b);
+        ref.adjacency[a].insert(b);
+        ref.adjacency[b].insert(a);
+        ++ref.edge_count;
+      }
+    }
+  }
+  g.finalize();
+  return {std::move(g), std::move(ref)};
+}
+
+TEST(Csr, MatchesReferenceAdjacencyOnRandomGraphs) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 50 + rng.index(150);
+    const double p = rng.uniform(0.0, 0.15);
+    const auto [g, ref] = random_pair(n, p, rng);
+
+    ASSERT_EQ(g.node_count(), n);
+    ASSERT_EQ(g.edge_count(), ref.edge_count);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const auto row = g.neighbors(v);
+      ASSERT_EQ(row.size(), ref.adjacency[v].size()) << "node " << v;
+      ASSERT_EQ(g.degree(v), ref.adjacency[v].size());
+      // std::set iterates in sorted order, matching the sorted CSR row.
+      std::size_t i = 0;
+      for (graph::NodeId w : ref.adjacency[v]) {
+        EXPECT_EQ(row[i], w) << "node " << v << " slot " << i;
+        EXPECT_TRUE(g.adjacent(v, w));
+        EXPECT_TRUE(g.adjacent(w, v));
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(Csr, OffsetsPartitionTheFlatArray) {
+  util::Rng rng(7);
+  const auto [g, ref] = random_pair(120, 0.05, rng);
+  const auto offsets = g.csr_offsets();
+  const auto flat = g.csr_neighbors();
+  ASSERT_EQ(offsets.size(), g.node_count() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), flat.size());
+  EXPECT_EQ(flat.size(), 2 * g.edge_count());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    const auto row = g.neighbors(v);
+    EXPECT_EQ(row.data(), flat.data() + offsets[v]);
+    EXPECT_EQ(row.size(), offsets[v + 1] - offsets[v]);
+  }
+}
+
+TEST(Csr, MirrorEdgeIsAnInvolutionAcrossDirections) {
+  util::Rng rng(11);
+  const auto [g, ref] = random_pair(100, 0.08, rng);
+  const auto offsets = g.csr_offsets();
+  const auto flat = g.csr_neighbors();
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    for (std::size_t e = offsets[p]; e < offsets[p + 1]; ++e) {
+      const graph::NodeId q = flat[e];
+      const std::size_t m = g.mirror_edge(e);
+      // m lies in q's row and points back at p.
+      ASSERT_GE(m, offsets[q]);
+      ASSERT_LT(m, offsets[q + 1]);
+      EXPECT_EQ(flat[m], p);
+      EXPECT_EQ(g.mirror_edge(m), e);
+    }
+  }
+}
+
+TEST(Csr, ReopeningAFinalizedGraphPreservesEdges) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  g.add_edge(2, 3);  // staging was released; must be rebuilt from CSR
+  g.finalize();
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.adjacent(0, 1));
+  EXPECT_TRUE(g.adjacent(1, 2));
+  EXPECT_TRUE(g.adjacent(2, 3));
+  EXPECT_FALSE(g.adjacent(0, 3));
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,4 +1,4 @@
-// ssmwn — command-line driver for one-off clustering experiments.
+// ssmwn — command-line driver for clustering experiments.
 //
 //   ssmwn cluster  --n 500 --radius 0.08 [--grid] [--dag] [--fusion]
 //                  [--metric density|degree|lowest-id|max-min]
@@ -6,17 +6,30 @@
 //   ssmwn protocol --n 200 --radius 0.1 [--tau 0.8] [--steps 100]
 //                  [--corrupt 0.3] [--dag] [--threads 4]
 //   ssmwn routing  --n 500 --radius 0.08 [--pairs 300]
+//   ssmwn campaign spec-file [--threads 4] [--csv F] [--json F]
 //
 // `cluster` builds a deployment, clusters it, and prints the metrics of
 // the paper's evaluation (optionally a DOT file, a per-node CSV, or an
 // ASCII map for grid deployments). `protocol` runs the distributed
 // self-stabilizing protocol and reports convergence. `routing` compares
-// flat vs hierarchical routing. Exit code 0 on success.
+// flat vs hierarchical routing. `campaign` expands a declarative
+// experiment spec into a replication grid and runs it sharded across a
+// worker pool (src/campaign/).
+//
+// Exit codes: 0 success, 1 run failure (a simulation ran but did not
+// meet its success condition, or an output file could not be written),
+// 2 bad arguments or a malformed spec.
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "campaign/aggregate.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
 #include "cluster/baselines.hpp"
 #include "cluster/max_min.hpp"
 #include "core/clustering.hpp"
@@ -37,6 +50,22 @@
 namespace {
 
 using namespace ssmwn;
+
+constexpr int kExitOk = 0;
+constexpr int kExitRunFailure = 1;
+constexpr int kExitUsage = 2;
+
+/// Validates a --threads value shared by `protocol` and `campaign`
+/// (0 = hardware concurrency). Returns the parsed value or throws the
+/// bad-arguments exception.
+unsigned parse_threads(const util::Args& args) {
+  const auto threads = args.get_int("threads", 1);
+  if (threads < 0 || threads > 65536) {
+    throw std::invalid_argument("--threads must be in [0, 65536] (got " +
+                                std::to_string(threads) + ")");
+  }
+  return static_cast<unsigned>(threads);
+}
 
 struct Deployment {
   std::vector<topology::Point> points;
@@ -146,13 +175,7 @@ int run_protocol(const util::Args& args, util::Rng& rng) {
                                : static_cast<sim::LossModel&>(perfect);
   // --threads N parallelizes the step engine; 0 = hardware concurrency.
   // Results are bit-identical for any value (see docs/ARCHITECTURE.md).
-  const auto threads_arg = args.get_int("threads", 1);
-  if (threads_arg < 0 || threads_arg > 65536) {
-    std::fprintf(stderr, "error: --threads must be in [0, 65536] (got %lld)\n",
-                 static_cast<long long>(threads_arg));
-    return 2;
-  }
-  const auto threads = static_cast<unsigned>(threads_arg);
+  const unsigned threads = parse_threads(args);
   sim::Network network(d.graph, protocol, medium, threads);
   if (threads != 1) {
     // Report the effective size: 0 resolves to hardware concurrency and
@@ -210,16 +233,130 @@ int run_routing(const util::Args& args, util::Rng& rng) {
   return stats.failures == 0 ? 0 : 1;
 }
 
+int run_campaign(const util::Args& args) {
+  const auto& positional = args.positional();
+  if (positional.size() < 2) {
+    std::fprintf(stderr, "campaign: missing <spec-file> argument\n");
+    return kExitUsage;
+  }
+  auto spec = campaign::load_spec(positional[1]);
+  // CLI overrides for the two knobs one typically varies per invocation.
+  if (args.has("replications")) {
+    const auto reps = args.get_int("replications", 0);
+    if (reps < 1) {
+      throw std::invalid_argument("--replications must be at least 1");
+    }
+    spec.replications = static_cast<std::size_t>(reps);
+  }
+  if (args.has("seed")) {
+    spec.seed_base = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  }
+  const unsigned threads = parse_threads(args);
+
+  // Open the output files *before* running: an unwritable path must
+  // abort up front, not after hours of simulation whose results it
+  // would then discard. invalid_argument → the bad-arguments exit code.
+  struct PendingOutput {
+    std::string path;
+    std::ofstream stream;
+    void (*writer)(std::ostream&, const campaign::CampaignPlan&,
+                   const std::vector<campaign::ScenarioAggregate>&);
+  };
+  std::vector<PendingOutput> outputs;
+  for (const auto& [flag, writer] :
+       {std::pair{"csv", &campaign::write_csv},
+        std::pair{"json", &campaign::write_json}}) {
+    const auto path = args.get(flag, "");
+    if (path.empty()) continue;
+    std::ofstream stream(path);
+    if (!stream) {
+      throw std::invalid_argument("cannot open output file '" + path + "'");
+    }
+    outputs.push_back({path, std::move(stream), writer});
+  }
+
+  const auto plan = campaign::expand(spec);
+  campaign::CampaignRunner runner(threads);
+  if (!args.get_bool("quiet", false)) {
+    std::printf("campaign '%s': %zu scenario(s) x %zu replication(s) = %zu "
+                "run(s) on %u thread(s)\n",
+                plan.name.c_str(), plan.grid.size(), plan.replications,
+                plan.runs.size(), runner.thread_count());
+  }
+  const auto results = runner.run(plan);
+
+  // Feed the aggregator in plan order — never in completion order — so
+  // the floating-point sums (and the files below) are thread-count
+  // independent.
+  campaign::MetricsAggregator aggregator(plan.grid.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    aggregator.add(plan.runs[i].grid_index, results[i]);
+  }
+  const auto aggregates = aggregator.summarize();
+
+  if (!args.get_bool("quiet", false)) {
+    std::fputs(campaign::summary_table(plan, aggregates).render().c_str(),
+               stdout);
+  }
+  for (auto& output : outputs) {
+    output.writer(output.stream, plan, aggregates);
+    if (!output.stream.flush()) {
+      throw std::runtime_error("failed writing output file '" + output.path +
+                               "'");
+    }
+    std::printf("wrote %s\n", output.path.c_str());
+  }
+  return kExitOk;
+}
+
 void usage() {
   std::puts(
-      "usage: ssmwn <cluster|protocol|routing> [--n N] [--radius R] "
-      "[--grid]\n"
-      "  cluster : [--metric density|degree|lowest-id|max-min] [--dag]\n"
-      "            [--fusion] [--incumbency] [--dot F] [--csv F] [--map]\n"
-      "  protocol: [--tau T] [--steps K] [--corrupt FRAC] [--dag] [--fusion]\n"
-      "            [--threads N]  (0 = hardware concurrency)\n"
-      "  routing : [--pairs K]\n"
-      "  common  : [--seed S]");
+      "usage: ssmwn <command> [flags]\n"
+      "commands:\n"
+      "  cluster  --n N --radius R [--grid] [--seed S]\n"
+      "           [--metric density|degree|lowest-id|max-min] [--d D]\n"
+      "           [--dag] [--fusion] [--incumbency]\n"
+      "           [--dot F] [--csv F] [--map]\n"
+      "  protocol --n N --radius R [--grid] [--seed S] [--tau T]\n"
+      "           [--steps K] [--corrupt FRAC] [--dag] [--fusion]\n"
+      "           [--threads N]\n"
+      "  routing  --n N --radius R [--grid] [--seed S] [--pairs K]\n"
+      "  campaign <spec-file> [--threads N] [--csv F] [--json F]\n"
+      "           [--quiet] [--replications N] [--seed S]\n"
+      "flags:\n"
+      "  --threads N  step-engine / runner parallelism; 0 = hardware\n"
+      "               concurrency, default 1; results are identical\n"
+      "               for any value\n"
+      "  --seed S     experiment seed (campaign: overrides seed_base)\n"
+      "exit codes: 0 success, 1 run failure, 2 bad arguments or spec");
+}
+
+/// Marks every flag the command understands as consumed and reports
+/// anything left over. Runs *before* dispatch: a mistyped flag must
+/// abort up front, not after a multi-hour campaign already ran with
+/// the flag's default. kKnownFlags is the flag source of truth for
+/// rejection — keep it in sync with usage() above and with the get_*
+/// calls in the run_* handlers when adding a flag.
+const std::map<std::string, std::vector<std::string>> kKnownFlags = {
+    {"cluster",
+     {"n", "radius", "grid", "metric", "d", "dag", "fusion", "incumbency",
+      "dot", "csv", "map"}},
+    {"protocol",
+     {"n", "radius", "grid", "tau", "steps", "corrupt", "dag", "fusion",
+      "threads"}},
+    {"routing", {"n", "radius", "grid", "pairs"}},
+    {"campaign", {"threads", "csv", "json", "quiet", "replications"}},
+};
+
+bool reject_unknown_flags(const std::string& command,
+                          const util::Args& args) {
+  for (const auto& flag : kKnownFlags.at(command)) (void)args.has(flag);
+  (void)args.has("seed");  // common to every command
+  const auto unknown = args.unknown();
+  for (const auto& flag : unknown) {
+    std::fprintf(stderr, "unrecognized flag --%s\n", flag.c_str());
+  }
+  return unknown.empty();
 }
 
 }  // namespace
@@ -229,18 +366,26 @@ int main(int argc, char** argv) {
     const util::Args args(argc, argv);
     if (args.positional().empty()) {
       usage();
-      return 2;
+      return kExitUsage;
     }
     util::Rng rng(
         static_cast<std::uint64_t>(args.get_int("seed", 20050612)));
     const std::string command = args.positional().front();
+    if (!kKnownFlags.count(command)) {
+      std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+      usage();
+      return kExitUsage;
+    }
+    if (!reject_unknown_flags(command, args)) return kExitUsage;
     if (command == "cluster") return run_cluster(args, rng);
     if (command == "protocol") return run_protocol(args, rng);
     if (command == "routing") return run_routing(args, rng);
-    usage();
-    return 2;
+    return run_campaign(args);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return kExitUsage;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
-    return 2;
+    return kExitRunFailure;
   }
 }

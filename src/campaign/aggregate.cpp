@@ -1,0 +1,47 @@
+#include "campaign/aggregate.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace ssmwn::campaign {
+
+MetricsAggregator::MetricsAggregator(std::size_t grid_count)
+    : samples_(grid_count) {}
+
+void MetricsAggregator::add(std::size_t grid_index, const RunMetrics& m) {
+  if (grid_index >= samples_.size()) {
+    throw std::out_of_range("MetricsAggregator: grid index out of range");
+  }
+  auto& cell = samples_[grid_index];
+  cell[0].push_back(m.stability);
+  cell[1].push_back(m.delta);
+  cell[2].push_back(m.reaffiliation);
+  cell[3].push_back(m.cluster_count);
+}
+
+std::vector<ScenarioAggregate> MetricsAggregator::summarize() const {
+  std::vector<ScenarioAggregate> out;
+  out.reserve(samples_.size());
+  for (std::size_t g = 0; g < samples_.size(); ++g) {
+    ScenarioAggregate aggregate;
+    aggregate.grid_index = g;
+    for (std::size_t m = 0; m < kMetricNames.size(); ++m) {
+      const auto& sample = samples_[g][m];
+      util::RunningStats stats;
+      for (const double x : sample) stats.add(x);
+      MetricSummary& summary = aggregate.metrics[m];
+      summary.count = stats.count();
+      summary.mean = stats.mean();
+      summary.stddev = stats.stddev();
+      summary.p50 = util::percentile(sample, 0.5);
+      summary.p95 = util::percentile(sample, 0.95);
+      summary.min = stats.min();
+      summary.max = stats.max();
+    }
+    out.push_back(aggregate);
+  }
+  return out;
+}
+
+}  // namespace ssmwn::campaign

@@ -1,0 +1,76 @@
+// Aggregation of per-run metrics into per-scenario summaries.
+//
+// The aggregator is fed run results in *plan order* (the runner returns
+// them indexed by plan slot), so the accumulation order — and therefore
+// every floating-point sum — is independent of how many threads executed
+// the campaign. That is the root of the replay guarantee: byte-identical
+// CSV/JSON for any `--threads N` (tests/campaign/replay_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "campaign/runner.hpp"
+
+namespace ssmwn::campaign {
+
+/// Summary statistics of one metric across a grid point's replications.
+struct MetricSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample (n-1) standard deviation
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// The metrics reported per scenario, in fixed report order.
+inline constexpr std::array<std::string_view, 4> kMetricNames{
+    "stability", "delta", "reaffiliation", "cluster_count"};
+
+struct ScenarioAggregate {
+  std::size_t grid_index = 0;
+  /// Summaries indexed like kMetricNames.
+  std::array<MetricSummary, kMetricNames.size()> metrics{};
+
+  [[nodiscard]] const MetricSummary& stability() const noexcept {
+    return metrics[0];
+  }
+  [[nodiscard]] const MetricSummary& delta() const noexcept {
+    return metrics[1];
+  }
+  [[nodiscard]] const MetricSummary& reaffiliation() const noexcept {
+    return metrics[2];
+  }
+  [[nodiscard]] const MetricSummary& cluster_count() const noexcept {
+    return metrics[3];
+  }
+};
+
+/// Collects per-run samples keyed by grid point and summarizes them.
+/// Percentiles need the raw samples, so the aggregator keeps them all;
+/// a campaign's sample storage is grid × replications × 4 doubles.
+class MetricsAggregator {
+ public:
+  explicit MetricsAggregator(std::size_t grid_count);
+
+  /// Feeds one run's metrics. Call in plan order for deterministic
+  /// floating-point results (see the header comment).
+  void add(std::size_t grid_index, const RunMetrics& metrics);
+
+  [[nodiscard]] std::size_t grid_count() const noexcept {
+    return samples_.size();
+  }
+
+  /// Summarizes every grid point, in grid order.
+  [[nodiscard]] std::vector<ScenarioAggregate> summarize() const;
+
+ private:
+  // samples_[grid][metric] — one sample vector per metric per grid point.
+  std::vector<std::array<std::vector<double>, kMetricNames.size()>> samples_;
+};
+
+}  // namespace ssmwn::campaign

@@ -1,0 +1,152 @@
+#include "campaign/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace ssmwn::campaign {
+
+namespace {
+
+void append_escaped_json(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string config_fields_csv(const ScenarioConfig& c) {
+  std::ostringstream out;
+  out << to_string(c.topology) << ',' << c.n << ','
+      << format_double(c.radius) << ',' << to_string(c.variant) << ','
+      << to_string(c.mobility) << ',' << format_double(c.speed_min) << ','
+      << format_double(c.speed_max) << ',' << format_double(c.tau) << ','
+      << format_double(c.churn_down) << ',' << format_double(c.churn_up)
+      << ',' << c.steps << ',' << format_double(c.window_s) << ','
+      << format_double(c.world_m);
+  return out.str();
+}
+
+std::string config_json(const ScenarioConfig& c) {
+  std::ostringstream out;
+  out << "\"topology\": \"" << to_string(c.topology) << "\", \"n\": " << c.n
+      << ", \"radius\": " << format_double(c.radius) << ", \"variant\": \""
+      << to_string(c.variant) << "\", \"mobility\": \""
+      << to_string(c.mobility)
+      << "\", \"speed_min\": " << format_double(c.speed_min)
+      << ", \"speed_max\": " << format_double(c.speed_max)
+      << ", \"tau\": " << format_double(c.tau)
+      << ", \"churn_down\": " << format_double(c.churn_down)
+      << ", \"churn_up\": " << format_double(c.churn_up)
+      << ", \"steps\": " << c.steps
+      << ", \"window_s\": " << format_double(c.window_s)
+      << ", \"world_m\": " << format_double(c.world_m);
+  return out.str();
+}
+
+std::string summary_json(const MetricSummary& s) {
+  std::ostringstream out;
+  out << "{\"count\": " << s.count << ", \"mean\": " << format_double(s.mean)
+      << ", \"stddev\": " << format_double(s.stddev)
+      << ", \"p50\": " << format_double(s.p50)
+      << ", \"p95\": " << format_double(s.p95)
+      << ", \"min\": " << format_double(s.min)
+      << ", \"max\": " << format_double(s.max) << "}";
+  return out.str();
+}
+
+/// Compact human label for a grid point; fixed function of the config.
+std::string short_label(const ScenarioConfig& c) {
+  std::ostringstream out;
+  out << to_string(c.topology) << " n=" << c.n << " r="
+      << format_double(c.radius) << ' ' << to_string(c.variant);
+  if (c.mobility != MobilityKind::kNone) {
+    out << ' ' << (c.mobility == MobilityKind::kRandomDirection ? "rd" : "rwp")
+        << ' ' << format_double(c.speed_min) << '-'
+        << format_double(c.speed_max) << "m/s";
+  }
+  if (c.tau < 1.0) out << " tau=" << format_double(c.tau);
+  if (c.churn_down > 0.0) out << " churn=" << format_double(c.churn_down);
+  return out.str();
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const CampaignPlan& plan,
+               const std::vector<ScenarioAggregate>& aggregates) {
+  out << "campaign,topology,n,radius,variant,mobility,speed_min,speed_max,"
+         "tau,churn_down,churn_up,steps,window_s,world_m,metric,count,mean,"
+         "stddev,p50,p95,min,max\n";
+  for (const auto& aggregate : aggregates) {
+    const auto& config = plan.grid[aggregate.grid_index].config;
+    const std::string fields = config_fields_csv(config);
+    for (std::size_t m = 0; m < kMetricNames.size(); ++m) {
+      const MetricSummary& s = aggregate.metrics[m];
+      out << plan.name << ',' << fields << ',' << kMetricNames[m] << ','
+          << s.count << ',' << format_double(s.mean) << ','
+          << format_double(s.stddev) << ',' << format_double(s.p50) << ','
+          << format_double(s.p95) << ',' << format_double(s.min) << ','
+          << format_double(s.max) << '\n';
+    }
+  }
+}
+
+void write_json(std::ostream& out, const CampaignPlan& plan,
+                const std::vector<ScenarioAggregate>& aggregates) {
+  std::string name;
+  append_escaped_json(name, plan.name);
+  out << "{\n  \"campaign\": \"" << name << "\",\n  \"seed_base\": "
+      << plan.seed_base << ",\n  \"replications\": " << plan.replications
+      << ",\n  \"scenarios\": [";
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    const auto& aggregate = aggregates[i];
+    const auto& config = plan.grid[aggregate.grid_index].config;
+    out << (i == 0 ? "\n" : ",\n") << "    {" << config_json(config)
+        << ", \"metrics\": {";
+    for (std::size_t m = 0; m < kMetricNames.size(); ++m) {
+      out << (m == 0 ? "" : ", ") << '"' << kMetricNames[m]
+          << "\": " << summary_json(aggregate.metrics[m]);
+    }
+    out << "}}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+util::Table summary_table(const CampaignPlan& plan,
+                          const std::vector<ScenarioAggregate>& aggregates) {
+  util::Table table("Campaign '" + plan.name + "' — " +
+                    std::to_string(plan.grid.size()) + " scenario(s) x " +
+                    std::to_string(plan.replications) + " replication(s)");
+  table.header({"scenario", "stability", "delta", "reaffil", "clusters",
+                "p95 stab"});
+  for (const auto& aggregate : aggregates) {
+    const auto& config = plan.grid[aggregate.grid_index].config;
+    table.row({short_label(config),
+               util::Table::num(aggregate.stability().mean, 3) + " ±" +
+                   util::Table::num(aggregate.stability().stddev, 3),
+               util::Table::num(aggregate.delta().mean, 3),
+               util::Table::num(aggregate.reaffiliation().mean, 3),
+               util::Table::num(aggregate.cluster_count().mean, 1),
+               util::Table::num(aggregate.stability().p95, 3)});
+  }
+  table.note("stability = head re-election ratio per window; delta = "
+             "fraction of nodes changing cluster; reaffil = fraction "
+             "changing parent");
+  return table;
+}
+
+}  // namespace ssmwn::campaign

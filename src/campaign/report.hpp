@@ -1,0 +1,35 @@
+// Campaign result writers: CSV, JSON, and a console table.
+//
+// Both machine formats are fully deterministic: fixed column/key order,
+// fixed number formatting (shortest round-trip-exact decimal), no
+// timestamps or environment echoes. Running the same plan twice — or on
+// a different thread count — must produce byte-identical files; the
+// replay test diffs these writers' output to enforce that.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/spec.hpp"
+#include "util/table.hpp"
+
+namespace ssmwn::campaign {
+
+/// One row per (grid point, metric): the scenario's full configuration,
+/// the metric name, and its summary statistics.
+void write_csv(std::ostream& out, const CampaignPlan& plan,
+               const std::vector<ScenarioAggregate>& aggregates);
+
+/// Single JSON document: campaign header plus a `scenarios` array with
+/// each grid point's configuration and metric summaries.
+void write_json(std::ostream& out, const CampaignPlan& plan,
+                const std::vector<ScenarioAggregate>& aggregates);
+
+/// Human-oriented summary: one row per grid point, headline metrics only.
+[[nodiscard]] util::Table summary_table(
+    const CampaignPlan& plan,
+    const std::vector<ScenarioAggregate>& aggregates);
+
+}  // namespace ssmwn::campaign

@@ -1,0 +1,202 @@
+#include "campaign/runner.hpp"
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+
+#include "core/dag_ids.hpp"
+#include "graph/graph.hpp"
+#include "metrics/delta.hpp"
+#include "metrics/stability.hpp"
+#include "mobility/mobility.hpp"
+#include "sim/churn.hpp"
+#include "sim/parallel.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ssmwn::campaign {
+
+namespace {
+
+core::ClusterOptions variant_options(Variant variant) noexcept {
+  switch (variant) {
+    case Variant::kBasic: return core::ClusterOptions::basic();
+    case Variant::kDag: return core::ClusterOptions::with_dag();
+    case Variant::kImproved: return core::ClusterOptions::improved();
+    case Variant::kFull: return core::ClusterOptions::full();
+  }
+  return {};
+}
+
+}  // namespace
+
+RunMetrics execute_run(const ScenarioConfig& config, std::uint64_t seed,
+                       RunWorkspace& ws) {
+  util::Rng rng(seed);
+
+  switch (config.topology) {
+    case TopologyKind::kUniform:
+      ws.points = topology::uniform_points(config.n, rng);
+      break;
+    case TopologyKind::kGrid:
+      ws.points = topology::grid_points(topology::grid_side_for(config.n));
+      break;
+    case TopologyKind::kPoisson:
+      ws.points = topology::poisson_points(static_cast<double>(config.n), rng);
+      break;
+  }
+  const std::size_t n = ws.points.size();
+  RunMetrics out;
+  if (n == 0) {  // a Poisson draw can be empty; nothing to measure
+    out.cluster_count = 0.0;
+    return out;
+  }
+
+  // Grid deployments get the paper's adversarial left-to-right id order;
+  // everything else gets uniformly random identifiers (same convention as
+  // the CLI's make_deployment).
+  const auto ids = config.topology == TopologyKind::kGrid
+                       ? topology::sequential_ids(n)
+                       : topology::random_ids(n, rng);
+
+  // One independent sub-stream per stochastic process, split in a fixed
+  // order so adding a process never perturbs the others.
+  util::Rng mobility_rng = rng.split();
+  util::Rng churn_rng = rng.split();
+  util::Rng loss_rng = rng.split();
+  util::Rng dag_rng = rng.split();
+
+  const mobility::SpeedRange speeds{config.speed_min, config.speed_max};
+  std::unique_ptr<mobility::MobilityModel> mover;
+  switch (config.mobility) {
+    case MobilityKind::kNone:
+      break;
+    case MobilityKind::kRandomDirection:
+      mover = std::make_unique<mobility::RandomDirection>(
+          n, speeds, config.world_m, mobility_rng);
+      break;
+    case MobilityKind::kRandomWaypoint:
+      mover = std::make_unique<mobility::RandomWaypoint>(
+          n, speeds, config.world_m, mobility_rng);
+      break;
+  }
+
+  std::optional<sim::NodeChurn> churn;
+  if (config.churn_down > 0.0) {
+    churn.emplace(n, config.churn_down, config.churn_up, churn_rng);
+  }
+
+  const core::ClusterOptions options = variant_options(config.variant);
+
+  util::RunningStats stability, delta, reaffiliation, clusters;
+  ws.prev_heads.clear();
+  bool has_previous = false;
+
+  for (std::size_t window = 0; window < config.steps; ++window) {
+    graph::Graph g = topology::unit_disk_graph(ws.points, config.radius);
+    if (churn) g = sim::mask_nodes(g, churn->step());
+    if (config.tau < 1.0) g = sim::drop_links(g, 1.0 - config.tau, loss_rng);
+
+    const std::span<const char> incumbents(ws.prev_heads.data(),
+                                           ws.prev_heads.size());
+    core::ClusteringResult result;
+    if (options.use_dag_ids) {
+      // DAG names are a property of the current graph; rebuild per window.
+      const auto dag = core::build_dag_ids(g, ids, {}, dag_rng);
+      result = core::cluster_density(g, ids, options, dag.ids, incumbents);
+    } else {
+      result = core::cluster_density(g, ids, options, {}, incumbents);
+    }
+
+    clusters.add(static_cast<double>(result.cluster_count()));
+    if (has_previous) {
+      stability.add(metrics::reelection_ratio(
+          incumbents,
+          std::span<const char>(result.is_head.data(), result.is_head.size())));
+      const auto diff = metrics::diff_clusterings(ws.previous, result);
+      delta.add(static_cast<double>(diff.membership_changes) /
+                static_cast<double>(n));
+      reaffiliation.add(static_cast<double>(diff.parent_changes) /
+                        static_cast<double>(n));
+    }
+    ws.prev_heads.assign(result.is_head.begin(), result.is_head.end());
+    ws.previous = std::move(result);
+    has_previous = true;
+
+    if (mover) mover->step(ws.points, config.window_s);
+  }
+
+  out.windows = stability.count();
+  out.stability = stability.empty() ? 1.0 : stability.mean();
+  out.delta = delta.mean();
+  out.reaffiliation = reaffiliation.mean();
+  out.cluster_count = clusters.mean();
+  return out;
+}
+
+CampaignRunner::CampaignRunner(unsigned threads)
+    : threads_(threads == 0
+                   ? std::max(1u, std::thread::hardware_concurrency())
+                   : threads) {}
+
+std::vector<RunMetrics> CampaignRunner::run(const CampaignPlan& plan) {
+  std::vector<RunMetrics> results(plan.runs.size());
+  if (plan.runs.empty()) return results;
+
+  if (threads_ == 1 || plan.runs.size() == 1) {
+    RunWorkspace ws;
+    for (std::size_t i = 0; i < plan.runs.size(); ++i) {
+      const auto& entry = plan.runs[i];
+      results[i] =
+          execute_run(plan.grid[entry.grid_index].config, entry.seed, ws);
+    }
+    return results;
+  }
+
+  sim::ThreadPool pool(threads_);
+  struct Ctx {
+    const CampaignPlan* plan;
+    RunMetrics* results;
+    std::vector<RunWorkspace>* workspaces;
+    std::vector<std::size_t>* free_slots;
+    std::mutex* mutex;
+  };
+  // One workspace per pool thread; a range claims one for its duration.
+  // At most thread_count() ranges execute concurrently, so the free list
+  // can never underflow.
+  std::vector<RunWorkspace> workspaces(pool.thread_count());
+  std::vector<std::size_t> free_slots;
+  free_slots.reserve(workspaces.size());
+  for (std::size_t i = 0; i < workspaces.size(); ++i) free_slots.push_back(i);
+  std::mutex mutex;
+  Ctx ctx{&plan, results.data(), &workspaces, &free_slots, &mutex};
+
+  pool.parallel_for(
+      plan.runs.size(), 1,
+      [](void* raw, std::size_t begin, std::size_t end) {
+        auto& ctx = *static_cast<Ctx*>(raw);
+        std::size_t slot;
+        {
+          const std::scoped_lock lock(*ctx.mutex);
+          slot = ctx.free_slots->back();
+          ctx.free_slots->pop_back();
+        }
+        RunWorkspace& ws = (*ctx.workspaces)[slot];
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& entry = ctx.plan->runs[i];
+          ctx.results[i] = execute_run(ctx.plan->grid[entry.grid_index].config,
+                                       entry.seed, ws);
+        }
+        const std::scoped_lock lock(*ctx.mutex);
+        ctx.free_slots->push_back(slot);
+      },
+      &ctx);
+  return results;
+}
+
+}  // namespace ssmwn::campaign

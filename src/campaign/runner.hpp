@@ -1,0 +1,71 @@
+// Sharded replication runner for experiment campaigns.
+//
+// A campaign is an embarrassingly parallel bag of runs: each run owns
+// its deployment, its mobility/churn/loss processes, and its RNG (seeded
+// solely from the plan), and never reads another run's state. The runner
+// shards the bag across a `sim::ThreadPool` — one run per dynamically
+// claimed chunk — and writes each result into its plan slot, so the
+// result vector (and everything aggregated from it in index order) is
+// bit-identical for any thread count. Per-worker `RunWorkspace`s are
+// leased for the duration of a run and reused across runs, so the
+// window-loop scratch state stops churning the heap once every worker
+// has warmed up; the per-window graph/clustering rebuilds allocate and
+// free symmetrically, keeping the steady-state heap flat (audited by
+// bench_campaign).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "core/clustering.hpp"
+#include "topology/point.hpp"
+
+namespace ssmwn::campaign {
+
+/// Per-run outcome: means over the run's snapshot windows.
+struct RunMetrics {
+  /// Mean fraction of cluster-heads re-elected window over window
+  /// (the paper's mobility-stability percentage, as a ratio).
+  double stability = 1.0;
+  /// Mean fraction of nodes whose resolved cluster changed per window.
+  double delta = 0.0;
+  /// Mean fraction of nodes whose clusterization-tree parent changed.
+  double reaffiliation = 0.0;
+  /// Mean number of clusters per snapshot.
+  double cluster_count = 0.0;
+  /// Number of window-over-window comparisons that contributed.
+  std::size_t windows = 0;
+};
+
+/// Reusable scratch state for one worker; lease one per concurrent run.
+/// `clear()`-style reuse keeps capacity, so a warmed-up worker re-enters
+/// the window loop without growing the heap.
+struct RunWorkspace {
+  std::vector<topology::Point> points;
+  std::vector<char> prev_heads;
+  core::ClusteringResult previous;
+};
+
+/// Executes one run of `config` from `seed`. All randomness derives from
+/// `seed`; two calls with equal arguments return identical metrics.
+[[nodiscard]] RunMetrics execute_run(const ScenarioConfig& config,
+                                     std::uint64_t seed, RunWorkspace& ws);
+
+class CampaignRunner {
+ public:
+  /// `threads` is the total parallelism including the caller; 0 means
+  /// hardware concurrency. 1 runs everything inline.
+  explicit CampaignRunner(unsigned threads = 1);
+
+  [[nodiscard]] unsigned thread_count() const noexcept { return threads_; }
+
+  /// Runs every entry of the plan and returns the metrics in plan order.
+  /// Deterministic for any thread count.
+  [[nodiscard]] std::vector<RunMetrics> run(const CampaignPlan& plan);
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace ssmwn::campaign

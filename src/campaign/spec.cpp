@@ -1,0 +1,384 @@
+#include "campaign/spec.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace ssmwn::campaign {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) { throw SpecError(message); }
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split_list(std::string_view value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto comma = value.find(',', start);
+    out.push_back(trim(value.substr(start, comma - start)));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+double parse_number(const std::string& key, const std::string& raw) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(raw, &used);
+    if (used != raw.size()) fail(key + ": trailing junk in number '" + raw + "'");
+    return v;
+  } catch (const SpecError&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(key + ": expected a number, got '" + raw + "'");
+  }
+}
+
+std::size_t parse_count(const std::string& key, const std::string& raw) {
+  const double v = parse_number(key, raw);
+  if (v < 0.0 || v != std::floor(v)) {
+    fail(key + ": expected a non-negative integer, got '" + raw + "'");
+  }
+  // Bound before casting: double→size_t above SIZE_MAX is UB, and any
+  // count near it is a typo, not a campaign.
+  if (v > 1e15) fail(key + ": value '" + raw + "' is absurdly large");
+  return static_cast<std::size_t>(v);
+}
+
+TopologyKind parse_topology(const std::string& raw) {
+  if (raw == "uniform") return TopologyKind::kUniform;
+  if (raw == "grid") return TopologyKind::kGrid;
+  if (raw == "poisson") return TopologyKind::kPoisson;
+  fail("topology: expected uniform|grid|poisson, got '" + raw + "'");
+}
+
+MobilityKind parse_mobility(const std::string& raw) {
+  if (raw == "none") return MobilityKind::kNone;
+  if (raw == "random-direction") return MobilityKind::kRandomDirection;
+  if (raw == "random-waypoint") return MobilityKind::kRandomWaypoint;
+  fail("mobility: expected none|random-direction|random-waypoint, got '" +
+       raw + "'");
+}
+
+Variant parse_variant(const std::string& raw) {
+  if (raw == "basic") return Variant::kBasic;
+  if (raw == "dag") return Variant::kDag;
+  if (raw == "improved") return Variant::kImproved;
+  if (raw == "full") return Variant::kFull;
+  fail("variant: expected basic|dag|improved|full, got '" + raw + "'");
+}
+
+void require_scalar(const std::string& key,
+                    const std::vector<std::string>& values) {
+  if (values.size() != 1) {
+    fail(key + ": this key does not support sweep lists");
+  }
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  // Shortest round-trip-exact decimal; the "%.17g" fallback guarantees
+  // distinct values never serialize identically.
+  char buf[64];
+  for (const int precision : {9, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    double parsed = 0.0;
+    if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == value) break;
+  }
+  return buf;
+}
+
+std::string_view to_string(TopologyKind kind) noexcept {
+  switch (kind) {
+    case TopologyKind::kUniform: return "uniform";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kPoisson: return "poisson";
+  }
+  return "?";
+}
+
+std::string_view to_string(MobilityKind kind) noexcept {
+  switch (kind) {
+    case MobilityKind::kNone: return "none";
+    case MobilityKind::kRandomDirection: return "random-direction";
+    case MobilityKind::kRandomWaypoint: return "random-waypoint";
+  }
+  return "?";
+}
+
+std::string_view to_string(Variant variant) noexcept {
+  switch (variant) {
+    case Variant::kBasic: return "basic";
+    case Variant::kDag: return "dag";
+    case Variant::kImproved: return "improved";
+    case Variant::kFull: return "full";
+  }
+  return "?";
+}
+
+std::string canonical_config(const ScenarioConfig& c) {
+  std::ostringstream out;
+  out << "topology=" << to_string(c.topology) << ";n=" << c.n
+      << ";radius=" << format_double(c.radius)
+      << ";variant=" << to_string(c.variant)
+      << ";mobility=" << to_string(c.mobility)
+      << ";speed_min=" << format_double(c.speed_min)
+      << ";speed_max=" << format_double(c.speed_max)
+      << ";tau=" << format_double(c.tau)
+      << ";churn_down=" << format_double(c.churn_down)
+      << ";churn_up=" << format_double(c.churn_up) << ";steps=" << c.steps
+      << ";window_s=" << format_double(c.window_s)
+      << ";world_m=" << format_double(c.world_m);
+  return out.str();
+}
+
+CampaignSpec parse_spec_text(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parse_spec(in);
+}
+
+CampaignSpec parse_spec(std::istream& in) {
+  CampaignSpec spec;
+  std::set<std::string> seen;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::string stripped = trim(line);
+    if (stripped.empty()) continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      fail("line " + std::to_string(line_no) + ": expected 'key = value', got '" +
+           stripped + "'");
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const auto values = split_list(stripped.substr(eq + 1));
+    if (key.empty()) fail("line " + std::to_string(line_no) + ": empty key");
+    for (const auto& v : values) {
+      if (v.empty()) {
+        fail(key + ": empty value (line " + std::to_string(line_no) + ")");
+      }
+    }
+    if (!seen.insert(key).second) fail("duplicate key '" + key + "'");
+
+    if (key == "name") {
+      require_scalar(key, values);
+      spec.name = values.front();
+    } else if (key == "replications") {
+      require_scalar(key, values);
+      spec.replications = parse_count(key, values.front());
+    } else if (key == "seed_base") {
+      require_scalar(key, values);
+      const std::string& raw = values.front();
+      // Strict like every other key: stoull alone would wrap negatives
+      // modulo 2^64 and silently drop trailing junk.
+      try {
+        std::size_t used = 0;
+        if (raw.front() == '-') throw std::invalid_argument(raw);
+        spec.seed_base = std::stoull(raw, &used);
+        if (used != raw.size()) throw std::invalid_argument(raw);
+      } catch (const std::exception&) {
+        fail("seed_base: expected an unsigned integer, got '" + raw + "'");
+      }
+    } else if (key == "window_s") {
+      require_scalar(key, values);
+      spec.window_s = parse_number(key, values.front());
+    } else if (key == "world_m") {
+      require_scalar(key, values);
+      spec.world_m = parse_number(key, values.front());
+    } else if (key == "topology") {
+      spec.topology.clear();
+      for (const auto& v : values) spec.topology.push_back(parse_topology(v));
+    } else if (key == "n") {
+      spec.n.clear();
+      for (const auto& v : values) spec.n.push_back(parse_count(key, v));
+    } else if (key == "radius") {
+      spec.radius.clear();
+      for (const auto& v : values) spec.radius.push_back(parse_number(key, v));
+    } else if (key == "variant") {
+      spec.variant.clear();
+      for (const auto& v : values) spec.variant.push_back(parse_variant(v));
+    } else if (key == "mobility") {
+      spec.mobility.clear();
+      for (const auto& v : values) spec.mobility.push_back(parse_mobility(v));
+    } else if (key == "speed_min") {
+      spec.speed_min.clear();
+      for (const auto& v : values) {
+        spec.speed_min.push_back(parse_number(key, v));
+      }
+    } else if (key == "speed_max") {
+      spec.speed_max.clear();
+      for (const auto& v : values) {
+        spec.speed_max.push_back(parse_number(key, v));
+      }
+    } else if (key == "tau") {
+      spec.tau.clear();
+      for (const auto& v : values) spec.tau.push_back(parse_number(key, v));
+    } else if (key == "churn_down") {
+      spec.churn_down.clear();
+      for (const auto& v : values) {
+        spec.churn_down.push_back(parse_number(key, v));
+      }
+    } else if (key == "churn_up") {
+      spec.churn_up.clear();
+      for (const auto& v : values) {
+        spec.churn_up.push_back(parse_number(key, v));
+      }
+    } else if (key == "steps") {
+      spec.steps.clear();
+      for (const auto& v : values) spec.steps.push_back(parse_count(key, v));
+    } else {
+      fail("unknown key '" + key + "' (line " + std::to_string(line_no) + ")");
+    }
+  }
+  validate(spec);
+  return spec;
+}
+
+CampaignSpec load_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open spec file '" + path + "'");
+  return parse_spec(in);
+}
+
+void validate(const CampaignSpec& spec) {
+  if (spec.replications == 0) fail("replications: must be at least 1");
+  // Negated comparisons so NaN fails every range check.
+  if (!(spec.window_s > 0.0)) fail("window_s: must be positive");
+  if (!(spec.world_m > 0.0)) fail("world_m: must be positive");
+  if (spec.name.empty()) fail("name: must be non-empty");
+  auto check_each = [](const char* key, const auto& values, auto&& ok,
+                       const char* what) {
+    if (values.empty()) fail(std::string(key) + ": needs at least one value");
+    for (const auto& v : values) {
+      if (!ok(v)) {
+        fail(std::string(key) + ": " + what);
+      }
+    }
+  };
+  check_each("n", spec.n, [](std::size_t v) { return v >= 1; },
+             "node count must be at least 1");
+  check_each("radius", spec.radius, [](double v) { return v > 0.0 && v < 1e9; },
+             "radius must be positive");
+  check_each("tau", spec.tau, [](double v) { return v > 0.0 && v <= 1.0; },
+             "delivery probability must be in (0, 1]");
+  check_each("churn_down", spec.churn_down,
+             [](double v) { return v >= 0.0 && v <= 1.0; },
+             "probability must be in [0, 1]");
+  check_each("churn_up", spec.churn_up,
+             [](double v) { return v >= 0.0 && v <= 1.0; },
+             "probability must be in [0, 1]");
+  check_each("speed_min", spec.speed_min,
+             [](double v) { return v >= 0.0 && v < 1e9; },
+             "speed must be non-negative");
+  check_each("speed_max", spec.speed_max,
+             [](double v) { return v >= 0.0 && v < 1e9; },
+             "speed must be non-negative");
+  check_each("steps", spec.steps, [](std::size_t v) { return v >= 1; },
+             "at least one snapshot window is required");
+  // Empty axes for the enum fields can only arise programmatically.
+  if (spec.topology.empty()) fail("topology: needs at least one value");
+  if (spec.variant.empty()) fail("variant: needs at least one value");
+  if (spec.mobility.empty()) fail("mobility: needs at least one value");
+}
+
+std::uint64_t run_seed(std::uint64_t seed_base, std::string_view canonical,
+                       std::uint64_t replication) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64-bit
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  // Finalize through SplitMix64 so nearby (seed_base, rep) pairs land in
+  // unrelated parts of the seed space.
+  std::uint64_t state = seed_base;
+  const std::uint64_t base = util::splitmix64(state);
+  state = h ^ base;
+  const std::uint64_t point = util::splitmix64(state);
+  state = point + replication * 0x9e3779b97f4a7c15ULL;
+  return util::splitmix64(state);
+}
+
+CampaignPlan expand(const CampaignSpec& spec) {
+  validate(spec);
+  CampaignPlan plan;
+  plan.name = spec.name;
+  plan.replications = spec.replications;
+  plan.seed_base = spec.seed_base;
+
+  // Fixed axis nesting (outermost first). The order here — not the order
+  // of lines in the spec file — defines grid indices, so two files with
+  // reordered fields expand to identical plans.
+  for (const auto topology : spec.topology) {
+    for (const auto n : spec.n) {
+      for (const auto radius : spec.radius) {
+        for (const auto variant : spec.variant) {
+          for (const auto mobility : spec.mobility) {
+            for (const auto speed_min : spec.speed_min) {
+              for (const auto speed_max : spec.speed_max) {
+                for (const auto tau : spec.tau) {
+                  for (const auto churn_down : spec.churn_down) {
+                    for (const auto churn_up : spec.churn_up) {
+                      for (const auto steps : spec.steps) {
+                        ScenarioConfig config;
+                        config.topology = topology;
+                        config.n = n;
+                        config.radius = radius;
+                        config.variant = variant;
+                        config.mobility = mobility;
+                        config.speed_min = speed_min;
+                        config.speed_max = speed_max;
+                        config.tau = tau;
+                        config.churn_down = churn_down;
+                        config.churn_up = churn_up;
+                        config.steps = steps;
+                        config.window_s = spec.window_s;
+                        config.world_m = spec.world_m;
+                        if (config.speed_min > config.speed_max) {
+                          fail("speed_min " + format_double(config.speed_min) +
+                               " exceeds speed_max " +
+                               format_double(config.speed_max));
+                        }
+                        plan.grid.push_back(
+                            {config, canonical_config(config)});
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  plan.runs.reserve(plan.grid.size() * spec.replications);
+  for (std::size_t g = 0; g < plan.grid.size(); ++g) {
+    for (std::size_t rep = 0; rep < spec.replications; ++rep) {
+      plan.runs.push_back(
+          {g, rep, run_seed(spec.seed_base, plan.grid[g].canonical, rep)});
+    }
+  }
+  return plan;
+}
+
+}  // namespace ssmwn::campaign

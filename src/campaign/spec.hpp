@@ -1,0 +1,150 @@
+// Declarative experiment specifications for the campaign engine.
+//
+// The paper's claims are statistical — stability of the density-based
+// clustering under mobility, churn, and lossy media, averaged over many
+// deployments — so a single hand-wired run is never the interesting
+// unit. A `CampaignSpec` describes a whole *grid* of scenarios in a
+// simple `key = value` file (lists sweep an axis, `#` starts a comment):
+//
+//   name         = mobility-stability
+//   topology     = uniform            # uniform | grid | poisson
+//   n            = 1000               # node count (poisson: intensity λ)
+//   radius       = 0.08
+//   variant      = basic, improved    # basic | dag | improved | full
+//   mobility     = random-direction   # none | random-direction | random-waypoint
+//   speed_max    = 1.6, 10            # m/s — sweeps pedestrian vs vehicular
+//   steps        = 450                # 2 s windows (15 min, like the paper)
+//   replications = 16
+//   seed_base    = 20050612
+//
+// Expansion takes the Cartesian product of every list-valued axis and
+// schedules `replications` independent runs per grid point. Each run's
+// seed derives from (seed_base, canonical serialization of its grid
+// point, replication index) — *not* from the position of fields in the
+// file — so seeds are stable under field reordering and unique across
+// the grid (asserted by tests/campaign/spec_property_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssmwn::campaign {
+
+/// Malformed spec (unknown key, bad value, impossible combination).
+/// Derives from std::invalid_argument so the CLI maps it to the
+/// bad-arguments exit code rather than the run-failure one.
+class SpecError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+enum class TopologyKind { kUniform, kGrid, kPoisson };
+enum class MobilityKind { kNone, kRandomDirection, kRandomWaypoint };
+
+/// Protocol variant, mirroring core::ClusterOptions presets.
+enum class Variant { kBasic, kDag, kImproved, kFull };
+
+[[nodiscard]] std::string_view to_string(TopologyKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(MobilityKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(Variant variant) noexcept;
+
+/// One fully resolved grid point: everything a single run needs except
+/// its seed.
+struct ScenarioConfig {
+  TopologyKind topology = TopologyKind::kUniform;
+  std::size_t n = 300;          // node count; intensity λ for poisson
+  double radius = 0.08;         // unit-disk radio range (unit square)
+  Variant variant = Variant::kBasic;
+  MobilityKind mobility = MobilityKind::kNone;
+  double speed_min = 0.0;       // m/s
+  double speed_max = 1.6;       // m/s
+  double tau = 1.0;             // per-link delivery probability per window
+  double churn_down = 0.0;      // P(up node goes down) per window
+  double churn_up = 0.5;        // P(down node recovers) per window
+  std::size_t steps = 50;       // snapshot windows per run
+  double window_s = 2.0;        // seconds simulated between snapshots
+  double world_m = 1000.0;      // meters per unit-square side
+};
+
+/// Shortest decimal that round-trips to the exact double; used by the
+/// canonical serialization and every report writer so numbers format
+/// identically everywhere.
+[[nodiscard]] std::string format_double(double value);
+
+/// Fixed-order `key=value` serialization of a grid point. Identical
+/// configs serialize identically regardless of how the spec file was
+/// written; run seeds hash this string.
+[[nodiscard]] std::string canonical_config(const ScenarioConfig& config);
+
+/// A parsed spec: scalar campaign-wide settings plus one value list per
+/// sweepable axis (singleton lists for axes the file left at defaults).
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::size_t replications = 16;
+  std::uint64_t seed_base = 20050612;
+  double window_s = 2.0;
+  double world_m = 1000.0;
+
+  std::vector<TopologyKind> topology{TopologyKind::kUniform};
+  std::vector<std::size_t> n{300};
+  std::vector<double> radius{0.08};
+  std::vector<Variant> variant{Variant::kBasic};
+  std::vector<MobilityKind> mobility{MobilityKind::kNone};
+  std::vector<double> speed_min{0.0};
+  std::vector<double> speed_max{1.6};
+  std::vector<double> tau{1.0};
+  std::vector<double> churn_down{0.0};
+  std::vector<double> churn_up{0.5};
+  std::vector<std::size_t> steps{50};
+};
+
+/// Parses `key = value` text. Throws SpecError on unknown keys,
+/// duplicate keys, malformed values, lists on scalar-only keys, or
+/// out-of-range settings (zero replications, negative radius, ...).
+[[nodiscard]] CampaignSpec parse_spec_text(std::string_view text);
+[[nodiscard]] CampaignSpec parse_spec(std::istream& in);
+/// Loads and parses a spec file; throws SpecError if unreadable.
+[[nodiscard]] CampaignSpec load_spec(const std::string& path);
+
+/// Semantic validation shared by the parser and programmatic callers.
+void validate(const CampaignSpec& spec);
+
+/// One scheduled run of the expanded campaign.
+struct RunPlanEntry {
+  std::size_t grid_index = 0;   // into CampaignPlan::grid
+  std::size_t replication = 0;  // 0-based within the grid point
+  std::uint64_t seed = 0;       // sole source of the run's randomness
+};
+
+struct GridPoint {
+  ScenarioConfig config;
+  std::string canonical;  // canonical_config(config), cached
+};
+
+/// The expanded campaign: every grid point and every run, in a fixed
+/// deterministic order (grid-major, replication-minor).
+struct CampaignPlan {
+  std::string name;
+  std::size_t replications = 0;
+  std::uint64_t seed_base = 0;
+  std::vector<GridPoint> grid;
+  std::vector<RunPlanEntry> runs;
+};
+
+/// Cartesian-expands the spec. Validates first; throws SpecError on
+/// impossible combinations (e.g. speed_min > speed_max).
+[[nodiscard]] CampaignPlan expand(const CampaignSpec& spec);
+
+/// Seed of replication `rep` of the grid point with the given canonical
+/// serialization. Deterministic, order-independent, and collision-
+/// resistant across a campaign's grid (splitmix64 over an FNV-1a hash).
+[[nodiscard]] std::uint64_t run_seed(std::uint64_t seed_base,
+                                     std::string_view canonical,
+                                     std::uint64_t replication) noexcept;
+
+}  // namespace ssmwn::campaign

@@ -1,0 +1,138 @@
+// MetricsAggregator and the util::stats functions it builds on, checked
+// against hand-computed fixtures (including single-sample and skewed
+// distributions, where naive implementations drift).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "util/stats.hpp"
+
+namespace ssmwn {
+namespace {
+
+campaign::RunMetrics stability_only(double value) {
+  campaign::RunMetrics m;
+  m.stability = value;
+  return m;
+}
+
+TEST(MetricsAggregator, HandComputedFixture) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: the classic stddev teaching set.
+  //   mean = 5, sample variance = 32/7, p50 = 4.5, p95 = 8.3.
+  campaign::MetricsAggregator aggregator(1);
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    aggregator.add(0, stability_only(x));
+  }
+  const auto aggregates = aggregator.summarize();
+  ASSERT_EQ(aggregates.size(), 1u);
+  const auto& s = aggregates[0].stability();
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(32.0 / 7.0));
+  // percentile uses linear interpolation on the sorted sample:
+  // p50 sits midway between the 4th and 5th order statistics (4 and 5);
+  // p95 at position 0.95*7 = 6.65, between 7 and 9.
+  EXPECT_DOUBLE_EQ(s.p50, 4.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.0 + 0.65 * 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(MetricsAggregator, SingleSample) {
+  campaign::MetricsAggregator aggregator(1);
+  aggregator.add(0, stability_only(42.0));
+  const auto aggregates = aggregator.summarize();
+  const auto& s = aggregates[0].stability();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);  // undefined variance reports 0, not NaN
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.p95, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(MetricsAggregator, SkewedDistribution) {
+  // {1, 1, 1, 1, 100}: one outlier dominates mean and p95 but not p50.
+  campaign::MetricsAggregator aggregator(1);
+  for (const double x : {1.0, 1.0, 1.0, 1.0, 100.0}) {
+    aggregator.add(0, stability_only(x));
+  }
+  const auto aggregates = aggregator.summarize();
+  const auto& s = aggregates[0].stability();
+  EXPECT_DOUBLE_EQ(s.mean, 20.8);
+  // Sample variance: (4*19.8^2 + 79.2^2) / 4 = 1960.2.
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(1960.2));
+  EXPECT_DOUBLE_EQ(s.p50, 1.0);
+  // p95 position 0.95*4 = 3.8: 0.2 of the way is still 1, 0.8 toward 100.
+  EXPECT_DOUBLE_EQ(s.p95, 1.0 + 0.8 * 99.0);
+}
+
+TEST(MetricsAggregator, EmptyGridPointReportsZeros) {
+  campaign::MetricsAggregator aggregator(2);
+  aggregator.add(1, stability_only(3.0));
+  const auto aggregates = aggregator.summarize();
+  EXPECT_EQ(aggregates[0].stability().count, 0u);
+  EXPECT_DOUBLE_EQ(aggregates[0].stability().mean, 0.0);
+  EXPECT_DOUBLE_EQ(aggregates[0].stability().p95, 0.0);
+  EXPECT_EQ(aggregates[1].stability().count, 1u);
+}
+
+TEST(MetricsAggregator, MetricsLandInTheirOwnColumns) {
+  campaign::MetricsAggregator aggregator(1);
+  campaign::RunMetrics m;
+  m.stability = 0.25;
+  m.delta = 0.5;
+  m.reaffiliation = 0.75;
+  m.cluster_count = 12.0;
+  aggregator.add(0, m);
+  const auto aggregates = aggregator.summarize();
+  const auto& a = aggregates[0];
+  EXPECT_DOUBLE_EQ(a.stability().mean, 0.25);
+  EXPECT_DOUBLE_EQ(a.delta().mean, 0.5);
+  EXPECT_DOUBLE_EQ(a.reaffiliation().mean, 0.75);
+  EXPECT_DOUBLE_EQ(a.cluster_count().mean, 12.0);
+}
+
+TEST(MetricsAggregator, OutOfRangeGridIndexThrows) {
+  campaign::MetricsAggregator aggregator(1);
+  EXPECT_THROW(aggregator.add(1, stability_only(0.0)), std::out_of_range);
+}
+
+// --- the util::stats substrate -------------------------------------------
+
+TEST(UtilStats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(util::percentile({}, 0.5), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(util::percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(util::percentile(one, 1.0), 7.0);
+  const std::vector<double> pair{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(util::percentile(pair, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(util::percentile(pair, 1.0), 3.0);
+  // Out-of-range quantiles clamp instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(util::percentile(pair, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(pair, 1.5), 3.0);
+  // Unsorted input is sorted internally.
+  const std::vector<double> unsorted{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(util::percentile(unsorted, 0.5), 5.0);
+}
+
+TEST(UtilStats, RunningStatsMergeMatchesSingleStream) {
+  util::RunningStats whole, left, right;
+  const std::vector<double> sample{0.1, 2.5, -3.0, 7.75, 100.0, 0.0, 1.0};
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    whole.add(sample[i]);
+    (i < 3 ? left : right).add(sample[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,0 +1,165 @@
+// Properties of spec parsing and grid expansion: the expansion is
+// exhaustive and duplicate-free, per-run seeds are unique and do not
+// depend on the order of fields in the file, and malformed specs are
+// rejected with a SpecError — never an assert.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "campaign/spec.hpp"
+
+namespace ssmwn {
+namespace {
+
+using campaign::CampaignSpec;
+using campaign::SpecError;
+
+TEST(CampaignSpec, ExpansionIsExhaustiveAndDuplicateFree) {
+  const auto spec = campaign::parse_spec_text(R"(
+    topology     = uniform, grid
+    n            = 50, 100, 200
+    radius       = 0.08, 0.1
+    variant      = basic, full
+    replications = 5
+  )");
+  const auto plan = campaign::expand(spec);
+  EXPECT_EQ(plan.grid.size(), 2u * 3u * 2u * 2u);
+  EXPECT_EQ(plan.runs.size(), plan.grid.size() * 5u);
+
+  // Every grid point is distinct (canonical serializations are a set).
+  std::set<std::string> canonicals;
+  for (const auto& point : plan.grid) canonicals.insert(point.canonical);
+  EXPECT_EQ(canonicals.size(), plan.grid.size());
+
+  // Every (grid, replication) pair appears exactly once, grid-major.
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& run : plan.runs) {
+    EXPECT_LT(run.grid_index, plan.grid.size());
+    EXPECT_LT(run.replication, 5u);
+    pairs.insert({run.grid_index, run.replication});
+  }
+  EXPECT_EQ(pairs.size(), plan.runs.size());
+}
+
+TEST(CampaignSpec, RunSeedsAreUnique) {
+  const auto spec = campaign::parse_spec_text(R"(
+    n            = 50, 100, 200, 400
+    radius       = 0.05, 0.08, 0.1
+    tau          = 1, 0.9, 0.8
+    variant      = basic, dag, improved, full
+    replications = 7
+  )");
+  const auto plan = campaign::expand(spec);
+  std::set<std::uint64_t> seeds;
+  for (const auto& run : plan.runs) seeds.insert(run.seed);
+  EXPECT_EQ(seeds.size(), plan.runs.size()) << "seed collision in the plan";
+}
+
+TEST(CampaignSpec, SeedsAreStableUnderFieldReordering) {
+  // Same campaign, fields written in two different orders.
+  const auto forward = campaign::expand(campaign::parse_spec_text(R"(
+    name         = order
+    topology     = uniform, poisson
+    n            = 80
+    radius       = 0.1
+    variant      = basic, improved
+    replications = 3
+    seed_base    = 99
+  )"));
+  const auto reversed = campaign::expand(campaign::parse_spec_text(R"(
+    seed_base    = 99
+    replications = 3
+    variant      = basic, improved
+    radius       = 0.1
+    n            = 80
+    topology     = uniform, poisson
+    name         = order
+  )"));
+  ASSERT_EQ(forward.runs.size(), reversed.runs.size());
+  for (std::size_t i = 0; i < forward.runs.size(); ++i) {
+    EXPECT_EQ(forward.runs[i].seed, reversed.runs[i].seed) << "run " << i;
+    EXPECT_EQ(forward.runs[i].grid_index, reversed.runs[i].grid_index);
+  }
+  ASSERT_EQ(forward.grid.size(), reversed.grid.size());
+  for (std::size_t g = 0; g < forward.grid.size(); ++g) {
+    EXPECT_EQ(forward.grid[g].canonical, reversed.grid[g].canonical);
+  }
+}
+
+TEST(CampaignSpec, SeedsDependOnSeedBaseAndConfigAndReplication) {
+  const std::string canonical =
+      campaign::canonical_config(campaign::ScenarioConfig{});
+  const auto a = campaign::run_seed(1, canonical, 0);
+  EXPECT_NE(a, campaign::run_seed(2, canonical, 0));
+  EXPECT_NE(a, campaign::run_seed(1, canonical, 1));
+  EXPECT_NE(a, campaign::run_seed(1, canonical + ";x=1", 0));
+  EXPECT_EQ(a, campaign::run_seed(1, canonical, 0));  // pure function
+}
+
+TEST(CampaignSpec, DefaultsRoundTrip) {
+  // An empty spec is a valid single-scenario campaign.
+  const auto plan = campaign::expand(campaign::parse_spec_text(""));
+  EXPECT_EQ(plan.grid.size(), 1u);
+  EXPECT_EQ(plan.runs.size(), plan.replications);
+}
+
+TEST(CampaignSpec, MalformedSpecsAreRejectedWithClearErrors) {
+  const auto rejects = [](const char* text, const char* needle) {
+    try {
+      (void)campaign::expand(campaign::parse_spec_text(text));
+      FAIL() << "spec was accepted: " << text;
+    } catch (const SpecError& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << "message '" << error.what() << "' lacks '" << needle << "'";
+    }
+  };
+  rejects("replications = 0", "replications");
+  rejects("radius = -0.5", "radius");
+  rejects("radius = 0", "radius");
+  rejects("frobnicate = 1", "unknown key 'frobnicate'");
+  rejects("variant = bogus", "variant");
+  rejects("topology = torus", "topology");
+  rejects("mobility = teleport", "mobility");
+  rejects("n = 0", "n");
+  rejects("n = 2.5", "n");
+  rejects("n = ten", "n");
+  rejects("tau = 0", "tau");
+  rejects("tau = 1.5", "tau");
+  rejects("churn_down = 2", "churn_down");
+  rejects("steps = 0", "steps");
+  rejects("window_s = -1", "window_s");
+  rejects("window_s = nan", "window_s");
+  rejects("seed_base = 1, 2", "seed_base");        // scalar-only key
+  rejects("seed_base = 20o50612", "seed_base");    // trailing junk
+  rejects("seed_base = -1", "seed_base");          // stoull would wrap
+  rejects("n = 1e20", "n");                        // double->size_t UB guard
+  rejects("replications = 1e18", "replications");  // absurd count
+  rejects("name = a, b", "name");                  // scalar-only key
+  rejects("n 5", "key = value");                   // missing '='
+  rejects("n =", "empty value");
+  rejects("n = 5\nn = 6", "duplicate key 'n'");
+  rejects("radius = 0.1abc", "radius");            // trailing junk
+  rejects("speed_min = 5\nspeed_max = 1", "speed_min");  // impossible combo
+}
+
+TEST(CampaignSpec, SpecErrorIsInvalidArgument) {
+  // The CLI maps std::invalid_argument to the bad-arguments exit code;
+  // spec errors must ride that path, not the run-failure one.
+  EXPECT_THROW((void)campaign::parse_spec_text("replications = 0"),
+               std::invalid_argument);
+}
+
+TEST(CampaignSpec, CommentsAndWhitespaceAreIgnored) {
+  const auto spec = campaign::parse_spec_text(R"(
+    # full-line comment
+    name = commented   # trailing comment
+       n   =   123
+  )");
+  EXPECT_EQ(spec.name, "commented");
+  ASSERT_EQ(spec.n.size(), 1u);
+  EXPECT_EQ(spec.n.front(), 123u);
+}
+
+}  // namespace
+}  // namespace ssmwn

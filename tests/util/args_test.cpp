@@ -68,5 +68,58 @@ TEST(Args, LastValueWins) {
   EXPECT_EQ(args.get_int("n", 0), 2);
 }
 
+// The CLI rejects unrecognized flags with the bad-arguments exit code
+// (2, distinct from run-failure 1); that hinges on `unknown()` seeing
+// exactly the flags no handler consumed — via any accessor, including
+// `has`.
+TEST(Args, HasMarksFlagsAsConsumed) {
+  const auto args = parse({"--replications", "8", "--quiet"});
+  EXPECT_TRUE(args.has("replications"));
+  EXPECT_TRUE(args.get_bool("quiet", false));
+  EXPECT_TRUE(args.unknown().empty());
+}
+
+TEST(Args, UnknownIsEmptyWhenNoFlagsGiven) {
+  const auto args = parse({"campaign", "spec.file"});
+  EXPECT_TRUE(args.unknown().empty());
+}
+
+// Negative numbers start with a single dash, not a flag prefix, so they
+// parse as values (`--corrupt -0.5` must not eat the next flag).
+TEST(Args, NegativeNumbersAreValues) {
+  const auto args = parse({"--threads", "-1", "--radius", "-0.5"});
+  EXPECT_EQ(args.get_int("threads", 0), -1);
+  EXPECT_DOUBLE_EQ(args.get_double("radius", 0.0), -0.5);
+}
+
+// `--key=` yields an empty value, which every typed accessor treats as
+// absent: the fallback applies instead of a parse error.
+TEST(Args, EmptyValueFallsBack) {
+  const auto args = parse({"--n="});
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_EQ(args.get("n", "dflt"), "");
+}
+
+// A bare flag directly before a positional consumes it as its value —
+// the documented reason `ssmwn campaign <spec>` puts the subcommand and
+// spec path first.
+TEST(Args, BareFlagBeforePositionalConsumesIt) {
+  const auto args = parse({"--grid", "cluster"});
+  EXPECT_EQ(args.get("grid", ""), "cluster");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+// Positionals keep their order even when interleaved with flags: the
+// campaign subcommand reads positional()[1] as the spec path.
+TEST(Args, SubcommandThenFileWithFlagsInterleaved) {
+  const auto args =
+      parse({"campaign", "--threads", "4", "run.spec", "--csv", "out.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "campaign");
+  EXPECT_EQ(args.positional()[1], "run.spec");
+  EXPECT_EQ(args.get_int("threads", 1), 4);
+  EXPECT_EQ(args.get("csv", ""), "out.csv");
+}
+
 }  // namespace
 }  // namespace ssmwn

@@ -5,6 +5,8 @@
 //                  [--seed S] [--dot out.dot] [--csv out.csv] [--map]
 //   ssmwn protocol --n 200 --radius 0.1 [--tau 0.8] [--steps 100]
 //                  [--corrupt 0.3] [--dag] [--threads 4]
+//                  [--scheduler sync|async] [--daemon randomized|...]
+//                  [--period 1.0] [--period-jitter 0.1] [--link-delay 0.02]
 //   ssmwn routing  --n 500 --radius 0.08 [--pairs 300]
 //   ssmwn campaign spec-file [--threads 4] [--csv F] [--json F]
 //
@@ -34,13 +36,16 @@
 #include "cluster/max_min.hpp"
 #include "core/clustering.hpp"
 #include "core/dag_ids.hpp"
+#include "core/legitimacy.hpp"
 #include "core/protocol.hpp"
 #include "graph/dot.hpp"
 #include "metrics/cluster_metrics.hpp"
 #include "routing/routing.hpp"
+#include "sim/async_network.hpp"
 #include "sim/loss.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
+#include "stabilize/convergence.hpp"
 #include "topology/generators.hpp"
 #include "topology/ids.hpp"
 #include "topology/udg.hpp"
@@ -158,6 +163,93 @@ int run_cluster(const util::Args& args, util::Rng& rng) {
   return 0;
 }
 
+/// `protocol --scheduler async`: the event-driven engine. Runs the
+/// protocol from a cold start (and optionally from a corrupted state)
+/// under the chosen daemon and reports virtual-time convergence and
+/// messages-to-convergence instead of step counts.
+int run_protocol_async(const util::Args& args, const Deployment& d,
+                       core::DensityProtocol& protocol, util::Rng& rng) {
+  sim::AsyncConfig async;
+  async.period_s = args.get_double("period", 1.0);
+  async.period_jitter = args.get_double("period-jitter", 0.1);
+  async.link_delay_s = args.get_double("link-delay", 0.02);
+  // Lower bound = one virtual-time tick (1 µs): a sub-tick period
+  // cannot advance the event clock.
+  if (!(async.period_s >= 1e-6) || async.period_s >= 1e9) {
+    throw std::invalid_argument("--period must be in [1e-6, 1e9) seconds");
+  }
+  if (async.period_jitter < 0.0 || async.period_jitter >= 1.0) {
+    throw std::invalid_argument("--period-jitter must be in [0, 1)");
+  }
+  if (async.link_delay_s < 0.0 || async.link_delay_s >= 1e9) {
+    throw std::invalid_argument("--link-delay must be in [0, 1e9) seconds");
+  }
+  const std::string daemon = args.get("daemon", "randomized");
+  if (daemon == "synchronous") {
+    async.daemon = sim::DaemonKind::kSynchronous;
+  } else if (daemon == "randomized") {
+    async.daemon = sim::DaemonKind::kRandomized;
+  } else if (daemon == "unfair") {
+    async.daemon = sim::DaemonKind::kUnfairRoundRobin;
+  } else {
+    throw std::invalid_argument(
+        "--daemon must be synchronous|randomized|unfair (got '" + daemon +
+        "')");
+  }
+
+  const double tau = args.get_double("tau", 1.0);
+  const auto medium = sim::make_loss_model(tau, rng.split());
+  sim::AsyncNetwork network(d.graph, protocol, *medium, async, rng.split());
+
+  // Shared legitimacy definition (core/legitimacy.hpp) — the CLI and
+  // the campaign runner must agree on what "converged" means.
+  const bool exact =
+      core::head_identity_is_deterministic(protocol.config().cluster);
+  core::ClusteringResult oracle;
+  if (exact) {
+    oracle = core::cluster_density(d.graph, d.ids,
+                                   protocol.config().cluster);
+  }
+  core::LegitimacyCheck legitimacy(d.graph, protocol,
+                                   exact ? &oracle : nullptr);
+
+  const auto periods = static_cast<double>(args.get_int("steps", 100));
+  auto settle = [&](const char* label) {
+    legitimacy.reset();
+    // settle_async counts messages relative to the phase start, so a
+    // recovery phase reports only its own traffic, not the cold
+    // start's.
+    const auto report = sim::settle_async(
+        network, [&] { return legitimacy.check(); }, periods);
+    std::printf("%s: %s at t=%.2fs (virtual), %llu messages to "
+                "convergence, %llu delivered this phase, %llu events\n",
+                label, report.converged ? "converged" : "NOT converged",
+                report.stabilization_time_s,
+                static_cast<unsigned long long>(report.messages_to_converge),
+                static_cast<unsigned long long>(report.messages_total),
+                static_cast<unsigned long long>(network.events_processed()));
+    return report.converged;
+  };
+
+  std::printf("scheduler=async daemon=%s period=%gs jitter=%g "
+              "link_delay=%gs\n",
+              daemon.c_str(), async.period_s, async.period_jitter,
+              async.link_delay_s);
+  bool ok = settle("cold start");
+
+  const double corrupt = args.get_double("corrupt", 0.0);
+  if (corrupt > 0.0) {
+    util::Rng chaos(rng());
+    const auto hit = protocol.corrupt_fraction(chaos, corrupt);
+    std::printf("corrupted %zu nodes\n", hit);
+    ok = settle("recovery") && ok;
+  }
+  std::size_t heads = 0;
+  for (const char flag : protocol.head_flags()) heads += flag != 0;
+  std::printf("final cluster-heads: %zu\n", heads);
+  return ok ? kExitOk : kExitRunFailure;
+}
+
 int run_protocol(const util::Args& args, util::Rng& rng) {
   const auto d = make_deployment(args, rng);
   core::ProtocolConfig config;
@@ -168,15 +260,28 @@ int run_protocol(const util::Args& args, util::Rng& rng) {
   config.cache_max_age = tau < 1.0 ? 16 : 8;
 
   core::DensityProtocol protocol(d.ids, config, rng.split());
-  sim::PerfectDelivery perfect;
-  sim::BernoulliDelivery lossy(tau < 1.0 ? tau : 1.0, rng.split());
-  sim::LossModel& medium = tau < 1.0
-                               ? static_cast<sim::LossModel&>(lossy)
-                               : static_cast<sim::LossModel&>(perfect);
+
+  const std::string scheduler = args.get("scheduler", "sync");
+  if (scheduler == "async") {
+    return run_protocol_async(args, d, protocol, rng);
+  }
+  if (scheduler != "sync") {
+    throw std::invalid_argument("--scheduler must be sync|async (got '" +
+                                scheduler + "')");
+  }
+  for (const char* async_only :
+       {"daemon", "period", "period-jitter", "link-delay"}) {
+    if (args.has(async_only)) {
+      throw std::invalid_argument(std::string("--") + async_only +
+                                  " requires --scheduler async");
+    }
+  }
+
+  const auto medium = sim::make_loss_model(tau, rng.split());
   // --threads N parallelizes the step engine; 0 = hardware concurrency.
   // Results are bit-identical for any value (see docs/ARCHITECTURE.md).
   const unsigned threads = parse_threads(args);
-  sim::Network network(d.graph, protocol, medium, threads);
+  sim::Network network(d.graph, protocol, *medium, threads);
   if (threads != 1) {
     // Report the effective size: 0 resolves to hardware concurrency and
     // oversized requests are clamped by the engine.
@@ -319,7 +424,10 @@ void usage() {
       "           [--dot F] [--csv F] [--map]\n"
       "  protocol --n N --radius R [--grid] [--seed S] [--tau T]\n"
       "           [--steps K] [--corrupt FRAC] [--dag] [--fusion]\n"
-      "           [--threads N]\n"
+      "           [--threads N] [--scheduler sync|async]\n"
+      "           [--daemon synchronous|randomized|unfair]\n"
+      "           [--period SECS] [--period-jitter FRAC]\n"
+      "           [--link-delay SECS]\n"
       "  routing  --n N --radius R [--grid] [--seed S] [--pairs K]\n"
       "  campaign <spec-file> [--threads N] [--csv F] [--json F]\n"
       "           [--quiet] [--replications N] [--seed S]\n"
@@ -328,6 +436,12 @@ void usage() {
       "               concurrency, default 1; results are identical\n"
       "               for any value\n"
       "  --seed S     experiment seed (campaign: overrides seed_base)\n"
+      "  --scheduler  execution engine: sync (lockstep steps, default)\n"
+      "               or async (event-driven: per-node jittered\n"
+      "               broadcast periods, per-link delays, pluggable\n"
+      "               daemon; reports virtual convergence time and\n"
+      "               messages-to-convergence; --steps bounds the\n"
+      "               horizon in periods)\n"
       "exit codes: 0 success, 1 run failure, 2 bad arguments or spec");
 }
 
@@ -343,7 +457,8 @@ const std::map<std::string, std::vector<std::string>> kKnownFlags = {
       "dot", "csv", "map"}},
     {"protocol",
      {"n", "radius", "grid", "tau", "steps", "corrupt", "dag", "fusion",
-      "threads"}},
+      "threads", "scheduler", "daemon", "period", "period-jitter",
+      "link-delay"}},
     {"routing", {"n", "radius", "grid", "pairs"}},
     {"campaign", {"threads", "csv", "json", "quiet", "replications"}},
 };

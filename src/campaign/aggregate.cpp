@@ -18,6 +18,8 @@ void MetricsAggregator::add(std::size_t grid_index, const RunMetrics& m) {
   cell[1].push_back(m.delta);
   cell[2].push_back(m.reaffiliation);
   cell[3].push_back(m.cluster_count);
+  cell[4].push_back(m.converge_time);
+  cell[5].push_back(m.messages);
 }
 
 std::vector<ScenarioAggregate> MetricsAggregator::summarize() const {

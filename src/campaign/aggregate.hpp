@@ -27,9 +27,32 @@ struct MetricSummary {
   double max = 0.0;
 };
 
-/// The metrics reported per scenario, in fixed report order.
-inline constexpr std::array<std::string_view, 4> kMetricNames{
-    "stability", "delta", "reaffiliation", "cluster_count"};
+/// The metrics reported per scenario, in fixed report order. The first
+/// kSyncMetricCount are the window-loop metrics every campaign reports;
+/// the trailing two (virtual convergence time, messages to convergence)
+/// only mean something for async grid points, so the report writers
+/// emit them only when the plan contains one (see report.hpp — this is
+/// what keeps pre-existing sync campaigns byte-identical).
+inline constexpr std::array<std::string_view, 6> kMetricNames{
+    "stability",     "delta",    "reaffiliation",
+    "cluster_count", "converge_time", "messages"};
+
+/// Number of metrics a purely synchronous campaign reports.
+inline constexpr std::size_t kSyncMetricCount = 4;
+
+/// Whether metric `m` (an index into kMetricNames) is actually measured
+/// by runs of the given kind — the report writers emit only these, so
+/// no row ever carries a fabricated value (a hardcoded delta=0 for an
+/// async run would be indistinguishable from a measured one).
+/// stability and cluster_count are measured by both engines; delta and
+/// reaffiliation are window-loop (sync) metrics; converge_time and
+/// messages are event-engine (async) metrics.
+[[nodiscard]] constexpr bool metric_applies(std::size_t m,
+                                            bool async_point) noexcept {
+  if (m == 0 || m == 3) return true;        // stability, cluster_count
+  if (m == 1 || m == 2) return !async_point;  // delta, reaffiliation
+  return async_point;                        // converge_time, messages
+}
 
 struct ScenarioAggregate {
   std::size_t grid_index = 0;
@@ -48,11 +71,18 @@ struct ScenarioAggregate {
   [[nodiscard]] const MetricSummary& cluster_count() const noexcept {
     return metrics[3];
   }
+  [[nodiscard]] const MetricSummary& converge_time() const noexcept {
+    return metrics[4];
+  }
+  [[nodiscard]] const MetricSummary& messages() const noexcept {
+    return metrics[5];
+  }
 };
 
 /// Collects per-run samples keyed by grid point and summarizes them.
 /// Percentiles need the raw samples, so the aggregator keeps them all;
-/// a campaign's sample storage is grid × replications × 4 doubles.
+/// a campaign's sample storage is grid × replications ×
+/// kMetricNames.size() doubles.
 class MetricsAggregator {
  public:
   explicit MetricsAggregator(std::size_t grid_count);

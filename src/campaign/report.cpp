@@ -1,6 +1,7 @@
 #include "campaign/report.hpp"
 
 #include <cstdio>
+#include <locale>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -8,6 +9,15 @@
 namespace ssmwn::campaign {
 
 namespace {
+
+/// All numeric text in the reports flows through format_double (locale-
+/// free by construction) or integer insertion on a stream pinned to the
+/// classic locale by this helper — never through the global locale.
+std::ostringstream classic_stream() {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  return out;
+}
 
 void append_escaped_json(std::string& out, std::string_view s) {
   for (const char c : s) {
@@ -29,8 +39,8 @@ void append_escaped_json(std::string& out, std::string_view s) {
   }
 }
 
-std::string config_fields_csv(const ScenarioConfig& c) {
-  std::ostringstream out;
+std::string config_fields_csv(const ScenarioConfig& c, bool extended) {
+  std::ostringstream out = classic_stream();
   out << to_string(c.topology) << ',' << c.n << ','
       << format_double(c.radius) << ',' << to_string(c.variant) << ','
       << to_string(c.mobility) << ',' << format_double(c.speed_min) << ','
@@ -38,11 +48,20 @@ std::string config_fields_csv(const ScenarioConfig& c) {
       << format_double(c.churn_down) << ',' << format_double(c.churn_up)
       << ',' << c.steps << ',' << format_double(c.window_s) << ','
       << format_double(c.world_m);
+  if (extended) {
+    // The async knobs don't apply to a sync run; empty cells, not the
+    // arbitrary first value of the swept lists, so nobody groups a sync
+    // baseline under one particular link_delay slice.
+    const bool async = c.scheduler != SchedulerKind::kSync;
+    out << ',' << to_string(c.scheduler) << ','
+        << (async ? format_double(c.period_jitter) : std::string()) << ','
+        << (async ? format_double(c.link_delay) : std::string());
+  }
   return out.str();
 }
 
-std::string config_json(const ScenarioConfig& c) {
-  std::ostringstream out;
+std::string config_json(const ScenarioConfig& c, bool extended) {
+  std::ostringstream out = classic_stream();
   out << "\"topology\": \"" << to_string(c.topology) << "\", \"n\": " << c.n
       << ", \"radius\": " << format_double(c.radius) << ", \"variant\": \""
       << to_string(c.variant) << "\", \"mobility\": \""
@@ -55,11 +74,19 @@ std::string config_json(const ScenarioConfig& c) {
       << ", \"steps\": " << c.steps
       << ", \"window_s\": " << format_double(c.window_s)
       << ", \"world_m\": " << format_double(c.world_m);
+  if (extended) {
+    out << ", \"scheduler\": \"" << to_string(c.scheduler) << '"';
+    // As in the CSV: the async knobs are omitted for sync points.
+    if (c.scheduler != SchedulerKind::kSync) {
+      out << ", \"period_jitter\": " << format_double(c.period_jitter)
+          << ", \"link_delay\": " << format_double(c.link_delay);
+    }
+  }
   return out.str();
 }
 
 std::string summary_json(const MetricSummary& s) {
-  std::ostringstream out;
+  std::ostringstream out = classic_stream();
   out << "{\"count\": " << s.count << ", \"mean\": " << format_double(s.mean)
       << ", \"stddev\": " << format_double(s.stddev)
       << ", \"p50\": " << format_double(s.p50)
@@ -71,9 +98,12 @@ std::string summary_json(const MetricSummary& s) {
 
 /// Compact human label for a grid point; fixed function of the config.
 std::string short_label(const ScenarioConfig& c) {
-  std::ostringstream out;
+  std::ostringstream out = classic_stream();
   out << to_string(c.topology) << " n=" << c.n << " r="
       << format_double(c.radius) << ' ' << to_string(c.variant);
+  if (c.scheduler == SchedulerKind::kAsync) {
+    out << " async d=" << format_double(c.link_delay) << "s";
+  }
   if (c.mobility != MobilityKind::kNone) {
     out << ' ' << (c.mobility == MobilityKind::kRandomDirection ? "rd" : "rwp")
         << ' ' << format_double(c.speed_min) << '-'
@@ -86,15 +116,35 @@ std::string short_label(const ScenarioConfig& c) {
 
 }  // namespace
 
+bool plan_uses_async(const CampaignPlan& plan) noexcept {
+  for (const auto& point : plan.grid) {
+    if (point.config.scheduler != SchedulerKind::kSync) return true;
+  }
+  return false;
+}
+
+std::size_t report_metric_count(const CampaignPlan& plan) noexcept {
+  return plan_uses_async(plan) ? kMetricNames.size() : kSyncMetricCount;
+}
+
 void write_csv(std::ostream& out, const CampaignPlan& plan,
                const std::vector<ScenarioAggregate>& aggregates) {
+  out.imbue(std::locale::classic());
+  const bool extended = plan_uses_async(plan);
+  const std::size_t metric_count = report_metric_count(plan);
   out << "campaign,topology,n,radius,variant,mobility,speed_min,speed_max,"
-         "tau,churn_down,churn_up,steps,window_s,world_m,metric,count,mean,"
-         "stddev,p50,p95,min,max\n";
+         "tau,churn_down,churn_up,steps,window_s,world_m,";
+  if (extended) out << "scheduler,period_jitter,link_delay,";
+  out << "metric,count,mean,stddev,p50,p95,min,max\n";
   for (const auto& aggregate : aggregates) {
     const auto& config = plan.grid[aggregate.grid_index].config;
-    const std::string fields = config_fields_csv(config);
-    for (std::size_t m = 0; m < kMetricNames.size(); ++m) {
+    const std::string fields = config_fields_csv(config, extended);
+    // Only metrics the run actually measured (see metric_applies): no
+    // fabricated converge_time=0 for sync points, no fabricated
+    // delta=0 for async points.
+    const bool async_point = config.scheduler != SchedulerKind::kSync;
+    for (std::size_t m = 0; m < metric_count; ++m) {
+      if (!metric_applies(m, async_point)) continue;
       const MetricSummary& s = aggregate.metrics[m];
       out << plan.name << ',' << fields << ',' << kMetricNames[m] << ','
           << s.count << ',' << format_double(s.mean) << ','
@@ -107,6 +157,9 @@ void write_csv(std::ostream& out, const CampaignPlan& plan,
 
 void write_json(std::ostream& out, const CampaignPlan& plan,
                 const std::vector<ScenarioAggregate>& aggregates) {
+  out.imbue(std::locale::classic());
+  const bool extended = plan_uses_async(plan);
+  const std::size_t metric_count = report_metric_count(plan);
   std::string name;
   append_escaped_json(name, plan.name);
   out << "{\n  \"campaign\": \"" << name << "\",\n  \"seed_base\": "
@@ -115,11 +168,16 @@ void write_json(std::ostream& out, const CampaignPlan& plan,
   for (std::size_t i = 0; i < aggregates.size(); ++i) {
     const auto& aggregate = aggregates[i];
     const auto& config = plan.grid[aggregate.grid_index].config;
-    out << (i == 0 ? "\n" : ",\n") << "    {" << config_json(config)
+    out << (i == 0 ? "\n" : ",\n") << "    {" << config_json(config, extended)
         << ", \"metrics\": {";
-    for (std::size_t m = 0; m < kMetricNames.size(); ++m) {
-      out << (m == 0 ? "" : ", ") << '"' << kMetricNames[m]
+    // As in write_csv: only the metrics this run actually measured.
+    const bool async_point = config.scheduler != SchedulerKind::kSync;
+    bool first = true;
+    for (std::size_t m = 0; m < metric_count; ++m) {
+      if (!metric_applies(m, async_point)) continue;
+      out << (first ? "" : ", ") << '"' << kMetricNames[m]
           << "\": " << summary_json(aggregate.metrics[m]);
+      first = false;
     }
     out << "}}";
   }
@@ -131,21 +189,42 @@ util::Table summary_table(const CampaignPlan& plan,
   util::Table table("Campaign '" + plan.name + "' — " +
                     std::to_string(plan.grid.size()) + " scenario(s) x " +
                     std::to_string(plan.replications) + " replication(s)");
-  table.header({"scenario", "stability", "delta", "reaffil", "clusters",
-                "p95 stab"});
+  const bool extended = plan_uses_async(plan);
+  if (extended) {
+    table.header({"scenario", "stability", "delta", "reaffil", "clusters",
+                  "conv t(s)", "msgs"});
+  } else {
+    table.header({"scenario", "stability", "delta", "reaffil", "clusters",
+                  "p95 stab"});
+  }
   for (const auto& aggregate : aggregates) {
     const auto& config = plan.grid[aggregate.grid_index].config;
-    table.row({short_label(config),
-               util::Table::num(aggregate.stability().mean, 3) + " ±" +
-                   util::Table::num(aggregate.stability().stddev, 3),
-               util::Table::num(aggregate.delta().mean, 3),
-               util::Table::num(aggregate.reaffiliation().mean, 3),
-               util::Table::num(aggregate.cluster_count().mean, 1),
-               util::Table::num(aggregate.stability().p95, 3)});
+    const bool async = config.scheduler != SchedulerKind::kSync;
+    std::vector<std::string> row{
+        short_label(config),
+        util::Table::num(aggregate.stability().mean, 3) + " ±" +
+            util::Table::num(aggregate.stability().stddev, 3),
+        async ? std::string("-") : util::Table::num(aggregate.delta().mean, 3),
+        async ? std::string("-")
+              : util::Table::num(aggregate.reaffiliation().mean, 3),
+        util::Table::num(aggregate.cluster_count().mean, 1)};
+    if (extended) {
+      row.push_back(async ? util::Table::num(aggregate.converge_time().mean, 2)
+                          : std::string("-"));
+      row.push_back(async ? util::Table::num(aggregate.messages().mean, 0)
+                          : std::string("-"));
+    } else {
+      row.push_back(util::Table::num(aggregate.stability().p95, 3));
+    }
+    table.row(std::move(row));
   }
-  table.note("stability = head re-election ratio per window; delta = "
-             "fraction of nodes changing cluster; reaffil = fraction "
-             "changing parent");
+  table.note(extended
+                 ? "stability = head re-election ratio (sync) or converged "
+                   "fraction (async); conv t / msgs = virtual convergence "
+                   "time and messages-to-convergence, async rows only"
+                 : "stability = head re-election ratio per window; delta = "
+                   "fraction of nodes changing cluster; reaffil = fraction "
+                   "changing parent");
   return table;
 }
 

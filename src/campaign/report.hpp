@@ -1,10 +1,27 @@
 // Campaign result writers: CSV, JSON, and a console table.
 //
 // Both machine formats are fully deterministic: fixed column/key order,
-// fixed number formatting (shortest round-trip-exact decimal), no
-// timestamps or environment echoes. Running the same plan twice — or on
-// a different thread count — must produce byte-identical files; the
-// replay test diffs these writers' output to enforce that.
+// fixed number formatting (shortest round-trip-exact decimal, via
+// std::to_chars — immune to LC_NUMERIC; the writers additionally pin
+// the classic locale on their streams so integer grouping can't leak in
+// either), no timestamps or environment echoes. Running the same plan
+// twice — or on a different thread count, or under a different locale —
+// must produce byte-identical files; the replay test diffs these
+// writers' output to enforce that.
+//
+// Schema versioning: a plan whose grid is purely synchronous is written
+// in the legacy schema (the exact columns/keys/metric rows of PR 2), so
+// pre-existing campaigns replay byte-identically across the release
+// that introduced the execution-engine axis. A plan containing any
+// async grid point gets the extended schema: three more config columns
+// (scheduler, period_jitter, link_delay — the knob cells are empty for
+// sync rows, which the knobs don't apply to) and two more metric names
+// (converge_time, messages). Each row set carries only the metrics its
+// engine measured (see aggregate.hpp's metric_applies): sync points
+// keep stability/delta/reaffiliation/cluster_count, async points get
+// stability/cluster_count/converge_time/messages — never a fabricated
+// zero that would be indistinguishable from a measurement. The schema
+// choice is a pure function of the plan, never of the environment.
 #pragma once
 
 #include <iosfwd>
@@ -16,6 +33,16 @@
 #include "util/table.hpp"
 
 namespace ssmwn::campaign {
+
+/// True iff any grid point runs on the event-driven engine — the
+/// extended-schema trigger described in the header comment.
+[[nodiscard]] bool plan_uses_async(const CampaignPlan& plan) noexcept;
+
+/// Number of metric rows the writers emit per grid point:
+/// kSyncMetricCount for a purely synchronous plan, kMetricNames.size()
+/// otherwise.
+[[nodiscard]] std::size_t report_metric_count(
+    const CampaignPlan& plan) noexcept;
 
 /// One row per (grid point, metric): the scenario's full configuration,
 /// the metric name, and its summary statistics.

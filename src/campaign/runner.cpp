@@ -7,12 +7,17 @@
 #include <thread>
 
 #include "core/dag_ids.hpp"
+#include "core/legitimacy.hpp"
+#include "core/protocol.hpp"
 #include "graph/graph.hpp"
 #include "metrics/delta.hpp"
 #include "metrics/stability.hpp"
 #include "mobility/mobility.hpp"
+#include "sim/async_network.hpp"
 #include "sim/churn.hpp"
+#include "sim/loss.hpp"
 #include "sim/parallel.hpp"
+#include "stabilize/convergence.hpp"
 #include "topology/generators.hpp"
 #include "topology/ids.hpp"
 #include "topology/udg.hpp"
@@ -31,6 +36,68 @@ core::ClusterOptions variant_options(Variant variant) noexcept {
     case Variant::kFull: return core::ClusterOptions::full();
   }
   return {};
+}
+
+/// One async run: play the distributed protocol on the event-driven
+/// engine (randomized daemon, per-link delays) from an adversarial
+/// initial state, against the topology the grid point describes, and
+/// measure virtual-time convergence to a legitimate configuration plus
+/// the messages it took. `tau < 1` becomes per-delivery Bernoulli loss.
+RunMetrics execute_async_run(const ScenarioConfig& config,
+                             const topology::IdAssignment& ids,
+                             util::Rng& rng, RunWorkspace& ws) {
+  // One independent sub-stream per stochastic component, split in a
+  // fixed order so adding one never perturbs the others.
+  util::Rng protocol_rng = rng.split();
+  util::Rng loss_rng = rng.split();
+  util::Rng engine_rng = rng.split();
+  util::Rng chaos_rng = rng.split();
+
+  const graph::Graph g = topology::unit_disk_graph(ws.points, config.radius);
+
+  core::ProtocolConfig pconfig;
+  pconfig.cluster = variant_options(config.variant);
+  pconfig.delta_hint = std::max<std::uint64_t>(2, g.max_degree());
+  pconfig.cache_max_age = config.tau < 1.0 ? 16 : 8;
+  core::DensityProtocol protocol(ids, pconfig, protocol_rng);
+  // "From an arbitrary initial state": scramble every shared variable
+  // and stuff the caches with garbage before the first event fires.
+  protocol.corrupt_all(chaos_rng);
+
+  const auto medium = sim::make_loss_model(config.tau, loss_rng);
+
+  sim::AsyncConfig async;
+  async.period_s = config.window_s;  // one "window" = one mean period
+  async.period_jitter = config.period_jitter;
+  async.link_delay_s = config.link_delay;
+  async.daemon = sim::DaemonKind::kRandomized;
+  sim::AsyncNetwork network(g, protocol, *medium, async, engine_rng);
+
+  // Shared legitimacy definition (core/legitimacy.hpp): exact oracle
+  // match only when head identity is a pure function of the topology.
+  const bool exact = core::head_identity_is_deterministic(pconfig.cluster);
+  core::ClusteringResult oracle;
+  if (exact) oracle = core::cluster_density(g, ids, pconfig.cluster);
+  core::LegitimacyCheck legitimacy(g, protocol, exact ? &oracle : nullptr);
+
+  const auto report = sim::settle_async(
+      network, [&] { return legitimacy.check(); },
+      /*horizon_periods=*/static_cast<double>(config.steps));
+
+  RunMetrics out;
+  out.stability = report.converged ? 1.0 : 0.0;
+  out.delta = 0.0;
+  out.reaffiliation = 0.0;
+  std::size_t heads = 0;
+  for (const char flag : protocol.head_flags()) heads += flag != 0;
+  out.cluster_count = static_cast<double>(heads);
+  out.converge_time = report.converged ? report.stabilization_time_s
+                                       : report.time_simulated_s;
+  out.messages = static_cast<double>(report.converged
+                                         ? report.messages_to_converge
+                                         : report.messages_total);
+  out.windows = report.checks;
+  return out;
 }
 
 }  // namespace
@@ -63,6 +130,13 @@ RunMetrics execute_run(const ScenarioConfig& config, std::uint64_t seed,
   const auto ids = config.topology == TopologyKind::kGrid
                        ? topology::sequential_ids(n)
                        : topology::random_ids(n, rng);
+
+  // The async engine gets its own execution path; the deployment above
+  // (points, ids) is drawn identically, so a sync and an async point
+  // over the same topology axes see the same world.
+  if (config.scheduler == SchedulerKind::kAsync) {
+    return execute_async_run(config, ids, rng, ws);
+  }
 
   // One independent sub-stream per stochastic process, split in a fixed
   // order so adding a process never perturbs the others.

@@ -23,18 +23,31 @@
 
 namespace ssmwn::campaign {
 
-/// Per-run outcome: means over the run's snapshot windows.
+/// Per-run outcome. Sync runs (scheduler=sync) report means over the
+/// run's snapshot windows; async runs (scheduler=async) report one
+/// self-stabilization experiment — the distributed protocol played on
+/// the event-driven engine from an adversarial initial state.
 struct RunMetrics {
-  /// Mean fraction of cluster-heads re-elected window over window
+  /// Sync: mean fraction of cluster-heads re-elected window over window
   /// (the paper's mobility-stability percentage, as a ratio).
+  /// Async: 1.0 if the run converged within its virtual horizon, else
+  /// 0.0 — aggregates to the convergence rate across replications.
   double stability = 1.0;
   /// Mean fraction of nodes whose resolved cluster changed per window.
+  /// Sync only — the report writers omit it for async points.
   double delta = 0.0;
   /// Mean fraction of nodes whose clusterization-tree parent changed.
+  /// Sync only, like delta.
   double reaffiliation = 0.0;
-  /// Mean number of clusters per snapshot.
+  /// Mean number of clusters per snapshot (async: final head count).
   double cluster_count = 0.0;
-  /// Number of window-over-window comparisons that contributed.
+  /// Async only: virtual time (s) at which the final uninterrupted
+  /// legitimate run began; the full horizon when it never converged.
+  double converge_time = 0.0;
+  /// Async only: frame deliveries observed up to that point.
+  double messages = 0.0;
+  /// Sync: window-over-window comparisons that contributed.
+  /// Async: legitimacy checks performed.
   std::size_t windows = 0;
 };
 
@@ -48,7 +61,9 @@ struct RunWorkspace {
 };
 
 /// Executes one run of `config` from `seed`. All randomness derives from
-/// `seed`; two calls with equal arguments return identical metrics.
+/// `seed`; two calls with equal arguments return identical metrics —
+/// for async configs the whole event trace is deterministic, so this
+/// holds for the event-driven engine too.
 [[nodiscard]] RunMetrics execute_run(const ScenarioConfig& config,
                                      std::uint64_t seed, RunWorkspace& ws);
 

@@ -1,9 +1,10 @@
 #include "campaign/spec.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
-#include <cstdio>
 #include <fstream>
+#include <locale>
 #include <set>
 #include <sstream>
 
@@ -36,16 +37,27 @@ std::vector<std::string> split_list(std::string_view value) {
 }
 
 double parse_number(const std::string& key, const std::string& raw) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(raw, &used);
-    if (used != raw.size()) fail(key + ": trailing junk in number '" + raw + "'");
-    return v;
-  } catch (const SpecError&) {
-    throw;
-  } catch (const std::exception&) {
-    fail(key + ": expected a number, got '" + raw + "'");
+  // std::from_chars, not std::stod: strtod honors LC_NUMERIC, so under
+  // a de_DE global locale "0.08" would stop parsing at the '.' and the
+  // spec would be rejected — the input-side twin of the locale-free
+  // output formatting in format_double below. A single leading '+'
+  // (which strtod accepted but from_chars rejects) is still allowed.
+  const char* first = raw.data();
+  const char* last = raw.data() + raw.size();
+  if (last - first > 1 && *first == '+' && *(first + 1) != '-' &&
+      *(first + 1) != '+') {
+    ++first;
   }
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec == std::errc::result_out_of_range) {
+    fail(key + ": number '" + raw + "' is out of range");
+  }
+  if (ec != std::errc{}) fail(key + ": expected a number, got '" + raw + "'");
+  if (ptr != raw.data() + raw.size()) {
+    fail(key + ": trailing junk in number '" + raw + "'");
+  }
+  return v;
 }
 
 std::size_t parse_count(const std::string& key, const std::string& raw) {
@@ -82,6 +94,12 @@ Variant parse_variant(const std::string& raw) {
   fail("variant: expected basic|dag|improved|full, got '" + raw + "'");
 }
 
+SchedulerKind parse_scheduler(const std::string& raw) {
+  if (raw == "sync") return SchedulerKind::kSync;
+  if (raw == "async") return SchedulerKind::kAsync;
+  fail("scheduler: expected sync|async, got '" + raw + "'");
+}
+
 void require_scalar(const std::string& key,
                     const std::vector<std::string>& values) {
   if (values.size() != 1) {
@@ -92,13 +110,23 @@ void require_scalar(const std::string& key,
 }  // namespace
 
 std::string format_double(double value) {
-  // Shortest round-trip-exact decimal; the "%.17g" fallback guarantees
-  // distinct values never serialize identically.
+  // Shortest round-trip-exact decimal; the precision-17 fallback
+  // guarantees distinct values never serialize identically. Formatting
+  // and the round-trip check go through std::to_chars/from_chars, which
+  // are defined on the "C" locale regardless of LC_NUMERIC — an
+  // LC_NUMERIC=de_DE process must not emit "0,08" into canonical
+  // serializations (seeds!) or CSV/JSON (byte-identical replay).
+  // to_chars with chars_format::general and explicit precision formats
+  // exactly as printf "%.*g" does in the C locale, so the emitted bytes
+  // are unchanged from the snprintf implementation this replaces.
   char buf[64];
   for (const int precision : {9, 17}) {
-    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    const auto result = std::to_chars(buf, buf + sizeof buf - 1, value,
+                                      std::chars_format::general, precision);
+    *result.ptr = '\0';
     double parsed = 0.0;
-    if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == value) break;
+    std::from_chars(buf, result.ptr, parsed);
+    if (parsed == value) break;
   }
   return buf;
 }
@@ -131,8 +159,20 @@ std::string_view to_string(Variant variant) noexcept {
   return "?";
 }
 
+std::string_view to_string(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kSync: return "sync";
+    case SchedulerKind::kAsync: return "async";
+  }
+  return "?";
+}
+
 std::string canonical_config(const ScenarioConfig& c) {
   std::ostringstream out;
+  // Integer formatting also honors the stream's locale (grouping, e.g.
+  // "1.000" under de_DE); pin the classic locale so canonical strings —
+  // and therefore seeds — never depend on the process environment.
+  out.imbue(std::locale::classic());
   out << "topology=" << to_string(c.topology) << ";n=" << c.n
       << ";radius=" << format_double(c.radius)
       << ";variant=" << to_string(c.variant)
@@ -144,6 +184,13 @@ std::string canonical_config(const ScenarioConfig& c) {
       << ";churn_up=" << format_double(c.churn_up) << ";steps=" << c.steps
       << ";window_s=" << format_double(c.window_s)
       << ";world_m=" << format_double(c.world_m);
+  // Appended only for async points — see the header comment: this keeps
+  // every pre-existing synchronous campaign's seeds bit-stable.
+  if (c.scheduler != SchedulerKind::kSync) {
+    out << ";scheduler=" << to_string(c.scheduler)
+        << ";period_jitter=" << format_double(c.period_jitter)
+        << ";link_delay=" << format_double(c.link_delay);
+  }
   return out.str();
 }
 
@@ -245,6 +292,19 @@ CampaignSpec parse_spec(std::istream& in) {
     } else if (key == "steps") {
       spec.steps.clear();
       for (const auto& v : values) spec.steps.push_back(parse_count(key, v));
+    } else if (key == "scheduler") {
+      spec.scheduler.clear();
+      for (const auto& v : values) spec.scheduler.push_back(parse_scheduler(v));
+    } else if (key == "period_jitter") {
+      spec.period_jitter.clear();
+      for (const auto& v : values) {
+        spec.period_jitter.push_back(parse_number(key, v));
+      }
+    } else if (key == "link_delay") {
+      spec.link_delay.clear();
+      for (const auto& v : values) {
+        spec.link_delay.push_back(parse_number(key, v));
+      }
     } else {
       fail("unknown key '" + key + "' (line " + std::to_string(line_no) + ")");
     }
@@ -294,10 +354,17 @@ void validate(const CampaignSpec& spec) {
              "speed must be non-negative");
   check_each("steps", spec.steps, [](std::size_t v) { return v >= 1; },
              "at least one snapshot window is required");
+  check_each("period_jitter", spec.period_jitter,
+             [](double v) { return v >= 0.0 && v < 1.0; },
+             "jitter fraction must be in [0, 1)");
+  check_each("link_delay", spec.link_delay,
+             [](double v) { return v >= 0.0 && v < 1e9; },
+             "delay must be non-negative seconds");
   // Empty axes for the enum fields can only arise programmatically.
   if (spec.topology.empty()) fail("topology: needs at least one value");
   if (spec.variant.empty()) fail("variant: needs at least one value");
   if (spec.mobility.empty()) fail("mobility: needs at least one value");
+  if (spec.scheduler.empty()) fail("scheduler: needs at least one value");
 }
 
 std::uint64_t run_seed(std::uint64_t seed_base, std::string_view canonical,
@@ -338,27 +405,64 @@ CampaignPlan expand(const CampaignSpec& spec) {
                   for (const auto churn_down : spec.churn_down) {
                     for (const auto churn_up : spec.churn_up) {
                       for (const auto steps : spec.steps) {
-                        ScenarioConfig config;
-                        config.topology = topology;
-                        config.n = n;
-                        config.radius = radius;
-                        config.variant = variant;
-                        config.mobility = mobility;
-                        config.speed_min = speed_min;
-                        config.speed_max = speed_max;
-                        config.tau = tau;
-                        config.churn_down = churn_down;
-                        config.churn_up = churn_up;
-                        config.steps = steps;
-                        config.window_s = spec.window_s;
-                        config.world_m = spec.world_m;
-                        if (config.speed_min > config.speed_max) {
-                          fail("speed_min " + format_double(config.speed_min) +
-                               " exceeds speed_max " +
-                               format_double(config.speed_max));
+                        // New axes nest innermost so a sync-only spec's
+                        // grid order is exactly what it was before the
+                        // scheduler axis existed.
+                        for (const auto scheduler : spec.scheduler) {
+                          for (const auto period_jitter : spec.period_jitter) {
+                            for (const auto link_delay : spec.link_delay) {
+                              // The async knobs don't affect a sync run
+                              // (or its canonical string); emit each
+                              // sync point once, not once per knob
+                              // combination, so seeds stay unique.
+                              if (scheduler == SchedulerKind::kSync &&
+                                  (period_jitter !=
+                                       spec.period_jitter.front() ||
+                                   link_delay != spec.link_delay.front())) {
+                                continue;
+                              }
+                              ScenarioConfig config;
+                              config.topology = topology;
+                              config.n = n;
+                              config.radius = radius;
+                              config.variant = variant;
+                              config.mobility = mobility;
+                              config.speed_min = speed_min;
+                              config.speed_max = speed_max;
+                              config.tau = tau;
+                              config.churn_down = churn_down;
+                              config.churn_up = churn_up;
+                              config.steps = steps;
+                              config.window_s = spec.window_s;
+                              config.world_m = spec.world_m;
+                              config.scheduler = scheduler;
+                              config.period_jitter = period_jitter;
+                              config.link_delay = link_delay;
+                              if (config.speed_min > config.speed_max) {
+                                fail("speed_min " +
+                                     format_double(config.speed_min) +
+                                     " exceeds speed_max " +
+                                     format_double(config.speed_max));
+                              }
+                              if (config.scheduler == SchedulerKind::kAsync &&
+                                  (config.mobility != MobilityKind::kNone ||
+                                   config.churn_down > 0.0)) {
+                                fail("scheduler=async requires mobility=none "
+                                     "and churn_down=0 (the event-driven "
+                                     "engine runs a fixed deployment from an "
+                                     "adversarial initial state)");
+                              }
+                              if (config.scheduler == SchedulerKind::kAsync &&
+                                  config.window_s < 1e-6) {
+                                fail("scheduler=async requires window_s >= "
+                                     "1e-6 (one virtual-time tick; window_s "
+                                     "is the async broadcast period)");
+                              }
+                              plan.grid.push_back(
+                                  {config, canonical_config(config)});
+                            }
+                          }
                         }
-                        plan.grid.push_back(
-                            {config, canonical_config(config)});
                       }
                     }
                   }

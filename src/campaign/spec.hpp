@@ -16,6 +16,9 @@
 //   steps        = 450                # 2 s windows (15 min, like the paper)
 //   replications = 16
 //   seed_base    = 20050612
+//   scheduler    = sync, async        # execution engine (default sync)
+//   period_jitter = 0.1               # async: ± fraction of the period
+//   link_delay   = 0.02, 0.2          # async: mean link delay (seconds)
 //
 // Expansion takes the Cartesian product of every list-valued axis and
 // schedules `replications` independent runs per grid point. Each run's
@@ -49,9 +52,17 @@ enum class MobilityKind { kNone, kRandomDirection, kRandomWaypoint };
 /// Protocol variant, mirroring core::ClusterOptions presets.
 enum class Variant { kBasic, kDag, kImproved, kFull };
 
+/// Which execution engine plays the run. `kSync` is the oracle-based
+/// window loop over the synchronous Δ(τ) abstraction; `kAsync` executes
+/// the distributed protocol on the event-driven engine
+/// (sim::AsyncNetwork) from an adversarial initial state and measures
+/// virtual-time convergence and messages-to-convergence.
+enum class SchedulerKind { kSync, kAsync };
+
 [[nodiscard]] std::string_view to_string(TopologyKind kind) noexcept;
 [[nodiscard]] std::string_view to_string(MobilityKind kind) noexcept;
 [[nodiscard]] std::string_view to_string(Variant variant) noexcept;
+[[nodiscard]] std::string_view to_string(SchedulerKind kind) noexcept;
 
 /// One fully resolved grid point: everything a single run needs except
 /// its seed.
@@ -69,6 +80,12 @@ struct ScenarioConfig {
   std::size_t steps = 50;       // snapshot windows per run
   double window_s = 2.0;        // seconds simulated between snapshots
   double world_m = 1000.0;      // meters per unit-square side
+  // Execution-engine axis (PR 3). For kAsync, window_s doubles as the
+  // mean per-node broadcast period and steps bounds the virtual horizon
+  // (steps × window_s seconds).
+  SchedulerKind scheduler = SchedulerKind::kSync;
+  double period_jitter = 0.1;   // ± fraction of the broadcast period
+  double link_delay = 0.02;     // mean per-link delivery delay (s)
 };
 
 /// Shortest decimal that round-trips to the exact double; used by the
@@ -78,7 +95,11 @@ struct ScenarioConfig {
 
 /// Fixed-order `key=value` serialization of a grid point. Identical
 /// configs serialize identically regardless of how the spec file was
-/// written; run seeds hash this string.
+/// written; run seeds hash this string. The async-engine fields
+/// (scheduler, period_jitter, link_delay) are appended **only when
+/// scheduler != kSync**: a synchronous grid point serializes exactly as
+/// it did before the execution-engine axis existed, so every seed of
+/// every pre-existing campaign is stable across that release boundary.
 [[nodiscard]] std::string canonical_config(const ScenarioConfig& config);
 
 /// A parsed spec: scalar campaign-wide settings plus one value list per
@@ -101,6 +122,9 @@ struct CampaignSpec {
   std::vector<double> churn_down{0.0};
   std::vector<double> churn_up{0.5};
   std::vector<std::size_t> steps{50};
+  std::vector<SchedulerKind> scheduler{SchedulerKind::kSync};
+  std::vector<double> period_jitter{0.1};
+  std::vector<double> link_delay{0.02};
 };
 
 /// Parses `key = value` text. Throws SpecError on unknown keys,

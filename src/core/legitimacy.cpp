@@ -1,0 +1,36 @@
+#include "core/legitimacy.hpp"
+
+#include <utility>
+
+namespace ssmwn::core {
+
+bool LegitimacyCheck::check() {
+  const graph::Graph& g = *graph_;
+  bool ok = true;
+  for (graph::NodeId p = 0; p < g.node_count() && ok; ++p) {
+    const auto& s = protocol_->state(p);
+    ok = s.head_valid && s.metric_valid && s.parent_valid &&
+         (oracle_ == nullptr || s.head == oracle_->head_id[p]);
+  }
+  if (ok) {
+    const auto flags = protocol_->head_flags();
+    for (graph::NodeId p = 0; p < g.node_count() && ok; ++p) {
+      if (!flags[p]) continue;
+      for (const graph::NodeId q : g.neighbors(p)) {
+        if (flags[q]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+  }
+  // Always refresh the baseline — an illegitimate snapshot still
+  // defines "changed since last check" for the next one.
+  auto heads = protocol_->head_values();
+  if (ok) ok = has_baseline_ && heads == prev_heads_;
+  prev_heads_ = std::move(heads);
+  has_baseline_ = true;
+  return ok;
+}
+
+}  // namespace ssmwn::core

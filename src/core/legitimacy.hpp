@@ -1,0 +1,66 @@
+// Legitimacy predicate for DensityProtocol executions.
+//
+// "Legitimate" is the paper's target configuration, checked from the
+// outside: every node has committed all three shared variables, the
+// elected heads form an independent set, the head assignment is
+// quiescent between successive checks — and, when head identity is a
+// pure function of the topology, it is exactly the synchronous
+// oracle's. With the randomized DAG renaming or the incumbency bonus
+// the fixpoint is history-dependent (incumbency deliberately favors
+// whichever heads formed first), so there the structural checks are
+// the whole predicate; `head_identity_is_deterministic` tells callers
+// which regime they are in.
+//
+// One definition, shared by every driver that measures convergence —
+// the campaign runner and the CLI must never disagree about what
+// "converged" means for the same scenario.
+#pragma once
+
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "core/options.hpp"
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "topology/ids.hpp"
+
+namespace ssmwn::core {
+
+/// True iff the variant's head assignment is a deterministic function
+/// of (graph, ids) — i.e. an exact-oracle comparison is meaningful.
+[[nodiscard]] constexpr bool head_identity_is_deterministic(
+    const ClusterOptions& options) noexcept {
+  return !options.use_dag_ids && !options.incumbency;
+}
+
+/// Stateful checker: call `check()` once per observation interval. The
+/// quiescence condition compares against the previous check's heads,
+/// so the first check after construction (or `reset()`) never passes.
+class LegitimacyCheck {
+ public:
+  /// `graph` and `protocol` are observed, not owned. Pass `oracle` to
+  /// additionally require the exact oracle head assignment (callers
+  /// gate this on `head_identity_is_deterministic`).
+  LegitimacyCheck(const graph::Graph& graph, const DensityProtocol& protocol,
+                  const ClusteringResult* oracle = nullptr)
+      : graph_(&graph), protocol_(&protocol), oracle_(oracle) {}
+
+  /// Drops the quiescence baseline (e.g. before measuring recovery
+  /// from a freshly injected corruption).
+  void reset() {
+    has_baseline_ = false;
+    prev_heads_.clear();
+  }
+
+  /// Evaluates the predicate against the protocol's current state.
+  [[nodiscard]] bool check();
+
+ private:
+  const graph::Graph* graph_;
+  const DensityProtocol* protocol_;
+  const ClusteringResult* oracle_;
+  std::vector<topology::ProtocolId> prev_heads_;
+  bool has_baseline_ = false;
+};
+
+}  // namespace ssmwn::core

@@ -127,6 +127,11 @@ class DensityProtocol {
     /// but contiguous, so the per-step rule sweeps stream memory.
     FlatMap<topology::ProtocolId, CacheEntry> cache;
     util::Rng rng{0};
+    /// Async-engine observability (fed by `on_delivery`, untouched by
+    /// the synchronous engines): virtual time of the last frame heard
+    /// (< 0 = never) and total frames heard.
+    double last_heard_s = -1.0;
+    std::uint64_t deliveries = 0;
   };
 
   /// `uids[p]` is node p's globally-unique protocol identifier; `rng`
@@ -159,6 +164,18 @@ class DensityProtocol {
   /// duration of the call (the cache copies what it keeps).
   void deliver(graph::NodeId receiver, const FrameHeader& header,
                std::span<const Digest> digests);
+
+  // --- async-engine concept (sim::TimestampedProtocol) -----------------
+  /// Per-delivery timestamp hook: the event-driven engine calls this
+  /// with the delivery's virtual time (seconds) immediately before
+  /// `deliver`. The protocol's behavior stays delivery-based — the
+  /// timestamp only feeds the NodeState observability fields, so tests
+  /// and metrics can ask *when* a node last heard anything.
+  void on_delivery(graph::NodeId receiver, double time_s) {
+    NodeState& s = states_[receiver];
+    s.last_heard_s = time_s;
+    ++s.deliveries;
+  }
 
   // --- observation ----------------------------------------------------
   [[nodiscard]] std::size_t node_count() const noexcept {

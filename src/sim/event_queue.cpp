@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ssmwn::sim {
+
+VirtualTime to_ticks(double seconds) noexcept {
+  if (!(seconds > 0.0)) return 0;  // negatives and NaN clamp to 0
+  const double ticks =
+      std::nearbyint(seconds * static_cast<double>(kTicksPerSecond));
+  // Saturate: casting a double at or above 2^64 is UB, and any duration
+  // that far out (≳ 585 millennia of virtual time) is "never".
+  constexpr double kMax =
+      static_cast<double>(std::numeric_limits<VirtualTime>::max());
+  if (ticks >= kMax) return std::numeric_limits<VirtualTime>::max();
+  return static_cast<VirtualTime>(ticks);
+}
+
+namespace {
+
+/// std::*_heap maintain a max-heap; inverting the strict total order
+/// makes them keep the event_before-least element at the front. The
+/// pop sequence is a pure function of the admitted set (the order is
+/// total), so determinism never depends on internal heap layout.
+bool heap_after(const Event& a, const Event& b) noexcept {
+  return event_before(b, a);
+}
+
+}  // namespace
+
+void EventQueue::push(Event event) {
+  event.seq = next_seq_++;
+  heap_.push_back(event);
+  std::push_heap(heap_.begin(), heap_.end(), heap_after);
+}
+
+Event EventQueue::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+  const Event least = heap_.back();
+  heap_.pop_back();
+  return least;
+}
+
+}  // namespace ssmwn::sim

@@ -1,0 +1,92 @@
+// Deterministic timestamped event queue for the asynchronous engine.
+//
+// The event-driven execution model replaces the global Δ(τ) step with a
+// totally ordered stream of (virtual-time, event) pairs: node activations
+// (a node wakes, fires its guarded rules, broadcasts) and frame
+// deliveries (a broadcast frame reaches one receiver after a per-link
+// delay). Determinism is the non-negotiable property — the same seed
+// must replay the same trace byte for byte — so ties are broken by an
+// admission sequence number assigned on push, never by heap layout or
+// pointer values. Virtual time is integer microsecond ticks, not
+// doubles: comparisons are exact, and traces serialize identically on
+// every platform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssmwn::sim {
+
+/// Virtual time in microsecond ticks since the start of the execution.
+using VirtualTime = std::uint64_t;
+
+inline constexpr VirtualTime kTicksPerSecond = 1'000'000;
+
+/// Seconds → ticks, rounding to nearest; negative durations clamp to 0
+/// (a sampled delay distribution may graze below zero at high jitter).
+[[nodiscard]] VirtualTime to_ticks(double seconds) noexcept;
+
+[[nodiscard]] constexpr double to_seconds(VirtualTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+enum class EventKind : std::uint8_t {
+  /// A node wakes: runs its guarded rules, then broadcasts a frame.
+  kActivation,
+  /// A previously broadcast frame reaches one receiver.
+  kDelivery,
+};
+
+struct Event {
+  VirtualTime time = 0;
+  /// Admission order, assigned by the queue; the total-order tiebreak
+  /// for simultaneous events.
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::kActivation;
+  /// Activation: the waking node. Delivery: the receiver.
+  graph::NodeId node = 0;
+  /// Delivery only: the frame's sender.
+  graph::NodeId sender = 0;
+  /// Delivery only: index of the in-flight frame's storage slot.
+  std::uint32_t slot = 0;
+
+  /// Field-wise equality; traces are compared event by event.
+  [[nodiscard]] bool operator==(const Event&) const noexcept = default;
+};
+
+/// Strict total order: earlier time first, earlier admission on ties.
+[[nodiscard]] constexpr bool event_before(const Event& a,
+                                          const Event& b) noexcept {
+  return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+}
+
+/// Binary min-heap over `event_before`. Storage is reused across pops,
+/// so a steady-state push/pop cycle does not allocate once the heap has
+/// reached its high-water capacity.
+class EventQueue {
+ public:
+  /// Admits an event; its `seq` field is overwritten with the admission
+  /// counter (the caller-supplied value is ignored).
+  void push(Event event);
+
+  [[nodiscard]] const Event& top() const { return heap_.front(); }
+
+  /// Removes and returns the least event. Precondition: !empty().
+  Event pop();
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  /// Total events ever admitted (== the next seq to be assigned).
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return next_seq_; }
+
+  void clear() noexcept { heap_.clear(); }
+
+ private:
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ssmwn::sim

@@ -15,6 +15,11 @@ bool BernoulliDelivery::delivered(graph::NodeId, graph::NodeId) {
   return rng_.chance(tau_);
 }
 
+std::unique_ptr<LossModel> make_loss_model(double tau, util::Rng rng) {
+  if (tau >= 1.0) return std::make_unique<PerfectDelivery>();
+  return std::make_unique<BernoulliDelivery>(tau, rng);
+}
+
 BroadcastCollision::BroadcastCollision(double tau, std::size_t node_count,
                                        util::Rng rng)
     : tau_(tau), rng_(rng), collided_(node_count, 0) {

@@ -10,6 +10,8 @@
 // its 1-neighbors).
 #pragma once
 
+#include <memory>
+
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -60,6 +62,11 @@ class BernoulliDelivery final : public LossModel {
   double tau_;
   util::Rng rng_;
 };
+
+/// τ ≥ 1 → PerfectDelivery (the rng is unused); τ < 1 → Bernoulli(τ).
+/// The ubiquitous "is the medium lossy?" selection, in one place.
+[[nodiscard]] std::unique_ptr<LossModel> make_loss_model(double tau,
+                                                         util::Rng rng);
 
 /// Sender-side collision model: with probability 1−τ a frame collides and
 /// is lost at *all* receivers in that step (a broadcast either survives

@@ -1,4 +1,6 @@
-// Synchronous-step network runtime.
+// Synchronous-step network runtime — the lockstep instance of the
+// Scheduler seam (sim/scheduler.hpp; the event-driven instance is
+// sim/async_network.hpp).
 //
 // One `step()` realizes the paper's Δ(τ) time unit: every node builds a
 // frame from its shared variables and locally broadcasts it; the loss
@@ -32,7 +34,6 @@
 #pragma once
 
 #include <algorithm>
-#include <concepts>
 #include <cstddef>
 #include <memory>
 #include <span>
@@ -42,21 +43,14 @@
 #include "graph/graph.hpp"
 #include "sim/loss.hpp"
 #include "sim/parallel.hpp"
+#include "sim/scheduler.hpp"
 
 namespace ssmwn::sim {
 
-/// Optional zero-alloc extension of the Protocol concept: split frames
-/// into a POD header plus digests written into caller-provided storage.
-template <typename P>
-concept ArenaProtocol =
-    requires(const P& cp, P& p, graph::NodeId node,
-             typename P::FrameHeader& header,
-             std::span<typename P::Digest> out,
-             std::span<const typename P::Digest> in) {
-      { cp.digest_count(node) } -> std::convertible_to<std::size_t>;
-      cp.make_frame(node, header, out);
-      p.deliver(node, header, in);
-    };
+// This class is the *synchronous* instance of the Scheduler seam
+// (sim/scheduler.hpp); the event-driven instance is sim::AsyncNetwork.
+// The ArenaProtocol concept it detects lives in scheduler.hpp, shared
+// with the async engine.
 
 namespace detail {
 

@@ -36,8 +36,12 @@ void ThreadPool::parallel_for(std::size_t count, std::size_t grain, RangeFn fn,
   if (count == 0) return;
   if (grain == 0) {
     // ~4 chunks per thread: dynamic enough to balance uneven rows,
-    // coarse enough that the atomic cursor never contends.
-    grain = std::max<std::size_t>(1, count / (4 * thread_count()));
+    // coarse enough that the atomic cursor never contends. The chunk
+    // count is computed in std::size_t — `4 * thread_count()` in
+    // unsigned could wrap to 0 for absurd pool sizes, and the quotient
+    // for count < chunks is 0, so both legs need the max(1, ...) floor.
+    const std::size_t chunks = 4 * static_cast<std::size_t>(thread_count());
+    grain = std::max<std::size_t>(1, count / chunks);
   }
   if (workers_.empty() || count <= grain) {
     fn(ctx, 0, count);

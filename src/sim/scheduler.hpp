@@ -1,0 +1,96 @@
+// The Scheduler seam: the engine-agnostic core of the runtime.
+//
+// A Protocol (see sim/network.hpp's header comment for the concept)
+// exposes four operations — build a broadcast frame, deliver a frame,
+// fire guarded rules, age caches. *When* those operations happen is the
+// execution model, and this repo now ships two of them behind the same
+// seam:
+//
+//   * sim::Network       — the synchronous Δ(τ) stepper (lockstep
+//                          broadcast → deliver → tick → end_step, the
+//                          abstraction the paper's step-count bounds
+//                          use);
+//   * sim::AsyncNetwork  — the event-driven engine (per-node jittered
+//                          broadcast periods, per-link delivery delays,
+//                          pluggable daemons — the asynchronous regime
+//                          the paper's self-stabilization theorem is
+//                          actually stated for).
+//
+// This header holds what both engines share: the ArenaProtocol concept
+// (zero-copy flat frames), the TimestampedProtocol concept (the
+// per-delivery virtual-time hook the async engine feeds), and
+// FrameBuffer — reusable storage for one in-flight frame that builds
+// from / delivers to a protocol through whichever overload set the
+// protocol provides. The synchronous engine's batch arena (one flat
+// digest pool for all n frames of a step) remains its private
+// optimization in network.hpp; FrameBuffer is the per-frame form the
+// event-driven engine needs, where frames from different virtual times
+// are in flight simultaneously.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssmwn::sim {
+
+/// Optional zero-alloc extension of the Protocol concept: split frames
+/// into a POD header plus digests written into caller-provided storage.
+template <typename P>
+concept ArenaProtocol =
+    requires(const P& cp, P& p, graph::NodeId node,
+             typename P::FrameHeader& header,
+             std::span<typename P::Digest> out,
+             std::span<const typename P::Digest> in) {
+      { cp.digest_count(node) } -> std::convertible_to<std::size_t>;
+      cp.make_frame(node, header, out);
+      p.deliver(node, header, in);
+    };
+
+/// Optional async extension: the protocol is told the virtual time of
+/// every delivery (seconds). Synchronous engines never call it; the
+/// event-driven engine calls it immediately before `deliver`.
+template <typename P>
+concept TimestampedProtocol = requires(P& p, graph::NodeId receiver,
+                                       double time_s) {
+  p.on_delivery(receiver, time_s);
+};
+
+/// Reusable storage for one in-flight frame. Arena protocols get a POD
+/// header plus a digest vector whose capacity survives reuse (steady
+/// state: zero allocations once every slot has seen its deepest frame);
+/// other protocols fall back to storing an owning `Protocol::Frame`.
+template <typename Protocol, bool = ArenaProtocol<Protocol>>
+struct FrameBuffer {
+  typename Protocol::Frame frame;
+
+  void build_from(const Protocol& protocol, graph::NodeId sender) {
+    frame = protocol.make_frame(sender);
+  }
+  void deliver_to(Protocol& protocol, graph::NodeId receiver) const {
+    protocol.deliver(receiver, frame);
+  }
+};
+
+template <typename Protocol>
+struct FrameBuffer<Protocol, true> {
+  typename Protocol::FrameHeader header{};
+  std::vector<typename Protocol::Digest> digests;
+
+  void build_from(const Protocol& protocol, graph::NodeId sender) {
+    digests.resize(protocol.digest_count(sender));
+    protocol.make_frame(sender, header,
+                        std::span(digests.data(), digests.size()));
+  }
+  void deliver_to(Protocol& protocol, graph::NodeId receiver) const {
+    protocol.deliver(receiver, header,
+                     std::span<const typename Protocol::Digest>(
+                         digests.data(), digests.size()));
+  }
+};
+
+}  // namespace ssmwn::sim

@@ -32,4 +32,52 @@ ConvergenceReport run_until_stable(const std::function<void()>& advance,
   return report;
 }
 
+VirtualTimeReport run_until_stable_virtual(
+    const std::function<double()>& advance,
+    const std::function<std::uint64_t()>& message_count,
+    const std::function<bool()>& legitimate, double confirm_s,
+    double max_time_s) {
+  VirtualTimeReport report;
+  // Every timestamp comes from `advance`, so the detector also works
+  // mid-execution (e.g. measuring recovery after a corruption injected
+  // at a nonzero virtual time); the first check happens after the first
+  // interval, never against an assumed t = 0 baseline.
+  bool was_legit = false;
+  double legit_since_s = 0.0;            // start of the current legit run
+  std::uint64_t messages_at_legit = 0;   // message count at that start
+  bool have_run = false;                 // a legit run is in progress
+
+  double now_s = 0.0;
+  while (now_s < max_time_s) {
+    const double prev_s = now_s;
+    now_s = advance();
+    // `advance` must strictly increase the clock; a caller whose
+    // interval rounds to zero virtual ticks would otherwise spin here
+    // forever. Treat a stuck clock as "horizon exhausted".
+    if (!(now_s > prev_s)) break;
+    report.time_simulated_s = now_s;
+    report.messages_total = message_count();
+    const bool legit = legitimate();
+    ++report.checks;
+    if (legit) {
+      if (!was_legit) {
+        legit_since_s = now_s;
+        messages_at_legit = report.messages_total;
+        have_run = true;
+      }
+      if (have_run && now_s - legit_since_s >= confirm_s) {
+        report.converged = true;
+        report.stabilization_time_s = legit_since_s;
+        report.messages_to_converge = messages_at_legit;
+        return report;
+      }
+    } else {
+      if (was_legit) ++report.relapses;
+      have_run = false;
+    }
+    was_legit = legit;
+  }
+  return report;
+}
+
 }  // namespace ssmwn::stabilize

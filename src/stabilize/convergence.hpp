@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 
@@ -37,5 +38,45 @@ struct ConvergenceReport {
     const std::function<void()>& advance,
     const std::function<bool()>& legitimate, std::size_t confirm_steps,
     std::size_t max_steps);
+
+/// Convergence in *virtual time*, for the event-driven engine: instead
+/// of a step count, the interesting quantities are when (in simulated
+/// seconds) the system became legitimate for good and how many message
+/// deliveries it took to get there. Resolution is the caller's check
+/// interval: the detector samples legitimacy between `advance` calls,
+/// so the reported time/messages are those observed at the first check
+/// of the final uninterrupted legitimate run.
+struct VirtualTimeReport {
+  /// True iff legitimacy held continuously for `confirm_s` of virtual
+  /// time before `max_time_s` ran out.
+  bool converged = false;
+  /// Virtual time (seconds) at the first check of the final
+  /// uninterrupted legitimate run. Checks begin after the first
+  /// `advance`, so this is meaningful even when the caller's virtual
+  /// clock starts nonzero (e.g. measuring recovery mid-execution).
+  double stabilization_time_s = 0.0;
+  /// Message count observed at that same check — the paper-relevant
+  /// "messages to convergence".
+  std::uint64_t messages_to_converge = 0;
+  /// Virtual time actually simulated (seconds).
+  double time_simulated_s = 0.0;
+  /// Message count at the end of the observation.
+  std::uint64_t messages_total = 0;
+  /// Legitimate→illegitimate flips observed (diagnoses oscillation).
+  std::size_t relapses = 0;
+  /// Number of legitimacy checks performed.
+  std::size_t checks = 0;
+};
+
+/// Drives an event-driven system until legitimacy has held for
+/// `confirm_s` of continuous virtual time, or `max_time_s` of virtual
+/// time has been simulated. `advance` processes one check interval of
+/// events and returns the current virtual time in seconds (it must
+/// strictly increase); `message_count` returns deliveries so far.
+[[nodiscard]] VirtualTimeReport run_until_stable_virtual(
+    const std::function<double()>& advance,
+    const std::function<std::uint64_t()>& message_count,
+    const std::function<bool()>& legitimate, double confirm_s,
+    double max_time_s);
 
 }  // namespace ssmwn::stabilize

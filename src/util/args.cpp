@@ -1,5 +1,6 @@
 #include "util/args.hpp"
 
+#include <charconv>
 #include <stdexcept>
 
 namespace ssmwn::util {
@@ -39,27 +40,48 @@ std::string Args::get(const std::string& name,
   return it == values_.end() ? fallback : it->second;
 }
 
+namespace {
+
+// Both numeric getters parse with std::from_chars: locale-independent
+// (strto* honor LC_NUMERIC, so "--radius 0.08" would fail under a
+// de_DE global locale) and strict — trailing junk like "5x" is an
+// error, not a silent prefix parse. One strtod nicety is kept: a
+// single leading '+', which from_chars alone rejects.
+template <typename T>
+bool parse_strict(const std::string& raw, T& value) {
+  const char* first = raw.data();
+  const char* last = raw.data() + raw.size();
+  if (last - first > 1 && *first == '+' && *(first + 1) != '-' &&
+      *(first + 1) != '+') {
+    ++first;
+  }
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
 std::int64_t Args::get_int(const std::string& name,
                            std::int64_t fallback) const {
   const auto raw = get(name, "");
   if (raw.empty()) return fallback;
-  try {
-    return std::stoll(raw);
-  } catch (const std::exception&) {
+  std::int64_t value = 0;
+  if (!parse_strict(raw, value)) {
     throw std::invalid_argument("--" + name + ": expected an integer, got '" +
                                 raw + "'");
   }
+  return value;
 }
 
 double Args::get_double(const std::string& name, double fallback) const {
   const auto raw = get(name, "");
   if (raw.empty()) return fallback;
-  try {
-    return std::stod(raw);
-  } catch (const std::exception&) {
+  double value = 0.0;
+  if (!parse_strict(raw, value)) {
     throw std::invalid_argument("--" + name + ": expected a number, got '" +
                                 raw + "'");
   }
+  return value;
 }
 
 bool Args::get_bool(const std::string& name, bool fallback) const {

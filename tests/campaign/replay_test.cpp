@@ -37,8 +37,25 @@ struct Rendered {
   std::string json;
 };
 
-Rendered render_campaign(unsigned threads) {
-  const auto spec = campaign::parse_spec_text(kSpecText);
+// Async grid points ride the same replay guarantee: the event-driven
+// engine is single-threaded per run and deterministic from its seed, so
+// a mixed sync/async sweep must also be byte-stable for any -threads.
+constexpr const char* kAsyncSpecText = R"(
+name         = replay-async
+topology     = uniform
+n            = 50
+radius       = 0.15
+variant      = basic
+scheduler    = sync, async
+link_delay   = 0.02, 0.15
+tau          = 0.9
+steps        = 12
+replications = 3
+seed_base    = 515151
+)";
+
+Rendered render_campaign_text(const char* text, unsigned threads) {
+  const auto spec = campaign::parse_spec_text(text);
   const auto plan = campaign::expand(spec);
   campaign::CampaignRunner runner(threads);
   const auto results = runner.run(plan);
@@ -51,6 +68,10 @@ Rendered render_campaign(unsigned threads) {
   campaign::write_csv(csv, plan, aggregates);
   campaign::write_json(json, plan, aggregates);
   return {csv.str(), json.str()};
+}
+
+Rendered render_campaign(unsigned threads) {
+  return render_campaign_text(kSpecText, threads);
 }
 
 TEST(CampaignReplay, SameSpecTwiceIsByteIdentical) {
@@ -88,12 +109,42 @@ TEST(CampaignReplay, PerRunMetricsMatchAcrossThreadCounts) {
   }
 }
 
+TEST(CampaignReplay, AsyncGridReplaysByteIdentically) {
+  const auto serial = render_campaign_text(kAsyncSpecText, 1);
+  const auto repeat = render_campaign_text(kAsyncSpecText, 1);
+  EXPECT_EQ(serial.csv, repeat.csv);
+  EXPECT_EQ(serial.json, repeat.json);
+  for (const unsigned threads : {2u, 4u}) {
+    const auto parallel = render_campaign_text(kAsyncSpecText, threads);
+    EXPECT_EQ(serial.csv, parallel.csv) << "threads=" << threads;
+    EXPECT_EQ(serial.json, parallel.json) << "threads=" << threads;
+  }
+  // Extended schema: the async columns and metric rows are present.
+  EXPECT_NE(serial.csv.find(",scheduler,period_jitter,link_delay,"),
+            std::string::npos);
+  EXPECT_NE(serial.csv.find(",converge_time,"), std::string::npos);
+  EXPECT_NE(serial.json.find("\"messages\""), std::string::npos);
+}
+
+TEST(CampaignReplay, SyncOnlyPlansKeepTheLegacySchema) {
+  // A purely synchronous campaign must not grow columns or metric rows
+  // from the async axis — pre-existing outputs stay byte-comparable.
+  const auto rendered = render_campaign(1);
+  EXPECT_EQ(rendered.csv.find("scheduler"), std::string::npos);
+  EXPECT_EQ(rendered.csv.find("converge_time"), std::string::npos);
+  EXPECT_EQ(rendered.json.find("converge_time"), std::string::npos);
+  const auto plan =
+      campaign::expand(campaign::parse_spec_text(kSpecText));
+  EXPECT_FALSE(campaign::plan_uses_async(plan));
+  EXPECT_EQ(campaign::report_metric_count(plan), campaign::kSyncMetricCount);
+}
+
 TEST(CampaignReplay, ReportsAreWellFormed) {
   const auto rendered = render_campaign(2);
-  // CSV: header + 4 scenarios x 4 metrics rows.
+  // CSV: header + 4 scenarios x (sync metric) rows.
   std::size_t lines = 0;
   for (const char c : rendered.csv) lines += c == '\n';
-  EXPECT_EQ(lines, 1u + 4u * campaign::kMetricNames.size());
+  EXPECT_EQ(lines, 1u + 4u * campaign::kSyncMetricCount);
   EXPECT_EQ(rendered.csv.rfind("campaign,topology,n,radius,", 0), 0u);
   // JSON: crude structural checks (balanced braces, expected keys).
   std::ptrdiff_t depth = 0;

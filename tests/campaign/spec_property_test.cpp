@@ -4,6 +4,7 @@
 // rejected with a SpecError — never an assert.
 #include <gtest/gtest.h>
 
+#include <locale>
 #include <set>
 #include <string>
 
@@ -143,11 +144,119 @@ TEST(CampaignSpec, MalformedSpecsAreRejectedWithClearErrors) {
   rejects("speed_min = 5\nspeed_max = 1", "speed_min");  // impossible combo
 }
 
+TEST(CampaignSpec, SchedulerAxisExpandsAndDeduplicatesSyncPoints) {
+  // The async knobs don't affect a sync run, so sweeping them must emit
+  // each sync point once but every async combination: 1 + 2×2 = 5
+  // points per variant.
+  const auto plan = campaign::expand(campaign::parse_spec_text(R"(
+    n            = 40
+    scheduler    = sync, async
+    period_jitter = 0.05, 0.2
+    link_delay   = 0.01, 0.1
+    replications = 2
+  )"));
+  EXPECT_EQ(plan.grid.size(), 5u);
+  std::size_t sync_points = 0;
+  std::set<std::uint64_t> seeds;
+  std::set<std::string> canonicals;
+  for (const auto& point : plan.grid) {
+    sync_points += point.config.scheduler == campaign::SchedulerKind::kSync;
+    canonicals.insert(point.canonical);
+  }
+  for (const auto& run : plan.runs) seeds.insert(run.seed);
+  EXPECT_EQ(sync_points, 1u);
+  EXPECT_EQ(canonicals.size(), plan.grid.size());
+  EXPECT_EQ(seeds.size(), plan.runs.size());
+}
+
+TEST(CampaignSpec, SyncCanonicalIsStableAcrossTheSchedulerRelease) {
+  // A synchronous grid point must serialize without any scheduler
+  // fields — its canonical string (and therefore every seed hashed
+  // from it) is bit-stable across the release that added the axis.
+  campaign::ScenarioConfig config;
+  const auto canonical = campaign::canonical_config(config);
+  EXPECT_EQ(canonical.find("scheduler"), std::string::npos);
+  EXPECT_EQ(canonical.find("period_jitter"), std::string::npos);
+  EXPECT_EQ(canonical.find("link_delay"), std::string::npos);
+  // And the exact pre-axis serialization, pinned byte for byte.
+  EXPECT_EQ(canonical,
+            "topology=uniform;n=300;radius=0.08;variant=basic;"
+            "mobility=none;speed_min=0;speed_max=1.6;tau=1;churn_down=0;"
+            "churn_up=0.5;steps=50;window_s=2;world_m=1000");
+
+  config.scheduler = campaign::SchedulerKind::kAsync;
+  const auto async_canonical = campaign::canonical_config(config);
+  EXPECT_NE(async_canonical.find(";scheduler=async;period_jitter=0.1;"
+                                 "link_delay=0.02"),
+            std::string::npos);
+}
+
+TEST(CampaignSpec, AsyncRejectsMobilityAndChurn) {
+  const auto rejects = [](const char* text) {
+    EXPECT_THROW((void)campaign::expand(campaign::parse_spec_text(text)),
+                 SpecError)
+        << text;
+  };
+  rejects("scheduler = async\nmobility = random-direction");
+  rejects("scheduler = async\nchurn_down = 0.1");
+  rejects("scheduler = async\nwindow_s = 0.0000005");  // sub-tick period
+  rejects("scheduler = bogus");
+  rejects("period_jitter = 1.5");
+  rejects("period_jitter = -0.1");
+  rejects("link_delay = -1");
+  // And the valid combination parses.
+  const auto plan = campaign::expand(campaign::parse_spec_text(
+      "scheduler = async\nn = 30\nsteps = 5"));
+  EXPECT_EQ(plan.grid.size(), 1u);
+  EXPECT_EQ(plan.grid[0].config.scheduler, campaign::SchedulerKind::kAsync);
+}
+
 TEST(CampaignSpec, SpecErrorIsInvalidArgument) {
   // The CLI maps std::invalid_argument to the bad-arguments exit code;
   // spec errors must ride that path, not the run-failure one.
   EXPECT_THROW((void)campaign::parse_spec_text("replications = 0"),
                std::invalid_argument);
+}
+
+TEST(CampaignSpec, FormattingIsLocaleIndependent) {
+  // Byte-identical replay must hold under any LC_NUMERIC: a locale with
+  // a comma decimal separator and dot grouping (de_DE) must change
+  // neither format_double nor canonical serialization (seeds!).
+  std::locale original;
+  std::locale german;
+  try {
+    german = std::locale("de_DE.UTF-8");
+  } catch (const std::runtime_error&) {
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  }
+  const auto before_double = campaign::format_double(1234567.25);
+  campaign::ScenarioConfig config;
+  config.n = 1000000;  // grouping bait for integer insertion
+  const auto before_canonical = campaign::canonical_config(config);
+
+  std::locale::global(german);
+  const auto under_double = campaign::format_double(1234567.25);
+  const auto under_canonical = campaign::canonical_config(config);
+  // Parsing is locale-free too: strtod-based parsing would stop "0.08"
+  // at the '.' under de_DE and reject the spec.
+  const auto under_spec =
+      campaign::parse_spec_text("radius = 0.08\ntau = 0.5");
+  std::locale::global(original);
+  ASSERT_EQ(under_spec.radius.size(), 1u);
+  EXPECT_DOUBLE_EQ(under_spec.radius.front(), 0.08);
+  EXPECT_DOUBLE_EQ(under_spec.tau.front(), 0.5);
+
+  EXPECT_EQ(before_double, under_double);
+  EXPECT_EQ(before_canonical, under_canonical);
+  EXPECT_EQ(before_double, "1234567.25");
+  EXPECT_NE(before_canonical.find("n=1000000;"), std::string::npos);
+}
+
+TEST(CampaignSpec, LeadingPlusInNumbersIsAccepted) {
+  const auto spec = campaign::parse_spec_text("tau = +0.5\nradius = +0.1");
+  EXPECT_DOUBLE_EQ(spec.tau.front(), 0.5);
+  EXPECT_DOUBLE_EQ(spec.radius.front(), 0.1);
+  EXPECT_THROW((void)campaign::parse_spec_text("tau = +-0.5"), SpecError);
 }
 
 TEST(CampaignSpec, CommentsAndWhitespaceAreIgnored) {

@@ -59,6 +59,64 @@ TEST(Churn, NodeChurnRatesRespected) {
   EXPECT_NEAR(alive.mean(), 0.75, 0.03);
 }
 
+TEST(Churn, MaskNodesPreservesIndicesAndNodeCount) {
+  // Down nodes keep their index — the protocol addresses nodes by graph
+  // index across windows, so masking must never compact or reorder.
+  const auto g = graph::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                                       {4, 5}, {5, 0}});
+  const std::vector<char> alive{1, 0, 1, 1, 0, 1};
+  const auto masked = sim::mask_nodes(g, alive);
+  EXPECT_EQ(masked.node_count(), g.node_count());
+  // Surviving adjacency is exactly the subgraph between up nodes, at
+  // the original indices.
+  EXPECT_TRUE(masked.adjacent(2, 3));
+  EXPECT_FALSE(masked.adjacent(0, 1));  // 1 is down
+  EXPECT_FALSE(masked.adjacent(3, 4));  // 4 is down
+  EXPECT_FALSE(masked.adjacent(4, 5));
+  EXPECT_TRUE(masked.adjacent(5, 0));   // both up, edge survives
+  EXPECT_EQ(masked.degree(1), 0u);
+  EXPECT_EQ(masked.degree(4), 0u);
+  // All-up mask is an identity on the edge set.
+  const auto all_up = sim::mask_nodes(g, std::vector<char>(6, 1));
+  EXPECT_EQ(all_up.edge_count(), g.edge_count());
+}
+
+TEST(Churn, NodeChurnSojournTimesAreGeometric) {
+  // Up sojourns end with probability down_rate per window, so their
+  // lengths are geometric with mean 1/down_rate; same for down sojourns
+  // with up_rate. Measure both from a long trajectory.
+  const double down_rate = 0.2;
+  const double up_rate = 0.4;
+  sim::NodeChurn churn(400, down_rate, up_rate, util::Rng(11));
+  std::vector<std::size_t> sojourn(400, 0);
+  std::vector<char> prev = churn.alive();
+  util::RunningStats up_lengths, down_lengths;
+  for (int t = 0; t < 400; ++t) {
+    const auto& now = churn.step();
+    for (std::size_t p = 0; p < now.size(); ++p) {
+      if (now[p] == prev[p]) {
+        ++sojourn[p];
+      } else {
+        // A completed sojourn in the previous state.
+        (prev[p] ? up_lengths : down_lengths)
+            .add(static_cast<double>(sojourn[p] + 1));
+        sojourn[p] = 0;
+      }
+    }
+    prev = now;
+  }
+  ASSERT_GT(up_lengths.count(), 1000u);
+  ASSERT_GT(down_lengths.count(), 1000u);
+  EXPECT_NEAR(up_lengths.mean(), 1.0 / down_rate, 0.25);
+  EXPECT_NEAR(down_lengths.mean(), 1.0 / up_rate, 0.15);
+}
+
+TEST(Churn, NodeChurnStartsAllUp) {
+  sim::NodeChurn churn(10, 0.5, 0.5, util::Rng(1));
+  EXPECT_EQ(churn.alive_count(), 10u);
+  EXPECT_EQ(churn.alive().size(), 10u);
+}
+
 TEST(Churn, NodeChurnRejectsBadRates) {
   EXPECT_THROW(sim::NodeChurn(5, -0.1, 0.5, util::Rng(4)),
                std::invalid_argument);

@@ -1,0 +1,96 @@
+// Unit tests for the deterministic event queue: total order, admission
+// tiebreak, and heap behavior under interleaved push/pop.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  sim::EventQueue queue;
+  for (const sim::VirtualTime t : {50u, 10u, 30u, 20u, 40u}) {
+    queue.push(sim::Event{t, 0, sim::EventKind::kActivation, 0, 0, 0});
+  }
+  std::vector<sim::VirtualTime> order;
+  while (!queue.empty()) order.push_back(queue.pop().time);
+  EXPECT_EQ(order, (std::vector<sim::VirtualTime>{10, 20, 30, 40, 50}));
+}
+
+TEST(EventQueue, TiesBreakByAdmissionOrder) {
+  sim::EventQueue queue;
+  // Five simultaneous events from distinct nodes: they must come back
+  // in exactly the order they were admitted, regardless of heap shape.
+  for (graph::NodeId p = 0; p < 5; ++p) {
+    queue.push(sim::Event{100, 0, sim::EventKind::kDelivery, p, 0, 0});
+  }
+  for (graph::NodeId expected = 0; expected < 5; ++expected) {
+    const auto event = queue.pop();
+    EXPECT_EQ(event.node, expected);
+    EXPECT_EQ(event.seq, expected);  // seq is the admission counter
+  }
+}
+
+TEST(EventQueue, SeqIsAssignedByTheQueue) {
+  sim::EventQueue queue;
+  queue.push(sim::Event{1, /*seq=*/999, sim::EventKind::kActivation, 7, 0, 0});
+  EXPECT_EQ(queue.pop().seq, 0u);  // caller-supplied seq is ignored
+  EXPECT_EQ(queue.admitted(), 1u);
+}
+
+TEST(EventQueue, InterleavedPushPopMatchesReferenceModel) {
+  // Reference model: a plain vector of pending events; every pop must
+  // return exactly the event_before-minimum of the pending set.
+  util::Rng rng(42);
+  sim::EventQueue queue;
+  std::vector<sim::Event> pending;
+  for (int round = 0; round < 400; ++round) {
+    sim::Event e{static_cast<sim::VirtualTime>(rng.below(50)), 0,
+                 sim::EventKind::kActivation,
+                 static_cast<graph::NodeId>(rng.below(16)), 0, 0};
+    queue.push(e);
+    e.seq = queue.admitted() - 1;  // the seq the queue just assigned
+    pending.push_back(e);
+    if (rng.chance(0.4)) {
+      const auto popped = queue.pop();
+      const auto least = std::min_element(
+          pending.begin(), pending.end(),
+          [](const sim::Event& a, const sim::Event& b) {
+            return sim::event_before(a, b);
+          });
+      ASSERT_EQ(popped, *least);
+      pending.erase(least);
+    }
+  }
+  while (!queue.empty()) {
+    const auto popped = queue.pop();
+    const auto least = std::min_element(
+        pending.begin(), pending.end(),
+        [](const sim::Event& a, const sim::Event& b) {
+          return sim::event_before(a, b);
+        });
+    ASSERT_EQ(popped, *least);
+    pending.erase(least);
+  }
+  EXPECT_TRUE(pending.empty());
+}
+
+TEST(EventQueue, ToTicksRoundsAndClamps) {
+  EXPECT_EQ(sim::to_ticks(1.0), sim::kTicksPerSecond);
+  EXPECT_EQ(sim::to_ticks(0.5), sim::kTicksPerSecond / 2);
+  EXPECT_EQ(sim::to_ticks(-0.25), 0u);  // negative delays clamp
+  EXPECT_EQ(sim::to_ticks(0.0), 0u);
+  // Saturation, not UB, for durations beyond the 64-bit tick range.
+  EXPECT_EQ(sim::to_ticks(1e30),
+            std::numeric_limits<sim::VirtualTime>::max());
+  EXPECT_DOUBLE_EQ(sim::to_seconds(sim::to_ticks(2.5)), 2.5);
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -4,6 +4,7 @@
 // stateful loss models.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <vector>
 
@@ -158,6 +159,45 @@ TEST(ParallelStep, ArenaEngineMatchesLegacyEngineUnderLoss) {
     net_arena.step();
     ASSERT_TRUE(states_identical(legacy, arena)) << "step " << s;
   }
+}
+
+TEST(ThreadPoolGrain, SmallCountsNeverStarveOrRepeatIndices) {
+  // Regression for the auto-grain heuristic: when count < 4 × threads
+  // the quotient underflows to 0 and only the max(1, ...) floor keeps
+  // the chunk cursor advancing. Every index must be hit exactly once
+  // for counts straddling that edge.
+  sim::ThreadPool pool(8);
+  for (std::size_t count : {1u, 2u, 3u, 7u, 31u, 32u, 33u, 100u}) {
+    std::vector<std::atomic<int>> hits(count);
+    for (auto& h : hits) h.store(0);
+    struct Ctx {
+      std::vector<std::atomic<int>>* hits;
+    } ctx{&hits};
+    pool.parallel_for(
+        count, /*grain=*/0,
+        [](void* raw, std::size_t begin, std::size_t end) {
+          auto& c = *static_cast<Ctx*>(raw);
+          for (std::size_t i = begin; i < end; ++i) {
+            (*c.hits)[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        &ctx);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "count=" << count << " index=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolGrain, ZeroCountIsANoOp) {
+  sim::ThreadPool pool(4);
+  bool touched = false;
+  pool.parallel_for(
+      0, 0,
+      [](void* raw, std::size_t, std::size_t) {
+        *static_cast<bool*>(raw) = true;
+      },
+      &touched);
+  EXPECT_FALSE(touched);
 }
 
 TEST(ParallelStep, SetThreadsMidRunKeepsTrajectory) {

@@ -115,5 +115,61 @@ TEST(Convergence, TimesOut) {
   EXPECT_EQ(report.steps_executed, 15u);
 }
 
+TEST(VirtualConvergence, ReportsTimeAndMessagesAtRunStart) {
+  // Virtual clock advances 0.5 s per check; legitimacy holds from
+  // t = 2.0 on; 10 messages arrive per interval. Confirmation needs
+  // 1.5 s of continuous legitimacy.
+  double now = 0.0;
+  std::uint64_t messages = 0;
+  const auto report = stabilize::run_until_stable_virtual(
+      [&] {
+        now += 0.5;
+        messages += 10;
+        return now;
+      },
+      [&] { return messages; }, [&] { return now >= 2.0; },
+      /*confirm_s=*/1.5, /*max_time_s=*/100.0);
+  EXPECT_TRUE(report.converged);
+  EXPECT_DOUBLE_EQ(report.stabilization_time_s, 2.0);
+  EXPECT_EQ(report.messages_to_converge, 40u);  // count at t = 2.0
+  EXPECT_GE(report.messages_total, report.messages_to_converge);
+}
+
+TEST(VirtualConvergence, RelapseRestartsTheClock) {
+  // Legitimate on checks 2..3 (t = 1.0..1.5), relapse, then legitimate
+  // from t = 3.0 on; confirm_s = 1.0 so the first spell is too short.
+  double now = 0.0;
+  const auto report = stabilize::run_until_stable_virtual(
+      [&] { return now += 0.5; }, [&] { return 0ULL; },
+      [&] { return (now >= 1.0 && now <= 1.5) || now >= 3.0; },
+      /*confirm_s=*/1.0, /*max_time_s=*/50.0);
+  EXPECT_TRUE(report.converged);
+  EXPECT_DOUBLE_EQ(report.stabilization_time_s, 3.0);
+  EXPECT_EQ(report.relapses, 1u);
+}
+
+TEST(VirtualConvergence, HorizonBoundsSimulatedTime) {
+  double now = 0.0;
+  const auto report = stabilize::run_until_stable_virtual(
+      [&] { return now += 1.0; }, [&] { return 7ULL; },
+      [&] { return false; }, 2.0, 10.0);
+  EXPECT_FALSE(report.converged);
+  EXPECT_DOUBLE_EQ(report.time_simulated_s, 10.0);
+  EXPECT_EQ(report.messages_total, 7u);
+  EXPECT_GT(report.checks, 0u);
+}
+
+TEST(VirtualConvergence, WorksFromANonzeroStartingClock) {
+  // Measuring recovery mid-execution: the caller's clock starts at
+  // t = 100; stabilization is reported on that absolute clock.
+  double now = 100.0;
+  const auto report = stabilize::run_until_stable_virtual(
+      [&] { return now += 1.0; }, [&] { return 0ULL; },
+      [&] { return now >= 104.0; }, /*confirm_s=*/2.0,
+      /*max_time_s=*/200.0);
+  EXPECT_TRUE(report.converged);
+  EXPECT_DOUBLE_EQ(report.stabilization_time_s, 104.0);
+}
+
 }  // namespace
 }  // namespace ssmwn

@@ -53,6 +53,17 @@ TEST(Args, MalformedNumbersThrow) {
   EXPECT_THROW((void)parse({"--n", "abc"}).get_int("n", 0), std::invalid_argument);
   EXPECT_THROW((void)parse({"--r", "abc"}).get_double("r", 0),
                std::invalid_argument);
+  // Trailing junk is an error, not a silent prefix parse.
+  EXPECT_THROW((void)parse({"--n", "5x"}).get_int("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"--r", "0.1abc"}).get_double("r", 0),
+               std::invalid_argument);
+  // A single leading '+' stays accepted (strtod compatibility); a
+  // doubled sign does not.
+  EXPECT_EQ(parse({"--n", "+42"}).get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(parse({"--r", "+0.5"}).get_double("r", 0), 0.5);
+  EXPECT_THROW((void)parse({"--n", "+-4"}).get_int("n", 0),
+               std::invalid_argument);
 }
 
 TEST(Args, UnknownTracksUnqueriedFlags) {

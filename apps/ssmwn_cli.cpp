@@ -32,6 +32,7 @@
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
+#include "mobility/mobility.hpp"
 #include "cluster/baselines.hpp"
 #include "cluster/max_min.hpp"
 #include "core/clustering.hpp"
@@ -48,6 +49,7 @@
 #include "stabilize/convergence.hpp"
 #include "topology/generators.hpp"
 #include "topology/ids.hpp"
+#include "topology/incremental.hpp"
 #include "topology/udg.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
@@ -163,14 +165,13 @@ int run_cluster(const util::Args& args, util::Rng& rng) {
   return 0;
 }
 
-/// `protocol --scheduler async`: the event-driven engine. Runs the
-/// protocol from a cold start (and optionally from a corrupted state)
-/// under the chosen daemon and reports virtual-time convergence and
-/// messages-to-convergence instead of step counts.
-int run_protocol_async(const util::Args& args, const Deployment& d,
-                       core::DensityProtocol& protocol, util::Rng& rng) {
+/// Parses and validates the async-engine knobs (--period,
+/// --period-jitter, --link-delay, --daemon) shared by the async and
+/// live-async paths — every path must apply the same range checks.
+sim::AsyncConfig parse_async_config(const util::Args& args,
+                                    double default_period) {
   sim::AsyncConfig async;
-  async.period_s = args.get_double("period", 1.0);
+  async.period_s = args.get_double("period", default_period);
   async.period_jitter = args.get_double("period-jitter", 0.1);
   async.link_delay_s = args.get_double("link-delay", 0.02);
   // Lower bound = one virtual-time tick (1 µs): a sub-tick period
@@ -196,6 +197,29 @@ int run_protocol_async(const util::Args& args, const Deployment& d,
         "--daemon must be synchronous|randomized|unfair (got '" + daemon +
         "')");
   }
+  return async;
+}
+
+/// Rejects the async-only flags when the selected mode never reads them
+/// — a silently ignored --daemon would mislabel an experiment.
+void reject_async_flags(const util::Args& args) {
+  for (const char* async_only :
+       {"daemon", "period", "period-jitter", "link-delay"}) {
+    if (args.has(async_only)) {
+      throw std::invalid_argument(std::string("--") + async_only +
+                                  " requires --scheduler async");
+    }
+  }
+}
+
+/// `protocol --scheduler async`: the event-driven engine. Runs the
+/// protocol from a cold start (and optionally from a corrupted state)
+/// under the chosen daemon and reports virtual-time convergence and
+/// messages-to-convergence instead of step counts.
+int run_protocol_async(const util::Args& args, const Deployment& d,
+                       core::DensityProtocol& protocol, util::Rng& rng) {
+  const sim::AsyncConfig async = parse_async_config(args, 1.0);
+  const std::string daemon = args.get("daemon", "randomized");
 
   const double tau = args.get_double("tau", 1.0);
   const auto medium = sim::make_loss_model(tau, rng.split());
@@ -250,6 +274,177 @@ int run_protocol_async(const util::Args& args, const Deployment& d,
   return ok ? kExitOk : kExitRunFailure;
 }
 
+/// `protocol --live`: protocol-under-mobility re-convergence, on either
+/// engine. Each window moves the nodes by --window-s seconds of the
+/// chosen mobility model, applies the topology change to the *running*
+/// network (--topology incremental: edge deltas + eager stale-link
+/// invalidation; rebuild: fresh graph, recovery by cache aging alone),
+/// and measures the time and messages to re-reach legitimacy.
+int run_protocol_live(const util::Args& args, const Deployment& d,
+                      core::DensityProtocol& protocol, util::Rng& rng,
+                      bool async_engine) {
+  const std::string update = args.get("topology", "incremental");
+  if (update != "incremental" && update != "rebuild") {
+    throw std::invalid_argument(
+        "--topology must be incremental|rebuild (got '" + update + "')");
+  }
+  const bool incremental = update == "incremental";
+  const double radius = args.get_double("radius", 0.08);
+  const double speed_min = args.get_double("speed-min", 0.0);
+  const double speed_max = args.get_double("speed-max", 1.6);
+  if (speed_min < 0.0 || speed_max < speed_min || speed_max >= 1e9) {
+    throw std::invalid_argument(
+        "--speed-min/--speed-max must satisfy 0 <= min <= max");
+  }
+  const double window_s = args.get_double("window-s", 2.0);
+  if (!(window_s >= 1e-6) || window_s >= 1e9) {
+    throw std::invalid_argument("--window-s must be in [1e-6, 1e9) seconds");
+  }
+  const auto windows_raw = args.get_int("windows", 20);
+  if (windows_raw < 1 || windows_raw > 1'000'000) {
+    throw std::invalid_argument("--windows must be in [1, 1e6]");
+  }
+  const int windows = static_cast<int>(windows_raw);  // fits %d after check
+  const auto horizon_rounds =
+      static_cast<double>(args.get_int("steps", 100));
+
+  const mobility::SpeedRange speeds{speed_min, speed_max};
+  const std::string mobility = args.get("mobility", "random-direction");
+  auto points = d.points;
+  std::unique_ptr<mobility::MobilityModel> mover;
+  if (mobility == "random-direction") {
+    mover = std::make_unique<mobility::RandomDirection>(
+        points.size(), speeds, 1000.0, rng.split());
+  } else if (mobility == "random-waypoint") {
+    mover = std::make_unique<mobility::RandomWaypoint>(points.size(), speeds,
+                                                       1000.0, rng.split());
+  } else {
+    throw std::invalid_argument(
+        "--mobility must be random-direction|random-waypoint (got '" +
+        mobility + "')");
+  }
+
+  // One Graph object lives for the whole run; both engines observe it.
+  std::optional<topology::LiveTopology> live;
+  graph::DynamicGraph rebuilt;
+  if (incremental) {
+    live.emplace(points, radius);
+  } else {
+    rebuilt.reset(topology::unit_disk_graph(points, radius));
+  }
+  const graph::Graph& g = incremental ? live->graph() : rebuilt.view();
+
+  const double tau = args.get_double("tau", 1.0);
+  const auto medium = sim::make_loss_model(tau, rng.split());
+
+  const bool exact =
+      core::head_identity_is_deterministic(protocol.config().cluster);
+  core::ClusteringResult oracle;
+  auto recompute_oracle = [&] {
+    if (exact) {
+      oracle = core::cluster_density(g, d.ids, protocol.config().cluster);
+    }
+  };
+  recompute_oracle();
+  core::LegitimacyCheck legitimacy(g, protocol, exact ? &oracle : nullptr);
+
+  std::printf("live mode: %s engine, topology=%s, %s %g-%g m/s, %d windows "
+              "of %gs\n",
+              async_engine ? "async" : "sync", update.c_str(),
+              mobility.c_str(), speed_min, speed_max, windows, window_s);
+
+  // Per-phase settle, unified across engines (sync rounds are scaled by
+  // window_s so both report virtual seconds).
+  std::optional<sim::Network<core::DensityProtocol>> sync_net;
+  std::optional<sim::AsyncNetwork<core::DensityProtocol>> async_net;
+  if (async_engine) {
+    async_net.emplace(g, protocol, *medium, parse_async_config(args, window_s),
+                      rng.split());
+  } else {
+    reject_async_flags(args);
+    sync_net.emplace(g, protocol, *medium, parse_threads(args));
+  }
+  auto settle = [&] {
+    legitimacy.reset();
+    if (async_engine) {
+      const double start_s = async_net->now_seconds();
+      auto report = sim::settle_async(
+          *async_net, [&] { return legitimacy.check(); }, horizon_rounds);
+      report.stabilization_time_s -= start_s;
+      report.time_simulated_s -= start_s;
+      return report;
+    }
+    std::size_t rounds = 0;
+    const std::uint64_t base = sync_net->messages_delivered();
+    return stabilize::run_until_stable_virtual(
+        [&] {
+          sync_net->step();
+          return static_cast<double>(++rounds) * window_s;
+        },
+        [&] { return sync_net->messages_delivered() - base; },
+        [&] { return legitimacy.check(); }, 3.0 * window_s,
+        horizon_rounds * window_s);
+  };
+
+  const auto cold = settle();
+  std::printf("cold start: %s at t=%.2fs (virtual), %llu messages\n",
+              cold.converged ? "converged" : "NOT converged",
+              cold.converged ? cold.stabilization_time_s
+                             : cold.time_simulated_s,
+              static_cast<unsigned long long>(
+                  cold.converged ? cold.messages_to_converge
+                                 : cold.messages_total));
+
+  std::size_t reconverged = 0;
+  double time_sum = 0.0, msg_sum = 0.0;
+  for (int w = 0; w < windows; ++w) {
+    mover->step(points, window_s);
+    std::size_t grew = 0, broke = 0;
+    if (async_engine) {
+      async_net->schedule_topology_update(
+          async_net->now(), [&]() -> const graph::EdgeDelta& {
+            if (incremental) {
+              const auto& delta = live->update(points);
+              grew = delta.added.size();
+              broke = delta.removed.size();
+              return delta;
+            }
+            static const graph::EdgeDelta kNoDelta;
+            rebuilt.reset(topology::unit_disk_graph(points, radius));
+            return kNoDelta;
+          });
+      async_net->run_until(async_net->now());  // fire before the oracle
+    } else if (incremental) {
+      const auto& delta = live->update(points);
+      grew = delta.added.size();
+      broke = delta.removed.size();
+      sync_net->apply_topology_delta(delta);
+    } else {
+      rebuilt.reset(topology::unit_disk_graph(points, radius));
+    }
+    recompute_oracle();
+    const auto report = settle();
+    const double t = report.converged ? report.stabilization_time_s
+                                      : report.time_simulated_s;
+    const auto msgs = report.converged ? report.messages_to_converge
+                                       : report.messages_total;
+    reconverged += report.converged;
+    time_sum += t;
+    msg_sum += static_cast<double>(msgs);
+    std::printf("window %3d: +%zu/-%zu edges, %s in %.2fs, %llu messages\n",
+                w + 1, grew, broke,
+                report.converged ? "re-converged" : "NOT re-converged", t,
+                static_cast<unsigned long long>(msgs));
+  }
+  std::printf("re-converged %zu/%d windows; mean %.2fs, mean %.0f messages "
+              "per perturbation\n",
+              reconverged, windows, time_sum / windows, msg_sum / windows);
+  std::size_t heads = 0;
+  for (const char flag : protocol.head_flags()) heads += flag != 0;
+  std::printf("final cluster-heads: %zu\n", heads);
+  return cold.converged ? kExitOk : kExitRunFailure;
+}
+
 int run_protocol(const util::Args& args, util::Rng& rng) {
   const auto d = make_deployment(args, rng);
   core::ProtocolConfig config;
@@ -262,20 +457,24 @@ int run_protocol(const util::Args& args, util::Rng& rng) {
   core::DensityProtocol protocol(d.ids, config, rng.split());
 
   const std::string scheduler = args.get("scheduler", "sync");
-  if (scheduler == "async") {
-    return run_protocol_async(args, d, protocol, rng);
-  }
-  if (scheduler != "sync") {
+  if (scheduler != "sync" && scheduler != "async") {
     throw std::invalid_argument("--scheduler must be sync|async (got '" +
                                 scheduler + "')");
   }
-  for (const char* async_only :
-       {"daemon", "period", "period-jitter", "link-delay"}) {
-    if (args.has(async_only)) {
-      throw std::invalid_argument(std::string("--") + async_only +
-                                  " requires --scheduler async");
+  if (args.get_bool("live", false)) {
+    return run_protocol_live(args, d, protocol, rng, scheduler == "async");
+  }
+  for (const char* live_only : {"topology", "mobility", "speed-min",
+                                "speed-max", "windows", "window-s"}) {
+    if (args.has(live_only)) {
+      throw std::invalid_argument(std::string("--") + live_only +
+                                  " requires --live");
     }
   }
+  if (scheduler == "async") {
+    return run_protocol_async(args, d, protocol, rng);
+  }
+  reject_async_flags(args);
 
   const auto medium = sim::make_loss_model(tau, rng.split());
   // --threads N parallelizes the step engine; 0 = hardware concurrency.
@@ -428,6 +627,10 @@ void usage() {
       "           [--daemon synchronous|randomized|unfair]\n"
       "           [--period SECS] [--period-jitter FRAC]\n"
       "           [--link-delay SECS]\n"
+      "           [--live] [--topology incremental|rebuild]\n"
+      "           [--mobility random-direction|random-waypoint]\n"
+      "           [--speed-min MPS] [--speed-max MPS]\n"
+      "           [--windows W] [--window-s SECS]\n"
       "  routing  --n N --radius R [--grid] [--seed S] [--pairs K]\n"
       "  campaign <spec-file> [--threads N] [--csv F] [--json F]\n"
       "           [--quiet] [--replications N] [--seed S]\n"
@@ -442,6 +645,13 @@ void usage() {
       "               daemon; reports virtual convergence time and\n"
       "               messages-to-convergence; --steps bounds the\n"
       "               horizon in periods)\n"
+      "  --live       protocol-under-mobility: the protocol keeps\n"
+      "               running while nodes move (--windows perturbations\n"
+      "               of --window-s seconds each); per-perturbation\n"
+      "               re-convergence time and messages are reported.\n"
+      "               --topology incremental patches live edge deltas\n"
+      "               (eager stale-link invalidation); rebuild swaps in\n"
+      "               a fresh graph (recovery by cache aging alone)\n"
       "exit codes: 0 success, 1 run failure, 2 bad arguments or spec");
 }
 
@@ -458,7 +668,8 @@ const std::map<std::string, std::vector<std::string>> kKnownFlags = {
     {"protocol",
      {"n", "radius", "grid", "tau", "steps", "corrupt", "dag", "fusion",
       "threads", "scheduler", "daemon", "period", "period-jitter",
-      "link-delay"}},
+      "link-delay", "live", "topology", "mobility", "speed-min", "speed-max",
+      "windows", "window-s"}},
     {"routing", {"n", "radius", "grid", "pairs"}},
     {"campaign", {"threads", "csv", "json", "quiet", "replications"}},
 };

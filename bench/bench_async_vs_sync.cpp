@@ -141,6 +141,7 @@ int main() {
       1);
 
   util::Rng root(util::bench_seed());
+  bench::JsonReport json("async_vs_sync");
   const std::size_t sizes[] = {1000, 10000};
 
   util::Table table(
@@ -178,6 +179,10 @@ int main() {
                async.converged ? util::Table::num(async.converge_vtime_s, 1)
                                : std::string("n/a"),
                util::Table::integer(static_cast<long long>(async.messages))});
+    json.add("sync", n, 1, "steps_per_s", sync.steps_per_sec);
+    json.add("async", n, 1, "events_per_s", async.events_per_sec);
+    json.add("async", n, 1, "messages_to_convergence",
+             static_cast<double>(async.messages));
     if (!sync.converged || !async.converged) {
       std::printf("WARNING: n=%zu did not converge (sync=%d async=%d)\n", n,
                   sync.converged, async.converged);
@@ -189,5 +194,6 @@ int main() {
   table.note("async defaults: period 1 s ±10%, link delay 20 ms ±50%, "
              "randomized daemon");
   bench::print(table);
+  json.write();
   return 0;
 }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
 #include "util/env.hpp"
@@ -122,6 +123,7 @@ int main() {
   if (ladder.empty()) ladder.push_back(std::max<std::size_t>(1, max_reps));
 
   bool steady = true;
+  ssmwn::bench::JsonReport json("campaign");
   long long previous_live = g_live_allocations.load();
   double last_runs_per_sec = 0.0;
   for (const std::size_t reps : ladder) {
@@ -139,6 +141,8 @@ int main() {
                util::Table::num(elapsed * 1000.0, 1),
                util::Table::num(last_runs_per_sec, 1),
                std::to_string(delta)});
+    json.add("replications_" + std::to_string(reps), 150,
+             runner.thread_count(), "runs_per_s", last_runs_per_sec);
     // Transient plan/result vectors live across the sample points, so a
     // small positive delta is expected; growth *proportional to reps*
     // would mean per-run leakage.
@@ -148,6 +152,7 @@ int main() {
              "(small, rep-independent) = steady-state heap");
   std::fputs(table.render().c_str(), stdout);
 
+  json.write();
   const bool ok = steady && last_runs_per_sec > 0.0;
   std::printf("\nSteady-state heap flat across rungs: %s\n",
               steady ? "yes" : "NO");

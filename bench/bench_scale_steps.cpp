@@ -91,6 +91,7 @@ int main() {
       1);
 
   util::Rng root(util::bench_seed());
+  bench::JsonReport json("scale_steps");
   const std::size_t sizes[] = {1000, 10000, 100000};
 
   util::Table table("Steps per second, steady state (higher is better)");
@@ -136,6 +137,12 @@ int main() {
                  util::Table::num(par_sps, 1),
                  util::Table::num(arena_sps / seed_sps, 2) + "x",
                  util::Table::num(par_sps / seed_sps, 2) + "x"});
+      json.add(std::string(row.name) + "/seed", nodes, 1, "steps_per_s",
+               seed_sps);
+      json.add(std::string(row.name) + "/arena", nodes, 1, "steps_per_s",
+               arena_sps);
+      json.add(std::string(row.name) + "/parallel", nodes, threads,
+               "steps_per_s", par_sps);
     }
   }
   table.note("seed = per-step owning frames (pre-arena engine); arena = "
@@ -143,5 +150,6 @@ int main() {
   table.note("all engines step the identical protocol state; steady state "
              "after 5 warm-up steps");
   bench::print(table);
+  json.write();
   return 0;
 }

@@ -5,7 +5,9 @@
 // and honors SSMWN_RUNS (averaging, paper used 1000) and SSMWN_SEED.
 #pragma once
 
+#include <charconv>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -82,6 +84,58 @@ inline void print(const util::Table& table) {
   std::fputs(table.render().c_str(), stdout);
   std::fputc('\n', stdout);
 }
+
+/// Machine-readable twin of the human bench tables. Each record is one
+/// measured value; `write()` emits `BENCH_<bench>.json` (into
+/// $SSMWN_BENCH_JSON_DIR, default cwd) so CI can archive the perf
+/// trajectory as an artifact instead of scraping table text. Numbers go
+/// through std::to_chars — locale-free, round-trip exact.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(std::string name, std::size_t n, unsigned threads,
+           std::string metric, double value) {
+    records_.push_back(
+        {std::move(name), std::move(metric), n, threads, value});
+  }
+
+  /// Best effort: benches must not fail because the cwd is read-only.
+  void write() const {
+    const std::string dir = util::env_string("SSMWN_BENCH_JSON_DIR", ".");
+    const std::string path = dir + "/BENCH_" + bench_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "note: cannot write %s; skipping JSON report\n",
+                   path.c_str());
+      return;
+    }
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"records\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      char buf[64];
+      const auto res = std::to_chars(buf, buf + sizeof buf - 1, r.value);
+      *res.ptr = '\0';
+      out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << r.name
+          << "\", \"n\": " << r.n << ", \"threads\": " << r.threads
+          << ", \"metric\": \"" << r.metric << "\", \"value\": " << buf
+          << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::string metric;
+    std::size_t n = 0;
+    unsigned threads = 1;
+    double value = 0.0;
+  };
+  std::string bench_;
+  std::vector<Record> records_;
+};
 
 inline void print_header(const std::string& title,
                          const std::string& paper_ref, std::size_t runs) {

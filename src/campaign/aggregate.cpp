@@ -20,6 +20,8 @@ void MetricsAggregator::add(std::size_t grid_index, const RunMetrics& m) {
   cell[3].push_back(m.cluster_count);
   cell[4].push_back(m.converge_time);
   cell[5].push_back(m.messages);
+  cell[6].push_back(m.reconverge_time);
+  cell[7].push_back(m.reconverge_messages);
 }
 
 std::vector<ScenarioAggregate> MetricsAggregator::summarize() const {

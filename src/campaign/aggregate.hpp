@@ -29,29 +29,37 @@ struct MetricSummary {
 
 /// The metrics reported per scenario, in fixed report order. The first
 /// kSyncMetricCount are the window-loop metrics every campaign reports;
-/// the trailing two (virtual convergence time, messages to convergence)
-/// only mean something for async grid points, so the report writers
-/// emit them only when the plan contains one (see report.hpp — this is
-/// what keeps pre-existing sync campaigns byte-identical).
-inline constexpr std::array<std::string_view, 6> kMetricNames{
-    "stability",     "delta",    "reaffiliation",
-    "cluster_count", "converge_time", "messages"};
+/// converge_time/messages only mean something for async or live grid
+/// points, and the trailing two (per-perturbation re-convergence time
+/// and messages) only for live (protocol-under-mobility) points. The
+/// report writers emit a metric row only when the plan contains a point
+/// that measures it (see report.hpp — this is what keeps pre-existing
+/// sync-only and async-only campaigns byte-identical).
+inline constexpr std::array<std::string_view, 8> kMetricNames{
+    "stability",     "delta",          "reaffiliation",
+    "cluster_count", "converge_time",  "messages",
+    "reconverge_time", "reconverge_messages"};
 
 /// Number of metrics a purely synchronous campaign reports.
 inline constexpr std::size_t kSyncMetricCount = 4;
+/// Number of metrics a campaign without live points reports (at most).
+inline constexpr std::size_t kAsyncMetricCount = 6;
 
 /// Whether metric `m` (an index into kMetricNames) is actually measured
 /// by runs of the given kind — the report writers emit only these, so
 /// no row ever carries a fabricated value (a hardcoded delta=0 for an
 /// async run would be indistinguishable from a measured one).
-/// stability and cluster_count are measured by both engines; delta and
-/// reaffiliation are window-loop (sync) metrics; converge_time and
-/// messages are event-engine (async) metrics.
-[[nodiscard]] constexpr bool metric_applies(std::size_t m,
-                                            bool async_point) noexcept {
+/// stability and cluster_count are measured everywhere; delta and
+/// reaffiliation are classic window-loop (sync oracle) metrics;
+/// converge_time and messages are cold-start convergence metrics
+/// (event engine, or either engine in live mode); reconverge_* are
+/// per-perturbation metrics of live runs.
+[[nodiscard]] constexpr bool metric_applies(std::size_t m, bool async_point,
+                                            bool live_point = false) noexcept {
   if (m == 0 || m == 3) return true;        // stability, cluster_count
-  if (m == 1 || m == 2) return !async_point;  // delta, reaffiliation
-  return async_point;                        // converge_time, messages
+  if (m == 1 || m == 2) return !async_point && !live_point;
+  if (m == 4 || m == 5) return async_point || live_point;
+  return live_point;                         // reconverge_*
 }
 
 struct ScenarioAggregate {
@@ -76,6 +84,12 @@ struct ScenarioAggregate {
   }
   [[nodiscard]] const MetricSummary& messages() const noexcept {
     return metrics[5];
+  }
+  [[nodiscard]] const MetricSummary& reconverge_time() const noexcept {
+    return metrics[6];
+  }
+  [[nodiscard]] const MetricSummary& reconverge_messages() const noexcept {
+    return metrics[7];
   }
 };
 

@@ -39,7 +39,8 @@ void append_escaped_json(std::string& out, std::string_view s) {
   }
 }
 
-std::string config_fields_csv(const ScenarioConfig& c, bool extended) {
+std::string config_fields_csv(const ScenarioConfig& c, bool extended,
+                              bool live_schema) {
   std::ostringstream out = classic_stream();
   out << to_string(c.topology) << ',' << c.n << ','
       << format_double(c.radius) << ',' << to_string(c.variant) << ','
@@ -57,10 +58,19 @@ std::string config_fields_csv(const ScenarioConfig& c, bool extended) {
         << (async ? format_double(c.period_jitter) : std::string()) << ','
         << (async ? format_double(c.link_delay) : std::string());
   }
+  if (live_schema) {
+    // Same discipline for the live knobs: empty cells on non-live rows.
+    out << ',' << (c.protocol_live ? "true" : "false") << ','
+        << (c.protocol_live ? std::string(to_string(c.topology_update))
+                            : std::string())
+        << ',';
+    if (c.protocol_live) out << c.live_horizon;
+  }
   return out.str();
 }
 
-std::string config_json(const ScenarioConfig& c, bool extended) {
+std::string config_json(const ScenarioConfig& c, bool extended,
+                        bool live_schema) {
   std::ostringstream out = classic_stream();
   out << "\"topology\": \"" << to_string(c.topology) << "\", \"n\": " << c.n
       << ", \"radius\": " << format_double(c.radius) << ", \"variant\": \""
@@ -80,6 +90,13 @@ std::string config_json(const ScenarioConfig& c, bool extended) {
     if (c.scheduler != SchedulerKind::kSync) {
       out << ", \"period_jitter\": " << format_double(c.period_jitter)
           << ", \"link_delay\": " << format_double(c.link_delay);
+    }
+  }
+  if (live_schema) {
+    out << ", \"protocol_live\": " << (c.protocol_live ? "true" : "false");
+    if (c.protocol_live) {
+      out << ", \"topology_update\": \"" << to_string(c.topology_update)
+          << "\", \"live_horizon\": " << c.live_horizon;
     }
   }
   return out.str();
@@ -104,6 +121,11 @@ std::string short_label(const ScenarioConfig& c) {
   if (c.scheduler == SchedulerKind::kAsync) {
     out << " async d=" << format_double(c.link_delay) << "s";
   }
+  if (c.protocol_live) {
+    out << " live/"
+        << (c.topology_update == TopologyUpdateKind::kIncremental ? "inc"
+                                                                  : "rb");
+  }
   if (c.mobility != MobilityKind::kNone) {
     out << ' ' << (c.mobility == MobilityKind::kRandomDirection ? "rd" : "rwp")
         << ' ' << format_double(c.speed_min) << '-'
@@ -123,28 +145,39 @@ bool plan_uses_async(const CampaignPlan& plan) noexcept {
   return false;
 }
 
+bool plan_uses_live(const CampaignPlan& plan) noexcept {
+  for (const auto& point : plan.grid) {
+    if (point.config.protocol_live) return true;
+  }
+  return false;
+}
+
 std::size_t report_metric_count(const CampaignPlan& plan) noexcept {
-  return plan_uses_async(plan) ? kMetricNames.size() : kSyncMetricCount;
+  if (plan_uses_live(plan)) return kMetricNames.size();
+  return plan_uses_async(plan) ? kAsyncMetricCount : kSyncMetricCount;
 }
 
 void write_csv(std::ostream& out, const CampaignPlan& plan,
                const std::vector<ScenarioAggregate>& aggregates) {
   out.imbue(std::locale::classic());
   const bool extended = plan_uses_async(plan);
+  const bool live_schema = plan_uses_live(plan);
   const std::size_t metric_count = report_metric_count(plan);
   out << "campaign,topology,n,radius,variant,mobility,speed_min,speed_max,"
          "tau,churn_down,churn_up,steps,window_s,world_m,";
   if (extended) out << "scheduler,period_jitter,link_delay,";
+  if (live_schema) out << "protocol_live,topology_update,live_horizon,";
   out << "metric,count,mean,stddev,p50,p95,min,max\n";
   for (const auto& aggregate : aggregates) {
     const auto& config = plan.grid[aggregate.grid_index].config;
-    const std::string fields = config_fields_csv(config, extended);
+    const std::string fields =
+        config_fields_csv(config, extended, live_schema);
     // Only metrics the run actually measured (see metric_applies): no
     // fabricated converge_time=0 for sync points, no fabricated
     // delta=0 for async points.
     const bool async_point = config.scheduler != SchedulerKind::kSync;
     for (std::size_t m = 0; m < metric_count; ++m) {
-      if (!metric_applies(m, async_point)) continue;
+      if (!metric_applies(m, async_point, config.protocol_live)) continue;
       const MetricSummary& s = aggregate.metrics[m];
       out << plan.name << ',' << fields << ',' << kMetricNames[m] << ','
           << s.count << ',' << format_double(s.mean) << ','
@@ -159,6 +192,7 @@ void write_json(std::ostream& out, const CampaignPlan& plan,
                 const std::vector<ScenarioAggregate>& aggregates) {
   out.imbue(std::locale::classic());
   const bool extended = plan_uses_async(plan);
+  const bool live_schema = plan_uses_live(plan);
   const std::size_t metric_count = report_metric_count(plan);
   std::string name;
   append_escaped_json(name, plan.name);
@@ -168,13 +202,13 @@ void write_json(std::ostream& out, const CampaignPlan& plan,
   for (std::size_t i = 0; i < aggregates.size(); ++i) {
     const auto& aggregate = aggregates[i];
     const auto& config = plan.grid[aggregate.grid_index].config;
-    out << (i == 0 ? "\n" : ",\n") << "    {" << config_json(config, extended)
-        << ", \"metrics\": {";
+    out << (i == 0 ? "\n" : ",\n") << "    {"
+        << config_json(config, extended, live_schema) << ", \"metrics\": {";
     // As in write_csv: only the metrics this run actually measured.
     const bool async_point = config.scheduler != SchedulerKind::kSync;
     bool first = true;
     for (std::size_t m = 0; m < metric_count; ++m) {
-      if (!metric_applies(m, async_point)) continue;
+      if (!metric_applies(m, async_point, config.protocol_live)) continue;
       out << (first ? "" : ", ") << '"' << kMetricNames[m]
           << "\": " << summary_json(aggregate.metrics[m]);
       first = false;
@@ -190,7 +224,11 @@ util::Table summary_table(const CampaignPlan& plan,
                     std::to_string(plan.grid.size()) + " scenario(s) x " +
                     std::to_string(plan.replications) + " replication(s)");
   const bool extended = plan_uses_async(plan);
-  if (extended) {
+  const bool live = plan_uses_live(plan);
+  if (live) {
+    table.header({"scenario", "stability", "clusters", "conv t(s)", "msgs",
+                  "reconv t(s)", "re-msgs"});
+  } else if (extended) {
     table.header({"scenario", "stability", "delta", "reaffil", "clusters",
                   "conv t(s)", "msgs"});
   } else {
@@ -200,6 +238,25 @@ util::Table summary_table(const CampaignPlan& plan,
   for (const auto& aggregate : aggregates) {
     const auto& config = plan.grid[aggregate.grid_index].config;
     const bool async = config.scheduler != SchedulerKind::kSync;
+    const bool live_point = config.protocol_live;
+    if (live) {
+      const bool conv = async || live_point;
+      table.row(
+          {short_label(config),
+           util::Table::num(aggregate.stability().mean, 3) + " ±" +
+               util::Table::num(aggregate.stability().stddev, 3),
+           util::Table::num(aggregate.cluster_count().mean, 1),
+           conv ? util::Table::num(aggregate.converge_time().mean, 2)
+                : std::string("-"),
+           conv ? util::Table::num(aggregate.messages().mean, 0)
+                : std::string("-"),
+           live_point ? util::Table::num(aggregate.reconverge_time().mean, 2)
+                      : std::string("-"),
+           live_point
+               ? util::Table::num(aggregate.reconverge_messages().mean, 0)
+               : std::string("-")});
+      continue;
+    }
     std::vector<std::string> row{
         short_label(config),
         util::Table::num(aggregate.stability().mean, 3) + " ±" +
@@ -218,13 +275,21 @@ util::Table summary_table(const CampaignPlan& plan,
     }
     table.row(std::move(row));
   }
-  table.note(extended
-                 ? "stability = head re-election ratio (sync) or converged "
-                   "fraction (async); conv t / msgs = virtual convergence "
-                   "time and messages-to-convergence, async rows only"
-                 : "stability = head re-election ratio per window; delta = "
-                   "fraction of nodes changing cluster; reaffil = fraction "
-                   "changing parent");
+  if (live) {
+    table.note(
+        "stability = fraction of perturbations re-converged (live rows) or "
+        "converged fraction (async); conv t / msgs = cold-start convergence; "
+        "reconv t / re-msgs = mean per-perturbation re-convergence time "
+        "(virtual s) and messages, live rows only");
+  } else {
+    table.note(extended
+                   ? "stability = head re-election ratio (sync) or converged "
+                     "fraction (async); conv t / msgs = virtual convergence "
+                     "time and messages-to-convergence, async rows only"
+                   : "stability = head re-election ratio per window; delta = "
+                     "fraction of nodes changing cluster; reaffil = fraction "
+                     "changing parent");
+  }
   return table;
 }
 

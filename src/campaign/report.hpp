@@ -38,9 +38,17 @@ namespace ssmwn::campaign {
 /// extended-schema trigger described in the header comment.
 [[nodiscard]] bool plan_uses_async(const CampaignPlan& plan) noexcept;
 
+/// True iff any grid point is a live (protocol-under-mobility) run —
+/// triggers the live schema extension: three more config columns
+/// (protocol_live, topology_update, live_horizon — the knob cells empty
+/// for non-live rows) and the reconverge_time / reconverge_messages
+/// metric rows. Plans without live points keep their previous schema
+/// byte-for-byte, exactly as sync-only plans keep the legacy one.
+[[nodiscard]] bool plan_uses_live(const CampaignPlan& plan) noexcept;
+
 /// Number of metric rows the writers emit per grid point:
-/// kSyncMetricCount for a purely synchronous plan, kMetricNames.size()
-/// otherwise.
+/// kSyncMetricCount for a purely synchronous plan, kAsyncMetricCount
+/// with the async axis, kMetricNames.size() with live points.
 [[nodiscard]] std::size_t report_metric_count(
     const CampaignPlan& plan) noexcept;
 

@@ -9,6 +9,7 @@
 #include "core/dag_ids.hpp"
 #include "core/legitimacy.hpp"
 #include "core/protocol.hpp"
+#include "graph/dynamic.hpp"
 #include "graph/graph.hpp"
 #include "metrics/delta.hpp"
 #include "metrics/stability.hpp"
@@ -16,10 +17,12 @@
 #include "sim/async_network.hpp"
 #include "sim/churn.hpp"
 #include "sim/loss.hpp"
+#include "sim/network.hpp"
 #include "sim/parallel.hpp"
 #include "stabilize/convergence.hpp"
 #include "topology/generators.hpp"
 #include "topology/ids.hpp"
+#include "topology/incremental.hpp"
 #include "topology/udg.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -100,6 +103,198 @@ RunMetrics execute_async_run(const ScenarioConfig& config,
   return out;
 }
 
+/// Shared per-node mobility factory (live + classic sync paths draw the
+/// same way, so the models stay interchangeable between modes).
+std::unique_ptr<mobility::MobilityModel> make_mover(
+    const ScenarioConfig& config, std::size_t n, util::Rng rng) {
+  const mobility::SpeedRange speeds{config.speed_min, config.speed_max};
+  switch (config.mobility) {
+    case MobilityKind::kNone:
+      return nullptr;
+    case MobilityKind::kRandomDirection:
+      return std::make_unique<mobility::RandomDirection>(n, speeds,
+                                                         config.world_m, rng);
+    case MobilityKind::kRandomWaypoint:
+      return std::make_unique<mobility::RandomWaypoint>(n, speeds,
+                                                        config.world_m, rng);
+  }
+  return nullptr;
+}
+
+/// One protocol-under-mobility run: the distributed protocol executes
+/// continuously (on either engine) while mobility and churn evolve the
+/// topology; every `window_s` of movement is one *perturbation*, and the
+/// run records how long (virtual seconds) and how many frame deliveries
+/// each perturbation needed to re-reach a legitimate configuration.
+/// `topology_update` selects how change reaches the runtime: incremental
+/// edge deltas with eager stale-link invalidation, or full rebuilds the
+/// protocol discovers only through its own cache aging.
+RunMetrics execute_live_run(const ScenarioConfig& config,
+                            const topology::IdAssignment& ids,
+                            util::Rng& rng, RunWorkspace& ws) {
+  // Fixed split order (see execute_async_run).
+  util::Rng protocol_rng = rng.split();
+  util::Rng loss_rng = rng.split();
+  util::Rng engine_rng = rng.split();
+  util::Rng chaos_rng = rng.split();
+  util::Rng mobility_rng = rng.split();
+  util::Rng churn_rng = rng.split();
+
+  const std::size_t n = ws.points.size();
+  auto mover = make_mover(config, n, mobility_rng);
+  std::optional<sim::NodeChurn> churn;
+  if (config.churn_down > 0.0) {
+    churn.emplace(n, config.churn_down, config.churn_up, churn_rng);
+  }
+  const auto alive_span = [&]() -> std::span<const char> {
+    if (!churn) return {};
+    return {churn->alive().data(), churn->alive().size()};
+  };
+
+  // Topology holder. Both modes keep ONE Graph object alive for the
+  // whole run (the engines hold a reference to it): incremental patches
+  // it via edge deltas, rebuild move-assigns a fresh build into it.
+  const bool incremental =
+      config.topology_update == TopologyUpdateKind::kIncremental;
+  std::optional<topology::LiveTopology> live;
+  graph::DynamicGraph rebuilt;
+  auto rebuild_graph = [&] {
+    graph::Graph g = topology::unit_disk_graph(ws.points, config.radius);
+    if (churn) g = sim::mask_nodes(g, alive_span());
+    rebuilt.reset(std::move(g));
+  };
+  if (incremental) {
+    live.emplace(ws.points, config.radius, alive_span());
+  } else {
+    rebuild_graph();
+  }
+  const graph::Graph& g = incremental ? live->graph() : rebuilt.view();
+
+  core::ProtocolConfig pconfig;
+  pconfig.cluster = variant_options(config.variant);
+  pconfig.delta_hint = std::max<std::uint64_t>(2, g.max_degree());
+  pconfig.cache_max_age = config.tau < 1.0 ? 16 : 8;
+  core::DensityProtocol protocol(ids, pconfig, protocol_rng);
+  protocol.corrupt_all(chaos_rng);
+  const auto medium = sim::make_loss_model(config.tau, loss_rng);
+
+  const bool exact = core::head_identity_is_deterministic(pconfig.cluster);
+  core::ClusteringResult oracle;
+  auto recompute_oracle = [&] {
+    if (exact) oracle = core::cluster_density(g, ids, pconfig.cluster);
+  };
+  recompute_oracle();
+  core::LegitimacyCheck legitimacy(g, protocol, exact ? &oracle : nullptr);
+
+  const double horizon_s =
+      static_cast<double>(config.live_horizon) * config.window_s;
+  const double confirm_s = 3.0 * config.window_s;
+
+  util::RunningStats reconv_time, reconv_messages, clusters;
+  std::size_t reconverged = 0;
+  auto count_heads = [&protocol] {
+    std::size_t heads = 0;
+    for (const char flag : protocol.head_flags()) heads += flag != 0;
+    return static_cast<double>(heads);
+  };
+  auto record_window = [&](const stabilize::VirtualTimeReport& report,
+                           double window_start_s) {
+    reconverged += report.converged;
+    reconv_time.add((report.converged ? report.stabilization_time_s
+                                      : report.time_simulated_s) -
+                    window_start_s);
+    reconv_messages.add(static_cast<double>(
+        report.converged ? report.messages_to_converge
+                         : report.messages_total));
+    clusters.add(count_heads());
+  };
+
+  RunMetrics out;
+  if (config.scheduler == SchedulerKind::kSync) {
+    sim::Network network(g, protocol, *medium, 1);
+    // Unified units with the async engine: one synchronous step is one
+    // broadcast round ≈ one window_s of virtual time.
+    auto settle = [&] {
+      legitimacy.reset();
+      std::size_t rounds = 0;
+      const std::uint64_t base = network.messages_delivered();
+      return stabilize::run_until_stable_virtual(
+          [&] {
+            network.step();
+            return static_cast<double>(++rounds) * config.window_s;
+          },
+          [&] { return network.messages_delivered() - base; },
+          [&] { return legitimacy.check(); }, confirm_s, horizon_s);
+    };
+
+    const auto cold = settle();
+    out.converge_time =
+        cold.converged ? cold.stabilization_time_s : cold.time_simulated_s;
+    out.messages = static_cast<double>(
+        cold.converged ? cold.messages_to_converge : cold.messages_total);
+
+    for (std::size_t window = 0; window < config.steps; ++window) {
+      if (mover) mover->step(ws.points, config.window_s);
+      if (churn) churn->step();
+      if (incremental) {
+        network.apply_topology_delta(live->update(ws.points, alive_span()));
+      } else {
+        rebuild_graph();
+      }
+      recompute_oracle();
+      record_window(settle(), 0.0);
+    }
+  } else {
+    sim::AsyncConfig async;
+    async.period_s = config.window_s;
+    async.period_jitter = config.period_jitter;
+    async.link_delay_s = config.link_delay;
+    async.daemon = sim::DaemonKind::kRandomized;
+    sim::AsyncNetwork network(g, protocol, *medium, async, engine_rng);
+    auto settle = [&] {
+      legitimacy.reset();
+      return sim::settle_async(
+          network, [&] { return legitimacy.check(); },
+          static_cast<double>(config.live_horizon));
+    };
+
+    const auto cold = settle();
+    out.converge_time =
+        cold.converged ? cold.stabilization_time_s : cold.time_simulated_s;
+    out.messages = static_cast<double>(
+        cold.converged ? cold.messages_to_converge : cold.messages_total);
+
+    // Mobility advances one window_s of *movement* per perturbation; the
+    // network clock between perturbations is whatever the settle took.
+    graph::EdgeDelta no_delta;  // rebuild mode applies without a delta
+    for (std::size_t window = 0; window < config.steps; ++window) {
+      if (mover) mover->step(ws.points, config.window_s);
+      if (churn) churn->step();
+      network.schedule_topology_update(
+          network.now(), [&]() -> const graph::EdgeDelta& {
+            if (incremental) return live->update(ws.points, alive_span());
+            rebuild_graph();
+            return no_delta;
+          });
+      // Fire the perturbation now so the oracle sees the new graph.
+      network.run_until(network.now());
+      const double window_start_s = network.now_seconds();
+      recompute_oracle();
+      record_window(settle(), window_start_s);
+    }
+  }
+
+  out.stability = config.steps == 0
+                      ? 1.0
+                      : static_cast<double>(reconverged) /
+                            static_cast<double>(config.steps);
+  out.cluster_count = clusters.mean();
+  out.reconverge_time = reconv_time.mean();
+  out.reconverge_messages = reconv_messages.mean();
+  out.windows = reconv_time.count();
+  return out;
+}
+
 }  // namespace
 
 RunMetrics execute_run(const ScenarioConfig& config, std::uint64_t seed,
@@ -131,9 +326,13 @@ RunMetrics execute_run(const ScenarioConfig& config, std::uint64_t seed,
                        ? topology::sequential_ids(n)
                        : topology::random_ids(n, rng);
 
-  // The async engine gets its own execution path; the deployment above
-  // (points, ids) is drawn identically, so a sync and an async point
-  // over the same topology axes see the same world.
+  // The live (protocol-under-mobility) and async modes get their own
+  // execution paths; the deployment above (points, ids) is drawn
+  // identically, so every mode over the same topology axes sees the
+  // same world.
+  if (config.protocol_live) {
+    return execute_live_run(config, ids, rng, ws);
+  }
   if (config.scheduler == SchedulerKind::kAsync) {
     return execute_async_run(config, ids, rng, ws);
   }
@@ -145,20 +344,7 @@ RunMetrics execute_run(const ScenarioConfig& config, std::uint64_t seed,
   util::Rng loss_rng = rng.split();
   util::Rng dag_rng = rng.split();
 
-  const mobility::SpeedRange speeds{config.speed_min, config.speed_max};
-  std::unique_ptr<mobility::MobilityModel> mover;
-  switch (config.mobility) {
-    case MobilityKind::kNone:
-      break;
-    case MobilityKind::kRandomDirection:
-      mover = std::make_unique<mobility::RandomDirection>(
-          n, speeds, config.world_m, mobility_rng);
-      break;
-    case MobilityKind::kRandomWaypoint:
-      mover = std::make_unique<mobility::RandomWaypoint>(
-          n, speeds, config.world_m, mobility_rng);
-      break;
-  }
+  auto mover = make_mover(config, n, mobility_rng);
 
   std::optional<sim::NodeChurn> churn;
   if (config.churn_down > 0.0) {

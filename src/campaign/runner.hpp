@@ -41,13 +41,23 @@ struct RunMetrics {
   double reaffiliation = 0.0;
   /// Mean number of clusters per snapshot (async: final head count).
   double cluster_count = 0.0;
-  /// Async only: virtual time (s) at which the final uninterrupted
-  /// legitimate run began; the full horizon when it never converged.
+  /// Async/live: virtual time (s) at which the final uninterrupted
+  /// legitimate run began (cold start); the full horizon when it never
+  /// converged. Live sync runs report rounds × window_s so the unit is
+  /// virtual seconds on both engines.
   double converge_time = 0.0;
-  /// Async only: frame deliveries observed up to that point.
+  /// Async/live: frame deliveries observed up to that point.
   double messages = 0.0;
+  /// Live only: mean virtual seconds from a topology perturbation to
+  /// the start of the final legitimate run of its window (horizon-capped
+  /// for windows that never re-converged — the cap is part of the
+  /// distribution, not hidden).
+  double reconverge_time = 0.0;
+  /// Live only: mean frame deliveries between a perturbation and its
+  /// re-convergence, same capping rule.
+  double reconverge_messages = 0.0;
   /// Sync: window-over-window comparisons that contributed.
-  /// Async: legitimacy checks performed.
+  /// Async: legitimacy checks performed. Live: perturbation windows.
   std::size_t windows = 0;
 };
 

@@ -100,6 +100,18 @@ SchedulerKind parse_scheduler(const std::string& raw) {
   fail("scheduler: expected sync|async, got '" + raw + "'");
 }
 
+bool parse_bool(const std::string& key, const std::string& raw) {
+  if (raw == "true") return true;
+  if (raw == "false") return false;
+  fail(key + ": expected true|false, got '" + raw + "'");
+}
+
+TopologyUpdateKind parse_topology_update(const std::string& raw) {
+  if (raw == "rebuild") return TopologyUpdateKind::kRebuild;
+  if (raw == "incremental") return TopologyUpdateKind::kIncremental;
+  fail("topology_update: expected rebuild|incremental, got '" + raw + "'");
+}
+
 void require_scalar(const std::string& key,
                     const std::vector<std::string>& values) {
   if (values.size() != 1) {
@@ -167,6 +179,14 @@ std::string_view to_string(SchedulerKind kind) noexcept {
   return "?";
 }
 
+std::string_view to_string(TopologyUpdateKind kind) noexcept {
+  switch (kind) {
+    case TopologyUpdateKind::kRebuild: return "rebuild";
+    case TopologyUpdateKind::kIncremental: return "incremental";
+  }
+  return "?";
+}
+
 std::string canonical_config(const ScenarioConfig& c) {
   std::ostringstream out;
   // Integer formatting also honors the stream's locale (grouping, e.g.
@@ -190,6 +210,12 @@ std::string canonical_config(const ScenarioConfig& c) {
     out << ";scheduler=" << to_string(c.scheduler)
         << ";period_jitter=" << format_double(c.period_jitter)
         << ";link_delay=" << format_double(c.link_delay);
+  }
+  // Same release-boundary discipline for the dynamic-topology axis: a
+  // non-live point serializes exactly as it did before the axis existed.
+  if (c.protocol_live) {
+    out << ";protocol_live=true;topology_update="
+        << to_string(c.topology_update) << ";live_horizon=" << c.live_horizon;
   }
   return out.str();
 }
@@ -305,6 +331,19 @@ CampaignSpec parse_spec(std::istream& in) {
       for (const auto& v : values) {
         spec.link_delay.push_back(parse_number(key, v));
       }
+    } else if (key == "protocol_live") {
+      spec.protocol_live.clear();
+      for (const auto& v : values) {
+        spec.protocol_live.push_back(parse_bool(key, v));
+      }
+    } else if (key == "topology_update") {
+      spec.topology_update.clear();
+      for (const auto& v : values) {
+        spec.topology_update.push_back(parse_topology_update(v));
+      }
+    } else if (key == "live_horizon") {
+      require_scalar(key, values);
+      spec.live_horizon = parse_count(key, values.front());
     } else {
       fail("unknown key '" + key + "' (line " + std::to_string(line_no) + ")");
     }
@@ -360,11 +399,20 @@ void validate(const CampaignSpec& spec) {
   check_each("link_delay", spec.link_delay,
              [](double v) { return v >= 0.0 && v < 1e9; },
              "delay must be non-negative seconds");
+  if (spec.live_horizon == 0) {
+    fail("live_horizon: must be at least 1 round");
+  }
   // Empty axes for the enum fields can only arise programmatically.
   if (spec.topology.empty()) fail("topology: needs at least one value");
   if (spec.variant.empty()) fail("variant: needs at least one value");
   if (spec.mobility.empty()) fail("mobility: needs at least one value");
   if (spec.scheduler.empty()) fail("scheduler: needs at least one value");
+  if (spec.protocol_live.empty()) {
+    fail("protocol_live: needs at least one value");
+  }
+  if (spec.topology_update.empty()) {
+    fail("topology_update: needs at least one value");
+  }
 }
 
 std::uint64_t run_seed(std::uint64_t seed_base, std::string_view canonical,
@@ -421,6 +469,19 @@ CampaignPlan expand(const CampaignSpec& spec) {
                                    link_delay != spec.link_delay.front())) {
                                 continue;
                               }
+                              // Newest axes innermost, same discipline:
+                              // a non-live point ignores topology_update
+                              // (and doesn't serialize it), so emit it
+                              // once per knob value set.
+                              for (const bool protocol_live :
+                                   spec.protocol_live) {
+                                for (const auto topology_update :
+                                     spec.topology_update) {
+                                  if (!protocol_live &&
+                                      topology_update !=
+                                          spec.topology_update.front()) {
+                                    continue;
+                                  }
                               ScenarioConfig config;
                               config.topology = topology;
                               config.n = n;
@@ -438,6 +499,9 @@ CampaignPlan expand(const CampaignSpec& spec) {
                               config.scheduler = scheduler;
                               config.period_jitter = period_jitter;
                               config.link_delay = link_delay;
+                              config.protocol_live = protocol_live;
+                              config.topology_update = topology_update;
+                              config.live_horizon = spec.live_horizon;
                               if (config.speed_min > config.speed_max) {
                                 fail("speed_min " +
                                      format_double(config.speed_min) +
@@ -445,12 +509,15 @@ CampaignPlan expand(const CampaignSpec& spec) {
                                      format_double(config.speed_max));
                               }
                               if (config.scheduler == SchedulerKind::kAsync &&
+                                  !config.protocol_live &&
                                   (config.mobility != MobilityKind::kNone ||
                                    config.churn_down > 0.0)) {
-                                fail("scheduler=async requires mobility=none "
-                                     "and churn_down=0 (the event-driven "
-                                     "engine runs a fixed deployment from an "
-                                     "adversarial initial state)");
+                                fail("scheduler=async with mobility/churn "
+                                     "requires protocol_live=true (the "
+                                     "dynamic-topology mode); without it the "
+                                     "event-driven engine runs a fixed "
+                                     "deployment from an adversarial initial "
+                                     "state");
                               }
                               if (config.scheduler == SchedulerKind::kAsync &&
                                   config.window_s < 1e-6) {
@@ -458,8 +525,16 @@ CampaignPlan expand(const CampaignSpec& spec) {
                                      "1e-6 (one virtual-time tick; window_s "
                                      "is the async broadcast period)");
                               }
+                              if (config.protocol_live &&
+                                  config.window_s < 1e-6) {
+                                fail("protocol_live=true requires window_s >= "
+                                     "1e-6 (window_s is the perturbation "
+                                     "period and the live broadcast round)");
+                              }
                               plan.grid.push_back(
                                   {config, canonical_config(config)});
+                                }
+                              }
                             }
                           }
                         }

@@ -19,6 +19,9 @@
 //   scheduler    = sync, async        # execution engine (default sync)
 //   period_jitter = 0.1               # async: ± fraction of the period
 //   link_delay   = 0.02, 0.2          # async: mean link delay (seconds)
+//   protocol_live = true              # run the protocol live under mobility
+//   topology_update = incremental, rebuild  # live: delta vs full rebuild
+//   live_horizon = 64                 # live: rounds per convergence phase
 //
 // Expansion takes the Cartesian product of every list-valued axis and
 // schedules `replications` independent runs per grid point. Each run's
@@ -59,10 +62,21 @@ enum class Variant { kBasic, kDag, kImproved, kFull };
 /// virtual-time convergence and messages-to-convergence.
 enum class SchedulerKind { kSync, kAsync };
 
+/// How a live (protocol_live=true) run maintains the evolving graph.
+/// `kIncremental` threads topology::LiveTopology edge deltas through the
+/// engine — protocol caches for severed links are invalidated eagerly
+/// (a link layer that reports loss of connectivity). `kRebuild`
+/// reconstructs the unit-disk graph from scratch every window and tells
+/// the protocol nothing — recovery is pure self-stabilization through
+/// cache aging. The graphs are provably identical; the *notification*
+/// differs, which is exactly the scientific axis.
+enum class TopologyUpdateKind { kRebuild, kIncremental };
+
 [[nodiscard]] std::string_view to_string(TopologyKind kind) noexcept;
 [[nodiscard]] std::string_view to_string(MobilityKind kind) noexcept;
 [[nodiscard]] std::string_view to_string(Variant variant) noexcept;
 [[nodiscard]] std::string_view to_string(SchedulerKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(TopologyUpdateKind kind) noexcept;
 
 /// One fully resolved grid point: everything a single run needs except
 /// its seed.
@@ -86,6 +100,17 @@ struct ScenarioConfig {
   SchedulerKind scheduler = SchedulerKind::kSync;
   double period_jitter = 0.1;   // ± fraction of the broadcast period
   double link_delay = 0.02;     // mean per-link delivery delay (s)
+  // Dynamic-topology axis (PR 4). protocol_live=true runs the
+  // *distributed protocol* continuously while mobility/churn evolve the
+  // graph (on either engine) and measures per-perturbation
+  // re-convergence; false keeps the classic modes. For live runs,
+  // `steps` counts perturbation windows and `live_horizon` bounds each
+  // convergence phase (in rounds: sync steps or async broadcast
+  // periods). All three serialize into the canonical string only when
+  // protocol_live is true, so pre-existing seeds are untouched.
+  bool protocol_live = false;
+  TopologyUpdateKind topology_update = TopologyUpdateKind::kIncremental;
+  std::size_t live_horizon = 64;
 };
 
 /// Shortest decimal that round-trips to the exact double; used by the
@@ -125,6 +150,10 @@ struct CampaignSpec {
   std::vector<SchedulerKind> scheduler{SchedulerKind::kSync};
   std::vector<double> period_jitter{0.1};
   std::vector<double> link_delay{0.02};
+  std::vector<bool> protocol_live{false};
+  std::vector<TopologyUpdateKind> topology_update{
+      TopologyUpdateKind::kIncremental};
+  std::size_t live_horizon = 64;  // scalar: rounds per convergence phase
 };
 
 /// Parses `key = value` text. Throws SpecError on unknown keys,

@@ -113,6 +113,18 @@ void DensityProtocol::deliver(graph::NodeId receiver, const Frame& frame) {
   deliver(receiver, header, frame.digests);
 }
 
+void DensityProtocol::on_edge_removed(graph::NodeId a, graph::NodeId b) {
+  if (a >= states_.size() || b >= states_.size()) return;
+  const auto forget = [this](graph::NodeId node, graph::NodeId gone) {
+    auto& cache = states_[node].cache;
+    if (const auto it = cache.find(uids_[gone]); it != cache.end()) {
+      cache.erase(it);
+    }
+  };
+  forget(a, b);
+  forget(b, a);
+}
+
 void DensityProtocol::tick(graph::NodeId node) {
   engine_.sweep(states_[node]);
 }

@@ -165,6 +165,15 @@ class DensityProtocol {
   void deliver(graph::NodeId receiver, const FrameHeader& header,
                std::span<const Digest> digests);
 
+  // --- dynamic-topology concept (sim::TopologyAwareProtocol) -----------
+  /// Link-severed notification from a live topology change: each
+  /// endpoint immediately evicts its cache entry for the other, so the
+  /// next rule firing computes on the post-perturbation neighborhood
+  /// instead of a ghost link (the entry would otherwise linger up to
+  /// `cache_max_age` rounds). Deterministic, engine-agnostic; new links
+  /// need no notification — the first heard frame creates the entry.
+  void on_edge_removed(graph::NodeId a, graph::NodeId b);
+
   // --- async-engine concept (sim::TimestampedProtocol) -----------------
   /// Per-delivery timestamp hook: the event-driven engine calls this
   /// with the delivery's virtual time (seconds) immediately before

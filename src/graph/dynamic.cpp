@@ -1,0 +1,163 @@
+#include "graph/dynamic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ssmwn::graph {
+
+namespace {
+
+/// Validates pair form: low < high, both in range. The sortedness of the
+/// whole list is checked by the caller while scattering into rows.
+void check_pair(const std::pair<NodeId, NodeId>& e, std::size_t n,
+                const char* what) {
+  if (e.first >= e.second) {
+    throw std::logic_error(std::string("DynamicGraph::apply_delta: ") + what +
+                           " pair is not (low, high)");
+  }
+  if (e.second >= n) {
+    throw std::out_of_range("DynamicGraph::apply_delta: node out of range");
+  }
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(Graph initial) : graph_(std::move(initial)) {
+  graph_.finalize();  // idempotent; guarantees the CSR arrays are live
+}
+
+void DynamicGraph::reset(Graph graph) {
+  graph_ = std::move(graph);
+  graph_.finalize();
+  dirty_.clear();
+}
+
+void DynamicGraph::apply_delta(const EdgeDelta& delta) {
+  dirty_.clear();
+  if (delta.empty()) return;
+  Graph& g = graph_;
+  const std::size_t n = g.node_count_;
+
+  // Pass 1: per-node change counts (each undirected edge touches two
+  // rows). The O(n) zero-fill is a memset — cheap next to the merge.
+  add_count_.assign(n, 0);
+  rem_count_.assign(n, 0);
+  for (const auto& e : delta.added) {
+    check_pair(e, n, "added");
+    ++add_count_[e.first];
+    ++add_count_[e.second];
+  }
+  for (const auto& e : delta.removed) {
+    check_pair(e, n, "removed");
+    ++rem_count_[e.first];
+    ++rem_count_[e.second];
+  }
+
+  // Pass 2: pack per-node change lists. Input order is lexicographic, so
+  // low-endpoint partners arrive ascending; high-endpoint partners are
+  // ascending too (for fixed b, the a of (a, b) ascends), but a node that
+  // is low in some pairs and high in others gets a non-sorted mix — sort
+  // each dirty row afterwards (rows are tiny).
+  add_offsets_.assign(n + 1, 0);
+  rem_offsets_.assign(n + 1, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    add_offsets_[p + 1] = add_offsets_[p] + add_count_[p];
+    rem_offsets_[p + 1] = rem_offsets_[p] + rem_count_[p];
+    if (add_count_[p] != 0 || rem_count_[p] != 0) {
+      dirty_.push_back(static_cast<NodeId>(p));
+    }
+  }
+  add_partner_.resize(add_offsets_[n]);
+  rem_partner_.resize(rem_offsets_[n]);
+  {
+    std::vector<std::size_t>& acur = add_offsets_;  // cursor trick: restore below
+    std::vector<std::size_t>& rcur = rem_offsets_;
+    for (const auto& [a, b] : delta.added) {
+      add_partner_[acur[a]++] = b;
+      add_partner_[acur[b]++] = a;
+    }
+    for (const auto& [a, b] : delta.removed) {
+      rem_partner_[rcur[a]++] = b;
+      rem_partner_[rcur[b]++] = a;
+    }
+    // Cursors advanced each offset to the next row's start; shift back.
+    for (std::size_t p = n; p > 0; --p) acur[p] = acur[p - 1];
+    acur[0] = 0;
+    for (std::size_t p = n; p > 0; --p) rcur[p] = rcur[p - 1];
+    rcur[0] = 0;
+  }
+  for (const NodeId p : dirty_) {
+    std::sort(add_partner_.begin() + static_cast<std::ptrdiff_t>(add_offsets_[p]),
+              add_partner_.begin() + static_cast<std::ptrdiff_t>(add_offsets_[p + 1]));
+    std::sort(rem_partner_.begin() + static_cast<std::ptrdiff_t>(rem_offsets_[p]),
+              rem_partner_.begin() + static_cast<std::ptrdiff_t>(rem_offsets_[p + 1]));
+  }
+
+  // Pass 3: rebuild offsets/flat into the scratch arrays. Clean rows are
+  // block-copied; dirty rows are merged (old ∖ removed ∪ added), staying
+  // sorted by construction.
+  next_offsets_.resize(n + 1);
+  next_offsets_[0] = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t old_deg = g.offsets_[p + 1] - g.offsets_[p];
+    const std::size_t rem = rem_offsets_[p + 1] - rem_offsets_[p];
+    const std::size_t add = add_offsets_[p + 1] - add_offsets_[p];
+    if (rem > old_deg) {
+      throw std::logic_error(
+          "DynamicGraph::apply_delta: removing more edges than the node has");
+    }
+    next_offsets_[p + 1] = next_offsets_[p] + old_deg - rem + add;
+  }
+  // Clean rows between consecutive dirty rows are block-copied in one
+  // go — with a handful of dirty nodes among 100k this is a few large
+  // memcpys, not n small ones.
+  next_flat_.resize(next_offsets_[n]);
+  std::size_t copied_from = 0;  // next unconsumed old flat position
+  for (const NodeId p : dirty_) {
+    const std::size_t row_begin = g.offsets_[p];
+    std::copy(g.flat_.begin() + static_cast<std::ptrdiff_t>(copied_from),
+              g.flat_.begin() + static_cast<std::ptrdiff_t>(row_begin),
+              next_flat_.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      next_offsets_[p] - (row_begin - copied_from)));
+    const NodeId* old_row = g.flat_.data() + row_begin;
+    const std::size_t old_deg = g.offsets_[p + 1] - row_begin;
+    NodeId* out = next_flat_.data() + next_offsets_[p];
+    const NodeId* rem_it = rem_partner_.data() + rem_offsets_[p];
+    const NodeId* rem_end = rem_partner_.data() + rem_offsets_[p + 1];
+    const NodeId* add_it = add_partner_.data() + add_offsets_[p];
+    const NodeId* add_end = add_partner_.data() + add_offsets_[p + 1];
+    for (std::size_t e = 0; e < old_deg; ++e) {
+      const NodeId q = old_row[e];
+      while (add_it != add_end && *add_it < q) *out++ = *add_it++;
+      if (add_it != add_end && *add_it == q) {
+        throw std::logic_error(
+            "DynamicGraph::apply_delta: added edge already present");
+      }
+      if (rem_it != rem_end && *rem_it == q) {
+        ++rem_it;
+        continue;  // dropped
+      }
+      *out++ = q;
+    }
+    while (add_it != add_end) *out++ = *add_it++;
+    if (rem_it != rem_end) {
+      throw std::logic_error(
+          "DynamicGraph::apply_delta: removed edge not present");
+    }
+    copied_from = g.offsets_[p + 1];
+  }
+  std::copy(g.flat_.begin() + static_cast<std::ptrdiff_t>(copied_from),
+            g.flat_.end(),
+            next_flat_.end() -
+                static_cast<std::ptrdiff_t>(g.flat_.size() - copied_from));
+
+  g.offsets_.swap(next_offsets_);
+  g.flat_.swap(next_flat_);
+  g.edge_count_ += delta.added.size();
+  g.edge_count_ -= delta.removed.size();
+  g.mirror_.clear();  // stale; rebuilt lazily on next use
+}
+
+}  // namespace ssmwn::graph

@@ -1,0 +1,65 @@
+// Delta-applicable graph for the dynamic-topology runtime.
+//
+// Every layer above `graph/` consumes a read-only CSR view (spans over
+// `csr_offsets()` / `csr_neighbors()`), and until this PR that view was
+// immutable after `finalize()` — mobility meant building a whole new
+// Graph each window. DynamicGraph keeps one Graph alive and patches its
+// CSR arrays in place from an `EdgeDelta`: one O(n + m + |delta|) merge
+// pass rebuilds the flat arrays into reusable scratch buffers and swaps
+// them in, so the steady state allocates nothing and the Graph object's
+// address (and therefore every `const Graph&` the engines observe)
+// stays valid across perturbations. Rows of untouched nodes are block-
+// copied; only dirty rows are merged entry by entry. The set of nodes
+// whose adjacency changed is tracked per application so protocol layers
+// can invalidate exactly the caches the perturbation made stale.
+//
+// apply_delta validates the delta against the current graph — removing
+// an absent edge or adding a present one throws std::logic_error — so a
+// drifting incremental topology index is caught at the first divergent
+// tick rather than corrupting the CSR invariants silently.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssmwn::graph {
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  /// Takes ownership of a finalized graph.
+  explicit DynamicGraph(Graph initial);
+
+  /// The live CSR view. The reference stays valid (same object) across
+  /// `apply_delta` calls; its contents change in place.
+  [[nodiscard]] const Graph& view() const noexcept { return graph_; }
+
+  /// Replaces the underlying graph wholesale (rebuild-mode drivers);
+  /// clears the dirty set.
+  void reset(Graph graph);
+
+  /// Applies one tick's edge delta (sorted (low, high) pairs, see
+  /// EdgeDelta). Throws std::logic_error if the delta does not match
+  /// the current edge set, std::out_of_range on bad node indices.
+  void apply_delta(const EdgeDelta& delta);
+
+  /// Nodes whose adjacency changed in the last `apply_delta`, ascending.
+  [[nodiscard]] std::span<const NodeId> dirty_nodes() const noexcept {
+    return dirty_;
+  }
+
+ private:
+  Graph graph_;
+  // Scratch reused across applications (swapped with the live arrays).
+  std::vector<std::size_t> next_offsets_;
+  std::vector<NodeId> next_flat_;
+  // Per-dirty-node sorted change lists, packed CSR-style.
+  std::vector<std::uint32_t> add_count_, rem_count_;
+  std::vector<std::size_t> add_offsets_, rem_offsets_;
+  std::vector<NodeId> add_partner_, rem_partner_;
+  std::vector<NodeId> dirty_;
+};
+
+}  // namespace ssmwn::graph

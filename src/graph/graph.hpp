@@ -28,6 +28,28 @@ using NodeId = std::uint32_t;
 
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
+/// One tick's worth of topology change: the edges that appeared and the
+/// edges that vanished, each as (low, high) pairs in ascending
+/// lexicographic order, with `added` and `removed` disjoint. This is the
+/// currency of the dynamic-topology runtime: `topology::IncrementalUdg`
+/// emits one per mobility tick, `DynamicGraph::apply_delta` patches the
+/// CSR arrays with it, and both engines' `apply_topology_delta` /
+/// `schedule_topology_update` use it to invalidate protocol state for
+/// severed links.
+struct EdgeDelta {
+  std::vector<std::pair<NodeId, NodeId>> added;
+  std::vector<std::pair<NodeId, NodeId>> removed;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return added.empty() && removed.empty();
+  }
+  /// Keeps capacity, so a reused delta allocates nothing in steady state.
+  void clear() noexcept {
+    added.clear();
+    removed.clear();
+  }
+};
+
 /// Immutable-after-build undirected graph with sorted CSR adjacency.
 class Graph {
  public:
@@ -99,6 +121,11 @@ class Graph {
 
  private:
   void build_mirror() const;
+
+  /// DynamicGraph patches offsets_/flat_ in place (live topology); it
+  /// preserves every Graph invariant (sorted rows, edge_count_, cleared
+  /// mirror) without routing each tick through staging + finalize().
+  friend class DynamicGraph;
 
   std::size_t node_count_ = 0;
   std::size_t edge_count_ = 0;

@@ -45,11 +45,21 @@
 // Slots and their digest capacity are recycled through a free list, so
 // the steady state allocates nothing new once the in-flight high-water
 // mark has been reached.
+//
+// Dynamic topology (live mobility/churn runs): perturbations are
+// *events* — `schedule_topology_update` admits a kTopology event whose
+// callback patches the live graph (topology::LiveTopology) and whose
+// processing invalidates protocol caches for severed links, so topology
+// change composes with daemons, loss, and link delays in the one
+// deterministic total order. In dynamic mode a delivery re-checks the
+// link against the current graph: a frame whose link broke mid-flight
+// is dropped (messages_expired), as the radio would lose it.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -88,9 +98,10 @@ template <typename Protocol>
 class AsyncNetwork {
  public:
   /// The graph reference is observed, not owned, and must outlive the
-  /// engine. Topology is fixed for the engine's lifetime (frames in
-  /// flight reference it). All randomness — daemon wake times and link
-  /// delays — derives from `rng`; the loss model brings its own stream.
+  /// engine. Topology is fixed unless the owner schedules updates via
+  /// `schedule_topology_update` (dynamic-topology runs). All randomness
+  /// — daemon wake times and link delays — derives from `rng`; the loss
+  /// model brings its own stream.
   AsyncNetwork(const graph::Graph& g, Protocol& protocol, LossModel& loss,
                AsyncConfig config, util::Rng rng)
       : graph_(&g),
@@ -116,8 +127,10 @@ class AsyncNetwork {
     ++events_processed_;
     if (event.kind == EventKind::kActivation) {
       activate(event.node, event.time);
-    } else {
+    } else if (event.kind == EventKind::kDelivery) {
       deliver(event);
+    } else {
+      apply_topology(event);
     }
     return true;
   }
@@ -163,6 +176,49 @@ class AsyncNetwork {
   /// When set, every processed event is appended to `log` in execution
   /// order — the canonical trace the determinism tests byte-compare.
   void set_event_log(std::vector<Event>* log) noexcept { event_log_ = log; }
+
+  // --- dynamic topology (live runs) ------------------------------------
+
+  /// Schedules a topology perturbation at virtual time `t` (clamped to
+  /// now; tie-broken after events already admitted at `t`). When the
+  /// event fires, `apply` must patch the graph this engine observes
+  /// (typically topology::LiveTopology::update → the same Graph object)
+  /// and return the delta it applied; the engine then invalidates
+  /// protocol state for every severed link (TopologyAwareProtocol).
+  /// Topology application rides the event queue, so mobility composes
+  /// with daemons, loss, and link delays in one deterministic total
+  /// order — the event trace includes the perturbation itself.
+  ///
+  /// Scheduling any update switches the engine into dynamic mode:
+  /// deliveries are thereafter checked against the *current* graph, and
+  /// a frame whose link vanished mid-flight is dropped (counted in
+  /// `messages_expired`), exactly as a broken radio link would lose it.
+  void schedule_topology_update(
+      VirtualTime t, std::function<const graph::EdgeDelta&()> apply) {
+    dynamic_topology_ = true;
+    // Spent slots are recycled like frame slots, so a long live run's
+    // pending list stays bounded by the number of updates in flight.
+    std::uint32_t slot;
+    if (!free_topology_slots_.empty()) {
+      slot = free_topology_slots_.back();
+      free_topology_slots_.pop_back();
+      pending_topology_[slot] = std::move(apply);
+    } else {
+      slot = static_cast<std::uint32_t>(pending_topology_.size());
+      pending_topology_.push_back(std::move(apply));
+    }
+    queue_.push(Event{std::max(t, now_), 0, EventKind::kTopology, 0, 0, slot});
+  }
+
+  /// Topology perturbations applied so far.
+  [[nodiscard]] std::uint64_t topology_updates() const noexcept {
+    return topology_updates_;
+  }
+  /// In-flight frames dropped because their link vanished before the
+  /// delivery fired (dynamic mode only).
+  [[nodiscard]] std::uint64_t messages_expired() const noexcept {
+    return messages_expired_;
+  }
 
  private:
   [[nodiscard]] bool is_victim(graph::NodeId p) const noexcept {
@@ -252,12 +308,38 @@ class AsyncNetwork {
   }
 
   void deliver(const Event& event) {
+    // Dynamic mode: the link that carried this frame may have broken
+    // while it was in flight; the frame is then lost. Checked against
+    // the live graph, so the decision is deterministic — topology
+    // updates are themselves events with a fixed place in the order.
+    if (dynamic_topology_ && !graph_->adjacent(event.sender, event.node)) {
+      ++messages_expired_;
+      if (--remaining_[event.slot] == 0) free_slots_.push_back(event.slot);
+      return;
+    }
     if constexpr (TimestampedProtocol<Protocol>) {
       protocol_->on_delivery(event.node, to_seconds(event.time));
     }
     slots_[event.slot].deliver_to(*protocol_, event.node);
     ++messages_delivered_;
     if (--remaining_[event.slot] == 0) free_slots_.push_back(event.slot);
+  }
+
+  void apply_topology(const Event& event) {
+    // Move the callback out first: it may itself schedule the next
+    // update, growing pending_topology_ and invalidating references
+    // into it. The slot is recycled only after the callback returns.
+    const auto apply = std::move(pending_topology_[event.slot]);
+    const graph::EdgeDelta& delta = apply();
+    if constexpr (TopologyAwareProtocol<Protocol>) {
+      for (const auto& [a, b] : delta.removed) {
+        protocol_->on_edge_removed(a, b);
+      }
+    } else {
+      (void)delta;
+    }
+    free_topology_slots_.push_back(event.slot);
+    ++topology_updates_;
   }
 
   const graph::Graph* graph_;
@@ -276,6 +358,11 @@ class AsyncNetwork {
   std::vector<std::uint32_t> remaining_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<Event>* event_log_ = nullptr;
+  bool dynamic_topology_ = false;
+  std::vector<std::function<const graph::EdgeDelta&()>> pending_topology_;
+  std::vector<std::uint32_t> free_topology_slots_;
+  std::uint64_t topology_updates_ = 0;
+  std::uint64_t messages_expired_ = 0;
 };
 
 /// The one way every driver (campaign runner, CLI, tests) measures

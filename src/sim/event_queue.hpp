@@ -38,6 +38,11 @@ enum class EventKind : std::uint8_t {
   kActivation,
   /// A previously broadcast frame reaches one receiver.
   kDelivery,
+  /// A scheduled topology perturbation applies (dynamic-topology runs):
+  /// the registered callback patches the live graph and the engine
+  /// invalidates protocol state for severed links. `slot` indexes the
+  /// pending-update list; `node`/`sender` are unused.
+  kTopology,
 };
 
 struct Event {

@@ -35,6 +35,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <type_traits>
@@ -107,6 +108,30 @@ class Network {
 
   [[nodiscard]] std::size_t steps_run() const noexcept { return steps_; }
 
+  /// Frame receptions that actually happened (post-loss) across all
+  /// steps so far. Counted in the serial phases only, so the value is
+  /// identical for any thread count and for the legacy vs arena engine.
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return messages_delivered_;
+  }
+
+  /// Notifies the runtime that the observed graph was just patched with
+  /// `delta` (dynamic-topology runs; the owner mutates the graph via
+  /// graph::DynamicGraph, then calls this). The engine itself holds no
+  /// per-topology state — its next step simply walks the new CSR — but
+  /// topology-aware protocols get told about every severed link so the
+  /// stale neighbor caches die now rather than by aging. Call between
+  /// steps.
+  void apply_topology_delta(const graph::EdgeDelta& delta) {
+    if constexpr (TopologyAwareProtocol<Protocol>) {
+      for (const auto& [a, b] : delta.removed) {
+        protocol_->on_edge_removed(a, b);
+      }
+    } else {
+      (void)delta;
+    }
+  }
+
   /// Runs one synchronous broadcast-receive-compute step.
   void step() {
     loss_->begin_step();
@@ -159,6 +184,7 @@ class Network {
       for (graph::NodeId q : g.neighbors(p)) {
         if (loss_->delivered(p, q)) {
           protocol_->deliver(q, frames_[p]);
+          ++messages_delivered_;
         }
       }
     }
@@ -209,10 +235,14 @@ class Network {
       incoming_.resize(flat.size());
       for (std::size_t p = 0; p < n; ++p) {
         for (std::size_t e = offsets[p]; e < offsets[p + 1]; ++e) {
-          incoming_[g.mirror_edge(e)] =
+          const bool heard =
               loss_->delivered(static_cast<graph::NodeId>(p), flat[e]);
+          incoming_[g.mirror_edge(e)] = heard;
+          messages_delivered_ += heard;
         }
       }
+    } else {
+      messages_delivered_ += flat.size();
     }
 
     // Phase 3 (parallel by receiver): each node pulls the heard frames
@@ -243,6 +273,7 @@ class Network {
   Protocol* protocol_;
   LossModel* loss_;
   std::size_t steps_ = 0;
+  std::uint64_t messages_delivered_ = 0;
   bool legacy_engine_ = false;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<typename Protocol::Frame> frames_;       // legacy engine

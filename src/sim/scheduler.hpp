@@ -60,6 +60,19 @@ concept TimestampedProtocol = requires(P& p, graph::NodeId receiver,
   p.on_delivery(receiver, time_s);
 };
 
+/// Optional dynamic-topology extension: when a live run applies an edge
+/// delta, both engines tell the protocol about every severed link so it
+/// can invalidate exactly the neighbor state the perturbation made
+/// stale (instead of waiting for cache aging). Models a link layer
+/// that reports loss of connectivity; protocols without the hook fall
+/// back to pure self-stabilizing recovery through aging. Added edges
+/// need no hook — they announce themselves with their first frame.
+template <typename P>
+concept TopologyAwareProtocol = requires(P& p, graph::NodeId a,
+                                         graph::NodeId b) {
+  p.on_edge_removed(a, b);
+};
+
 /// Reusable storage for one in-flight frame. Arena protocols get a POD
 /// header plus a digest vector whose capacity survives reuse (steady
 /// state: zero allocations once every slot has seen its deepest frame);

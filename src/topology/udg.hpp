@@ -2,8 +2,18 @@
 //
 // The radio model of the paper: p and q are neighbors iff their distance
 // is at most the transmission range R (bidirectional by construction).
-// Built with a uniform cell hash so construction is O(n + m) rather than
-// O(n²) — the benches rebuild the graph every mobility snapshot.
+//
+// Construction is a uniform cell-bucket sweep, O(n + m) in expectation
+// for the paper's bounded-density deployments: nodes are counting-sorted
+// into square cells of side R over the points' bounding box, so every
+// potential neighbor of a node lives in its own or one of the 8
+// surrounding cells; each cell pair is visited once (j > i), candidate
+// distances are compared squared (no sqrt), and cells clamped at the
+// bounding-box border are skipped when clamping aliases them onto an
+// already-visited cell. The same bucketing, widened by a skin margin,
+// powers the incremental index in topology/incremental.hpp — rebuilding
+// from scratch every mobility snapshot is the *fallback* path; the
+// dynamic-topology runtime patches edge deltas instead.
 #pragma once
 
 #include <span>

@@ -13,6 +13,12 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   return parsed;
 }
 
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return raw;
+}
+
 std::size_t bench_runs(std::size_t fallback) {
   const std::int64_t value =
       env_int("SSMWN_RUNS", static_cast<std::int64_t>(fallback));

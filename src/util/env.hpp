@@ -14,6 +14,10 @@ namespace ssmwn::util {
 /// Integer env var with default; malformed values fall back to `fallback`.
 [[nodiscard]] std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
+/// String env var with default (empty values fall back too).
+[[nodiscard]] std::string env_string(const std::string& name,
+                                     const std::string& fallback);
+
 /// Number of simulation runs per configuration (SSMWN_RUNS, default given
 /// by the caller per bench).
 [[nodiscard]] std::size_t bench_runs(std::size_t fallback);

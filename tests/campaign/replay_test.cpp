@@ -54,6 +54,27 @@ replications = 3
 seed_base    = 515151
 )";
 
+// Live (protocol-under-mobility) grid points are the acceptance shape
+// of the dynamic-topology runtime: the protocol runs continuously on
+// the event engine while mobility perturbs the graph, on both topology
+// update modes. Must replay byte-identically for any --threads.
+constexpr const char* kLiveSpecText = R"(
+name            = replay-live
+topology        = uniform
+n               = 50
+radius          = 0.16
+variant         = basic
+scheduler       = sync, async
+mobility        = random-direction
+speed_max       = 1.6, 10
+protocol_live   = true
+topology_update = incremental, rebuild
+live_horizon    = 24
+steps           = 4
+replications    = 2
+seed_base       = 616161
+)";
+
 Rendered render_campaign_text(const char* text, unsigned threads) {
   const auto spec = campaign::parse_spec_text(text);
   const auto plan = campaign::expand(spec);
@@ -124,6 +145,41 @@ TEST(CampaignReplay, AsyncGridReplaysByteIdentically) {
             std::string::npos);
   EXPECT_NE(serial.csv.find(",converge_time,"), std::string::npos);
   EXPECT_NE(serial.json.find("\"messages\""), std::string::npos);
+}
+
+TEST(CampaignReplay, LiveGridReplaysByteIdentically) {
+  const auto serial = render_campaign_text(kLiveSpecText, 1);
+  const auto repeat = render_campaign_text(kLiveSpecText, 1);
+  EXPECT_EQ(serial.csv, repeat.csv);
+  EXPECT_EQ(serial.json, repeat.json);
+  for (const unsigned threads : {2u, 4u}) {
+    const auto parallel = render_campaign_text(kLiveSpecText, threads);
+    EXPECT_EQ(serial.csv, parallel.csv) << "threads=" << threads;
+    EXPECT_EQ(serial.json, parallel.json) << "threads=" << threads;
+  }
+  // Live schema: the dynamic-topology columns and metric rows appear.
+  EXPECT_NE(serial.csv.find(",protocol_live,topology_update,live_horizon,"),
+            std::string::npos);
+  EXPECT_NE(serial.csv.find(",reconverge_time,"), std::string::npos);
+  EXPECT_NE(serial.json.find("\"reconverge_messages\""), std::string::npos);
+  EXPECT_NE(serial.json.find("\"topology_update\": \"incremental\""),
+            std::string::npos);
+}
+
+TEST(CampaignReplay, NonLivePlansKeepTheirSchemas) {
+  // Neither the sync-only nor the async schema grows live columns or
+  // metric rows — pre-existing outputs stay byte-comparable.
+  const auto sync_only = render_campaign(1);
+  EXPECT_EQ(sync_only.csv.find("protocol_live"), std::string::npos);
+  EXPECT_EQ(sync_only.csv.find("reconverge"), std::string::npos);
+  const auto async_plan = render_campaign_text(kAsyncSpecText, 1);
+  EXPECT_EQ(async_plan.csv.find("protocol_live"), std::string::npos);
+  EXPECT_EQ(async_plan.csv.find("reconverge"), std::string::npos);
+  EXPECT_EQ(async_plan.json.find("reconverge"), std::string::npos);
+  const auto plan =
+      campaign::expand(campaign::parse_spec_text(kAsyncSpecText));
+  EXPECT_FALSE(campaign::plan_uses_live(plan));
+  EXPECT_EQ(campaign::report_metric_count(plan), campaign::kAsyncMetricCount);
 }
 
 TEST(CampaignReplay, SyncOnlyPlansKeepTheLegacySchema) {

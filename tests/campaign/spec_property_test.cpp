@@ -211,6 +211,86 @@ TEST(CampaignSpec, AsyncRejectsMobilityAndChurn) {
   EXPECT_EQ(plan.grid[0].config.scheduler, campaign::SchedulerKind::kAsync);
 }
 
+TEST(CampaignSpec, LiveAxisExpandsAndDeduplicatesNonLivePoints) {
+  // topology_update only matters for live points: sweeping both axes
+  // must emit each non-live point once but every live combination:
+  // 1 + 2 = 3 points.
+  const auto plan = campaign::expand(campaign::parse_spec_text(R"(
+    n               = 40
+    protocol_live   = false, true
+    topology_update = incremental, rebuild
+    replications    = 2
+  )"));
+  EXPECT_EQ(plan.grid.size(), 3u);
+  std::size_t live_points = 0;
+  std::set<std::string> canonicals;
+  std::set<std::uint64_t> seeds;
+  for (const auto& point : plan.grid) {
+    live_points += point.config.protocol_live;
+    canonicals.insert(point.canonical);
+  }
+  for (const auto& run : plan.runs) seeds.insert(run.seed);
+  EXPECT_EQ(live_points, 2u);
+  EXPECT_EQ(canonicals.size(), plan.grid.size());
+  EXPECT_EQ(seeds.size(), plan.runs.size());
+}
+
+TEST(CampaignSpec, NonLiveCanonicalIsStableAcrossTheLiveRelease) {
+  // A non-live point serializes without any of the dynamic-topology
+  // fields — pre-existing sync AND async campaign seeds survive the
+  // release that added the axis.
+  campaign::ScenarioConfig config;
+  EXPECT_EQ(campaign::canonical_config(config).find("protocol_live"),
+            std::string::npos);
+  config.scheduler = campaign::SchedulerKind::kAsync;
+  const auto async_canonical = campaign::canonical_config(config);
+  EXPECT_EQ(async_canonical.find("protocol_live"), std::string::npos);
+  EXPECT_EQ(async_canonical.find("topology_update"), std::string::npos);
+  EXPECT_EQ(async_canonical.find("live_horizon"), std::string::npos);
+
+  config.protocol_live = true;
+  EXPECT_NE(campaign::canonical_config(config).find(
+                ";protocol_live=true;topology_update=incremental;"
+                "live_horizon=64"),
+            std::string::npos);
+}
+
+TEST(CampaignSpec, ProtocolLiveLiftsTheAsyncMobilityRejection) {
+  // The acceptance shape: async + mobility + protocol_live=true must
+  // expand cleanly (this was a SpecError before the dynamic-topology
+  // runtime existed) — and stays rejected without protocol_live.
+  const auto plan = campaign::expand(campaign::parse_spec_text(R"(
+    scheduler       = async
+    mobility        = random-direction
+    protocol_live   = true
+    n               = 30
+    steps           = 5
+  )"));
+  ASSERT_EQ(plan.grid.size(), 1u);
+  EXPECT_TRUE(plan.grid[0].config.protocol_live);
+  EXPECT_EQ(plan.grid[0].config.mobility,
+            campaign::MobilityKind::kRandomDirection);
+
+  EXPECT_THROW((void)campaign::expand(campaign::parse_spec_text(
+                   "scheduler = async\nmobility = random-direction")),
+               SpecError);
+  EXPECT_THROW((void)campaign::expand(campaign::parse_spec_text(
+                   "scheduler = async\nchurn_down = 0.1\n"
+                   "protocol_live = false")),
+               SpecError);
+  // Live churn is allowed on either engine.
+  const auto churny = campaign::expand(campaign::parse_spec_text(
+      "protocol_live = true\nchurn_down = 0.1\nn = 30\nsteps = 5"));
+  EXPECT_EQ(churny.grid.size(), 1u);
+  // Malformed live keys are rejected like any other.
+  EXPECT_THROW((void)campaign::parse_spec_text("protocol_live = maybe"),
+               SpecError);
+  EXPECT_THROW((void)campaign::parse_spec_text("topology_update = magic"),
+               SpecError);
+  EXPECT_THROW((void)campaign::parse_spec_text("live_horizon = 0"),
+               SpecError);
+}
+
 TEST(CampaignSpec, SpecErrorIsInvalidArgument) {
   // The CLI maps std::invalid_argument to the bad-arguments exit code;
   // spec errors must ride that path, not the run-failure one.

@@ -1,0 +1,141 @@
+// DynamicGraph: CSR patching from edge deltas must be indistinguishable
+// from rebuilding the graph from the resulting edge list.
+#include "graph/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+using Edge = std::pair<graph::NodeId, graph::NodeId>;
+
+graph::Graph build(std::size_t n, const std::set<Edge>& edges) {
+  graph::Graph g(n);
+  for (const auto& [a, b] : edges) g.add_edge(a, b);
+  g.finalize();
+  return g;
+}
+
+void expect_same(const graph::Graph& got, const graph::Graph& want) {
+  ASSERT_EQ(got.node_count(), want.node_count());
+  ASSERT_EQ(got.edge_count(), want.edge_count());
+  EXPECT_EQ(got.edges(), want.edges());
+  for (graph::NodeId p = 0; p < got.node_count(); ++p) {
+    const auto a = got.neighbors(p);
+    const auto b = want.neighbors(p);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "row " << p;
+  }
+}
+
+TEST(DynamicGraph, AppliesAddsAndRemoves) {
+  graph::DynamicGraph dyn(build(5, {{0, 1}, {0, 2}, {1, 2}, {3, 4}}));
+  graph::EdgeDelta delta;
+  delta.added = {{0, 3}, {2, 4}};
+  delta.removed = {{0, 2}, {3, 4}};
+  dyn.apply_delta(delta);
+  expect_same(dyn.view(), build(5, {{0, 1}, {0, 3}, {1, 2}, {2, 4}}));
+  // Every endpoint of a changed edge is dirty, ascending, once.
+  const auto dirty = dyn.dirty_nodes();
+  EXPECT_EQ(std::vector<graph::NodeId>(dirty.begin(), dirty.end()),
+            (std::vector<graph::NodeId>{0, 2, 3, 4}));
+}
+
+TEST(DynamicGraph, EmptyDeltaIsANoOp) {
+  graph::DynamicGraph dyn(build(3, {{0, 1}}));
+  dyn.apply_delta({});
+  expect_same(dyn.view(), build(3, {{0, 1}}));
+  EXPECT_TRUE(dyn.dirty_nodes().empty());
+}
+
+TEST(DynamicGraph, RejectsBogusDeltas) {
+  graph::DynamicGraph dyn(build(4, {{0, 1}, {2, 3}}));
+  graph::EdgeDelta missing;
+  missing.removed = {{0, 2}};  // not an edge
+  EXPECT_THROW(dyn.apply_delta(missing), std::logic_error);
+  graph::EdgeDelta dup;
+  dup.added = {{0, 1}};  // already present
+  EXPECT_THROW(dyn.apply_delta(dup), std::logic_error);
+  graph::EdgeDelta backwards;
+  backwards.added = {{1, 0}};  // not (low, high)
+  EXPECT_THROW(dyn.apply_delta(backwards), std::logic_error);
+  graph::EdgeDelta range;
+  range.added = {{0, 9}};
+  EXPECT_THROW(dyn.apply_delta(range), std::out_of_range);
+}
+
+TEST(DynamicGraph, MirrorIndexStaysConsistentAfterPatch) {
+  graph::DynamicGraph dyn(build(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}}));
+  (void)dyn.view().mirror_edge(0);  // force the lazy build
+  graph::EdgeDelta delta;
+  delta.added = {{2, 3}};
+  delta.removed = {{0, 1}};
+  dyn.apply_delta(delta);
+  const auto& g = dyn.view();
+  const auto offsets = g.csr_offsets();
+  const auto flat = g.csr_neighbors();
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    for (std::size_t e = offsets[p]; e < offsets[p + 1]; ++e) {
+      const std::size_t m = g.mirror_edge(e);
+      EXPECT_EQ(flat[m], p);  // mirror of p->q points back at p
+    }
+  }
+}
+
+TEST(DynamicGraph, RandomizedEquivalenceWithRebuild) {
+  util::Rng rng(20050612);
+  const std::size_t n = 40;
+  std::set<Edge> edges;
+  for (int i = 0; i < 120; ++i) {
+    const auto a = static_cast<graph::NodeId>(rng.below(n));
+    const auto b = static_cast<graph::NodeId>(rng.below(n));
+    if (a != b) edges.insert({std::min(a, b), std::max(a, b)});
+  }
+  graph::DynamicGraph dyn(build(n, edges));
+  for (int round = 0; round < 50; ++round) {
+    graph::EdgeDelta delta;
+    // Remove a few present edges, add a few absent ones.
+    for (const auto& e : edges) {
+      if (rng.below(8) == 0) delta.removed.push_back(e);
+    }
+    for (int i = 0; i < 10; ++i) {
+      const auto a = static_cast<graph::NodeId>(rng.below(n));
+      const auto b = static_cast<graph::NodeId>(rng.below(n));
+      if (a == b) continue;
+      const Edge e{std::min(a, b), std::max(a, b)};
+      if (!edges.count(e)) delta.added.push_back(e);
+    }
+    std::sort(delta.added.begin(), delta.added.end());
+    delta.added.erase(std::unique(delta.added.begin(), delta.added.end()),
+                      delta.added.end());
+    std::sort(delta.removed.begin(), delta.removed.end());
+    for (const auto& e : delta.removed) edges.erase(e);
+    for (const auto& e : delta.added) edges.insert(e);
+    dyn.apply_delta(delta);
+    expect_same(dyn.view(), build(n, edges));
+    // Dirty set == endpoints of the delta.
+    std::set<graph::NodeId> want_dirty;
+    for (const auto& [a, b] : delta.added) {
+      want_dirty.insert(a);
+      want_dirty.insert(b);
+    }
+    for (const auto& [a, b] : delta.removed) {
+      want_dirty.insert(a);
+      want_dirty.insert(b);
+    }
+    const auto dirty = dyn.dirty_nodes();
+    EXPECT_EQ(std::vector<graph::NodeId>(dirty.begin(), dirty.end()),
+              std::vector<graph::NodeId>(want_dirty.begin(), want_dirty.end()));
+  }
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -53,6 +53,9 @@
 #include "topology/udg.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
+#include "verify/certifier.hpp"
+#include "verify/shrink.hpp"
 
 namespace {
 
@@ -537,6 +540,139 @@ int run_routing(const util::Args& args, util::Rng& rng) {
   return stats.failures == 0 ? 0 : 1;
 }
 
+/// `ssmwn verify`: the self-stabilization certifier. Runs seeded
+/// arbitrary-state trials per fault class — each trial corrupts the
+/// protocol state, plays it to fixpoint on BOTH engines (the async half
+/// under a rotating daemon), and checks legitimacy, closure, and
+/// cross-engine agreement. On any violation the failing tuple is shrunk
+/// to a minimal spec and (with --repro FILE) written out as a
+/// replayable campaign spec.
+int run_verify(const util::Args& args, util::Rng& rng) {
+  (void)rng;  // the certifier derives everything from --seed directly
+  verify::CertifierConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 20050612));
+  const auto trials = args.get_int("trials", 200);
+  if (trials < 1 || trials > 10'000'000) {
+    throw std::invalid_argument("--trials must be in [1, 1e7]");
+  }
+  config.trials_per_class = static_cast<std::size_t>(trials);
+  const auto n_min = args.get_int("n-min", 8);
+  const auto n_max = args.get_int("n-max", 64);
+  if (n_min < 1 || n_max < n_min || n_max > 1'000'000) {
+    throw std::invalid_argument(
+        "--n-min/--n-max must satisfy 1 <= min <= max <= 1e6");
+  }
+  config.n_min = static_cast<std::size_t>(n_min);
+  config.n_max = static_cast<std::size_t>(n_max);
+  config.radius = args.get_double("radius", 0.16);
+  if (!(config.radius > 0.0) || config.radius >= 1e9) {
+    throw std::invalid_argument("--radius must be positive");
+  }
+  config.tau = args.get_double("tau", 1.0);
+  if (!(config.tau > 0.0) || config.tau > 1.0) {
+    throw std::invalid_argument("--tau must be in (0, 1]");
+  }
+  const auto horizon = args.get_int("steps", 240);
+  if (horizon < static_cast<std::int64_t>(verify::kMinHorizonRounds) ||
+      horizon > 1'000'000) {
+    throw std::invalid_argument(
+        "--steps must be in [" +
+        std::to_string(verify::kMinHorizonRounds) +
+        ", 1e6] (below that no trial can confirm legitimacy)");
+  }
+  config.horizon_rounds = static_cast<std::size_t>(horizon);
+  config.threads = parse_threads(args);
+
+  if (const auto classes = args.get("classes", "all"); classes != "all") {
+    config.classes.clear();
+    std::size_t start = 0;
+    while (start <= classes.size()) {
+      const auto comma = classes.find(',', start);
+      const auto piece =
+          classes.substr(start, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - start);
+      config.classes.push_back(verify::parse_fault_class(piece));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  if (const auto variant = args.get("variant", "basic"); true) {
+    (void)verify::cluster_options_for(variant);  // validate spelling
+    config.variants = {variant};
+  }
+
+  const bool quiet = args.get_bool("quiet", false);
+  if (!quiet) {
+    std::printf("certifying self-stabilization: %zu fault class(es) x %zu "
+                "trial(s), n in [%zu, %zu], variant %s, tau %g, horizon "
+                "%zu rounds, seed %llu\n",
+                config.classes.size(), config.trials_per_class,
+                config.n_min, config.n_max, config.variants.front().c_str(),
+                config.tau, config.horizon_rounds,
+                static_cast<unsigned long long>(config.seed));
+  }
+
+  const auto report = verify::certify(config);
+
+  util::Table table("Self-stabilization certification — " +
+                    std::to_string(report.trials_total) + " trial(s), " +
+                    std::to_string(report.failures_total) + " violation(s)");
+  table.header({"fault class", "trials", "passed", "sync steps", "sync msgs",
+                "async t(s)", "async msgs"});
+  for (const auto& stats : report.per_class) {
+    table.row({std::string(verify::to_string(stats.fault)),
+               util::Table::integer(static_cast<long long>(stats.trials)),
+               util::Table::integer(static_cast<long long>(stats.passed)),
+               util::Table::num(stats.sync_steps.mean(), 1) + " ±" +
+                   util::Table::num(stats.sync_steps.stddev(), 1),
+               util::Table::num(stats.sync_messages.mean(), 0),
+               util::Table::num(stats.async_time_s.mean(), 2) + " ±" +
+                   util::Table::num(stats.async_time_s.stddev(), 2),
+               util::Table::num(stats.async_messages.mean(), 0)});
+  }
+  table.note("every trial: corrupt -> fixpoint on BOTH engines -> check "
+             "legitimacy + closure + cross-engine agreement; daemons "
+             "rotate synchronous/randomized/unfair per trial");
+  if (!quiet) std::fputs(table.render().c_str(), stdout);
+
+  if (report.certified()) {
+    if (!quiet) std::puts("CERTIFIED: no violations");
+    return kExitOk;
+  }
+
+  // Shrink the first failure to a minimal replayable spec.
+  const auto& [spec, violation] = report.failures.front();
+  std::fprintf(stderr,
+               "VIOLATION (%s): fault=%s daemon=%s n=%zu seed=%llu — "
+               "shrinking...\n",
+               std::string(verify::to_string(violation)).c_str(),
+               std::string(verify::to_string(spec.fault)).c_str(),
+               std::string(verify::to_string(spec.daemon)).c_str(), spec.n,
+               static_cast<unsigned long long>(spec.seed));
+  const auto shrunk = verify::shrink(spec);
+  const auto repro = verify::make_repro(shrunk.minimal, violation);
+  std::fprintf(stderr,
+               "minimal repro: n=%zu fault=%s daemon=%s variant=%s "
+               "(%zu attempt(s), %zu shrink(s), campaign replay %s)\n",
+               shrunk.minimal.n,
+               std::string(verify::to_string(shrunk.minimal.fault)).c_str(),
+               std::string(verify::to_string(shrunk.minimal.daemon)).c_str(),
+               shrunk.minimal.variant.c_str(), shrunk.attempts,
+               shrunk.shrinks, repro.reproduces ? "verified" : "UNVERIFIED");
+  if (const auto path = args.get("repro", ""); !path.empty()) {
+    std::ofstream out(path);
+    out << repro.text;
+    if (!out.flush()) {
+      throw std::runtime_error("failed writing repro spec '" + path + "'");
+    }
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fputs(repro.text.c_str(), stderr);
+  }
+  return kExitRunFailure;
+}
+
 int run_campaign(const util::Args& args) {
   const auto& positional = args.positional();
   if (positional.size() < 2) {
@@ -634,6 +770,10 @@ void usage() {
       "  routing  --n N --radius R [--grid] [--seed S] [--pairs K]\n"
       "  campaign <spec-file> [--threads N] [--csv F] [--json F]\n"
       "           [--quiet] [--replications N] [--seed S]\n"
+      "  verify   [--trials N] [--classes all|c1,c2,...] [--n-min A]\n"
+      "           [--n-max B] [--radius R] [--variant V] [--tau T]\n"
+      "           [--steps H] [--seed S] [--threads N] [--repro F]\n"
+      "           [--quiet]\n"
       "flags:\n"
       "  --threads N  step-engine / runner parallelism; 0 = hardware\n"
       "               concurrency, default 1; results are identical\n"
@@ -645,6 +785,14 @@ void usage() {
       "               daemon; reports virtual convergence time and\n"
       "               messages-to-convergence; --steps bounds the\n"
       "               horizon in periods)\n"
+      "  verify       self-stabilization certifier: --trials seeded\n"
+      "               arbitrary-state trials per fault class (random-all,\n"
+      "               metric-skew, cluster-id-noise, stale-cache,\n"
+      "               hierarchy-loops, partial-frame), each played to\n"
+      "               fixpoint on BOTH engines under rotating daemons and\n"
+      "               checked for legitimacy, closure, and cross-engine\n"
+      "               agreement; violations are shrunk to a minimal\n"
+      "               replayable campaign spec (--repro FILE)\n"
       "  --live       protocol-under-mobility: the protocol keeps\n"
       "               running while nodes move (--windows perturbations\n"
       "               of --window-s seconds each); per-perturbation\n"
@@ -672,6 +820,9 @@ const std::map<std::string, std::vector<std::string>> kKnownFlags = {
       "windows", "window-s"}},
     {"routing", {"n", "radius", "grid", "pairs"}},
     {"campaign", {"threads", "csv", "json", "quiet", "replications"}},
+    {"verify",
+     {"trials", "classes", "n-min", "n-max", "radius", "variant", "tau",
+      "steps", "threads", "repro", "quiet"}},
 };
 
 bool reject_unknown_flags(const std::string& command,
@@ -706,6 +857,7 @@ int main(int argc, char** argv) {
     if (command == "cluster") return run_cluster(args, rng);
     if (command == "protocol") return run_protocol(args, rng);
     if (command == "routing") return run_routing(args, rng);
+    if (command == "verify") return run_verify(args, rng);
     return run_campaign(args);
   } catch (const std::invalid_argument& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -22,6 +22,8 @@ void MetricsAggregator::add(std::size_t grid_index, const RunMetrics& m) {
   cell[5].push_back(m.messages);
   cell[6].push_back(m.reconverge_time);
   cell[7].push_back(m.reconverge_messages);
+  cell[8].push_back(m.sync_steps);
+  cell[9].push_back(m.sync_messages);
 }
 
 std::vector<ScenarioAggregate> MetricsAggregator::summarize() const {

@@ -29,21 +29,26 @@ struct MetricSummary {
 
 /// The metrics reported per scenario, in fixed report order. The first
 /// kSyncMetricCount are the window-loop metrics every campaign reports;
-/// converge_time/messages only mean something for async or live grid
-/// points, and the trailing two (per-perturbation re-convergence time
-/// and messages) only for live (protocol-under-mobility) points. The
+/// converge_time/messages only mean something for async, live, or
+/// verify grid points; reconverge_* (per-perturbation re-convergence)
+/// only for live (protocol-under-mobility) points; and the trailing
+/// sync_converge_steps/sync_messages — the synchronous half of a
+/// cross-engine certification trial — only for verify points. The
 /// report writers emit a metric row only when the plan contains a point
 /// that measures it (see report.hpp — this is what keeps pre-existing
-/// sync-only and async-only campaigns byte-identical).
-inline constexpr std::array<std::string_view, 8> kMetricNames{
+/// sync-only, async-only, and live campaigns byte-identical).
+inline constexpr std::array<std::string_view, 10> kMetricNames{
     "stability",     "delta",          "reaffiliation",
     "cluster_count", "converge_time",  "messages",
-    "reconverge_time", "reconverge_messages"};
+    "reconverge_time", "reconverge_messages",
+    "sync_converge_steps", "sync_messages"};
 
 /// Number of metrics a purely synchronous campaign reports.
 inline constexpr std::size_t kSyncMetricCount = 4;
 /// Number of metrics a campaign without live points reports (at most).
 inline constexpr std::size_t kAsyncMetricCount = 6;
+/// Number of metrics a campaign without verify points reports (at most).
+inline constexpr std::size_t kLiveMetricCount = 8;
 
 /// Whether metric `m` (an index into kMetricNames) is actually measured
 /// by runs of the given kind — the report writers emit only these, so
@@ -52,14 +57,18 @@ inline constexpr std::size_t kAsyncMetricCount = 6;
 /// stability and cluster_count are measured everywhere; delta and
 /// reaffiliation are classic window-loop (sync oracle) metrics;
 /// converge_time and messages are cold-start convergence metrics
-/// (event engine, or either engine in live mode); reconverge_* are
-/// per-perturbation metrics of live runs.
-[[nodiscard]] constexpr bool metric_applies(std::size_t m, bool async_point,
-                                            bool live_point = false) noexcept {
+/// (event engine, or either engine in live mode, or the async half of a
+/// verify trial); reconverge_* are per-perturbation metrics of live
+/// runs; sync_converge_steps/sync_messages are the synchronous half of
+/// a verify trial.
+[[nodiscard]] constexpr bool metric_applies(
+    std::size_t m, bool async_point, bool live_point = false,
+    bool verify_point = false) noexcept {
   if (m == 0 || m == 3) return true;        // stability, cluster_count
-  if (m == 1 || m == 2) return !async_point && !live_point;
-  if (m == 4 || m == 5) return async_point || live_point;
-  return live_point;                         // reconverge_*
+  if (m == 1 || m == 2) return !async_point && !live_point && !verify_point;
+  if (m == 4 || m == 5) return async_point || live_point || verify_point;
+  if (m == 6 || m == 7) return live_point;   // reconverge_*
+  return verify_point;                       // sync_* trial halves
 }
 
 struct ScenarioAggregate {
@@ -90,6 +99,12 @@ struct ScenarioAggregate {
   }
   [[nodiscard]] const MetricSummary& reconverge_messages() const noexcept {
     return metrics[7];
+  }
+  [[nodiscard]] const MetricSummary& sync_converge_steps() const noexcept {
+    return metrics[8];
+  }
+  [[nodiscard]] const MetricSummary& sync_messages() const noexcept {
+    return metrics[9];
   }
 };
 

@@ -40,7 +40,7 @@ void append_escaped_json(std::string& out, std::string_view s) {
 }
 
 std::string config_fields_csv(const ScenarioConfig& c, bool extended,
-                              bool live_schema) {
+                              bool live_schema, bool verify_schema) {
   std::ostringstream out = classic_stream();
   out << to_string(c.topology) << ',' << c.n << ','
       << format_double(c.radius) << ',' << to_string(c.variant) << ','
@@ -66,11 +66,21 @@ std::string config_fields_csv(const ScenarioConfig& c, bool extended,
         << ',';
     if (c.protocol_live) out << c.live_horizon;
   }
+  if (verify_schema) {
+    // And for the certification knobs: empty cells on non-verify rows.
+    out << ',' << (c.verify_faults ? "true" : "false") << ','
+        << (c.verify_faults
+                ? std::string(verify::to_string(c.fault_class))
+                : std::string())
+        << ','
+        << (c.verify_faults ? std::string(verify::to_string(c.daemon))
+                            : std::string());
+  }
   return out.str();
 }
 
 std::string config_json(const ScenarioConfig& c, bool extended,
-                        bool live_schema) {
+                        bool live_schema, bool verify_schema) {
   std::ostringstream out = classic_stream();
   out << "\"topology\": \"" << to_string(c.topology) << "\", \"n\": " << c.n
       << ", \"radius\": " << format_double(c.radius) << ", \"variant\": \""
@@ -97,6 +107,13 @@ std::string config_json(const ScenarioConfig& c, bool extended,
     if (c.protocol_live) {
       out << ", \"topology_update\": \"" << to_string(c.topology_update)
           << "\", \"live_horizon\": " << c.live_horizon;
+    }
+  }
+  if (verify_schema) {
+    out << ", \"verify_faults\": " << (c.verify_faults ? "true" : "false");
+    if (c.verify_faults) {
+      out << ", \"fault_class\": \"" << verify::to_string(c.fault_class)
+          << "\", \"daemon\": \"" << verify::to_string(c.daemon) << '"';
     }
   }
   return out.str();
@@ -126,6 +143,10 @@ std::string short_label(const ScenarioConfig& c) {
         << (c.topology_update == TopologyUpdateKind::kIncremental ? "inc"
                                                                   : "rb");
   }
+  if (c.verify_faults) {
+    out << " verify/" << verify::to_string(c.fault_class) << '/'
+        << verify::to_string(c.daemon);
+  }
   if (c.mobility != MobilityKind::kNone) {
     out << ' ' << (c.mobility == MobilityKind::kRandomDirection ? "rd" : "rwp")
         << ' ' << format_double(c.speed_min) << '-'
@@ -152,8 +173,16 @@ bool plan_uses_live(const CampaignPlan& plan) noexcept {
   return false;
 }
 
+bool plan_uses_verify(const CampaignPlan& plan) noexcept {
+  for (const auto& point : plan.grid) {
+    if (point.config.verify_faults) return true;
+  }
+  return false;
+}
+
 std::size_t report_metric_count(const CampaignPlan& plan) noexcept {
-  if (plan_uses_live(plan)) return kMetricNames.size();
+  if (plan_uses_verify(plan)) return kMetricNames.size();
+  if (plan_uses_live(plan)) return kLiveMetricCount;
   return plan_uses_async(plan) ? kAsyncMetricCount : kSyncMetricCount;
 }
 
@@ -162,22 +191,27 @@ void write_csv(std::ostream& out, const CampaignPlan& plan,
   out.imbue(std::locale::classic());
   const bool extended = plan_uses_async(plan);
   const bool live_schema = plan_uses_live(plan);
+  const bool verify_schema = plan_uses_verify(plan);
   const std::size_t metric_count = report_metric_count(plan);
   out << "campaign,topology,n,radius,variant,mobility,speed_min,speed_max,"
          "tau,churn_down,churn_up,steps,window_s,world_m,";
   if (extended) out << "scheduler,period_jitter,link_delay,";
   if (live_schema) out << "protocol_live,topology_update,live_horizon,";
+  if (verify_schema) out << "verify_faults,fault_class,daemon,";
   out << "metric,count,mean,stddev,p50,p95,min,max\n";
   for (const auto& aggregate : aggregates) {
     const auto& config = plan.grid[aggregate.grid_index].config;
     const std::string fields =
-        config_fields_csv(config, extended, live_schema);
+        config_fields_csv(config, extended, live_schema, verify_schema);
     // Only metrics the run actually measured (see metric_applies): no
     // fabricated converge_time=0 for sync points, no fabricated
     // delta=0 for async points.
     const bool async_point = config.scheduler != SchedulerKind::kSync;
     for (std::size_t m = 0; m < metric_count; ++m) {
-      if (!metric_applies(m, async_point, config.protocol_live)) continue;
+      if (!metric_applies(m, async_point, config.protocol_live,
+                          config.verify_faults)) {
+        continue;
+      }
       const MetricSummary& s = aggregate.metrics[m];
       out << plan.name << ',' << fields << ',' << kMetricNames[m] << ','
           << s.count << ',' << format_double(s.mean) << ','
@@ -193,6 +227,7 @@ void write_json(std::ostream& out, const CampaignPlan& plan,
   out.imbue(std::locale::classic());
   const bool extended = plan_uses_async(plan);
   const bool live_schema = plan_uses_live(plan);
+  const bool verify_schema = plan_uses_verify(plan);
   const std::size_t metric_count = report_metric_count(plan);
   std::string name;
   append_escaped_json(name, plan.name);
@@ -203,12 +238,16 @@ void write_json(std::ostream& out, const CampaignPlan& plan,
     const auto& aggregate = aggregates[i];
     const auto& config = plan.grid[aggregate.grid_index].config;
     out << (i == 0 ? "\n" : ",\n") << "    {"
-        << config_json(config, extended, live_schema) << ", \"metrics\": {";
+        << config_json(config, extended, live_schema, verify_schema)
+        << ", \"metrics\": {";
     // As in write_csv: only the metrics this run actually measured.
     const bool async_point = config.scheduler != SchedulerKind::kSync;
     bool first = true;
     for (std::size_t m = 0; m < metric_count; ++m) {
-      if (!metric_applies(m, async_point, config.protocol_live)) continue;
+      if (!metric_applies(m, async_point, config.protocol_live,
+                          config.verify_faults)) {
+        continue;
+      }
       out << (first ? "" : ", ") << '"' << kMetricNames[m]
           << "\": " << summary_json(aggregate.metrics[m]);
       first = false;
@@ -225,7 +264,11 @@ util::Table summary_table(const CampaignPlan& plan,
                     std::to_string(plan.replications) + " replication(s)");
   const bool extended = plan_uses_async(plan);
   const bool live = plan_uses_live(plan);
-  if (live) {
+  const bool verify = plan_uses_verify(plan);
+  if (verify) {
+    table.header({"scenario", "pass rate", "clusters", "async t(s)",
+                  "async msgs", "sync steps", "sync msgs"});
+  } else if (live) {
     table.header({"scenario", "stability", "clusters", "conv t(s)", "msgs",
                   "reconv t(s)", "re-msgs"});
   } else if (extended) {
@@ -239,6 +282,26 @@ util::Table summary_table(const CampaignPlan& plan,
     const auto& config = plan.grid[aggregate.grid_index].config;
     const bool async = config.scheduler != SchedulerKind::kSync;
     const bool live_point = config.protocol_live;
+    if (verify) {
+      const bool verify_point = config.verify_faults;
+      table.row(
+          {short_label(config),
+           util::Table::num(aggregate.stability().mean, 3) + " ±" +
+               util::Table::num(aggregate.stability().stddev, 3),
+           util::Table::num(aggregate.cluster_count().mean, 1),
+           verify_point
+               ? util::Table::num(aggregate.converge_time().mean, 2)
+               : std::string("-"),
+           verify_point ? util::Table::num(aggregate.messages().mean, 0)
+                        : std::string("-"),
+           verify_point
+               ? util::Table::num(aggregate.sync_converge_steps().mean, 1)
+               : std::string("-"),
+           verify_point
+               ? util::Table::num(aggregate.sync_messages().mean, 0)
+               : std::string("-")});
+      continue;
+    }
     if (live) {
       const bool conv = async || live_point;
       table.row(
@@ -275,7 +338,13 @@ util::Table summary_table(const CampaignPlan& plan,
     }
     table.row(std::move(row));
   }
-  if (live) {
+  if (verify) {
+    table.note(
+        "pass rate = fraction of certification trials in which BOTH "
+        "engines reached and held a legitimate configuration and agreed; "
+        "async t / msgs = event-engine convergence (virtual s, "
+        "deliveries); sync steps / msgs = lockstep-engine convergence");
+  } else if (live) {
     table.note(
         "stability = fraction of perturbations re-converged (live rows) or "
         "converged fraction (async); conv t / msgs = cold-start convergence; "

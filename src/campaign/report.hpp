@@ -46,9 +46,18 @@ namespace ssmwn::campaign {
 /// byte-for-byte, exactly as sync-only plans keep the legacy one.
 [[nodiscard]] bool plan_uses_live(const CampaignPlan& plan) noexcept;
 
+/// True iff any grid point is a certification trial (verify_faults) —
+/// triggers the verify schema extension: three more config columns
+/// (verify_faults, fault_class, daemon — knob cells empty for
+/// non-verify rows) and the sync_converge_steps / sync_messages metric
+/// rows. Plans without verify points keep their previous schema
+/// byte-for-byte, same release-boundary discipline as the live axis.
+[[nodiscard]] bool plan_uses_verify(const CampaignPlan& plan) noexcept;
+
 /// Number of metric rows the writers emit per grid point:
 /// kSyncMetricCount for a purely synchronous plan, kAsyncMetricCount
-/// with the async axis, kMetricNames.size() with live points.
+/// with the async axis, kLiveMetricCount with live points,
+/// kMetricNames.size() with verify points.
 [[nodiscard]] std::size_t report_metric_count(
     const CampaignPlan& plan) noexcept;
 

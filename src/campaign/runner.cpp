@@ -26,6 +26,7 @@
 #include "topology/udg.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "verify/certifier.hpp"
 
 namespace ssmwn::campaign {
 
@@ -297,8 +298,43 @@ RunMetrics execute_live_run(const ScenarioConfig& config,
 
 }  // namespace
 
+namespace {
+
+/// One certification trial (verify_faults=true): corrupt with the grid
+/// point's fault class, run to fixpoint on both engines (async half
+/// under the grid point's daemon), check legitimacy + cross-engine
+/// agreement. The trial draws its own deployment from the run seed
+/// (verify::run_trial is the single definition the CLI, the tests, and
+/// the shrinker share), so the repro specs the shrinker emits replay
+/// through this exact path.
+RunMetrics execute_verify_run(const ScenarioConfig& config,
+                              std::uint64_t seed) {
+  const verify::TrialSpec spec = verify::trial_from_scenario(config, seed);
+  const verify::TrialResult r = verify::run_trial(spec);
+  RunMetrics out;
+  out.stability = r.passed ? 1.0 : 0.0;
+  out.delta = 0.0;
+  out.reaffiliation = 0.0;
+  out.cluster_count = static_cast<double>(r.heads);
+  out.converge_time = r.async_time_s;
+  out.messages = static_cast<double>(r.async_messages);
+  out.sync_steps = static_cast<double>(r.sync_steps);
+  out.sync_messages = static_cast<double>(r.sync_messages);
+  out.windows = 1;
+  return out;
+}
+
+}  // namespace
+
 RunMetrics execute_run(const ScenarioConfig& config, std::uint64_t seed,
                        RunWorkspace& ws) {
+  // Verify trials own their whole world (deployment included, drawn
+  // from the seed inside run_trial); dispatch before the shared
+  // deployment draw below.
+  if (config.verify_faults) {
+    return execute_verify_run(config, seed);
+  }
+
   util::Rng rng(seed);
 
   switch (config.topology) {

@@ -32,6 +32,8 @@ struct RunMetrics {
   /// (the paper's mobility-stability percentage, as a ratio).
   /// Async: 1.0 if the run converged within its virtual horizon, else
   /// 0.0 — aggregates to the convergence rate across replications.
+  /// Verify: 1.0 if the certification trial passed (both engines
+  /// converged, closure held, engines agreed), else 0.0.
   double stability = 1.0;
   /// Mean fraction of nodes whose resolved cluster changed per window.
   /// Sync only — the report writers omit it for async points.
@@ -56,8 +58,16 @@ struct RunMetrics {
   /// Live only: mean frame deliveries between a perturbation and its
   /// re-convergence, same capping rule.
   double reconverge_messages = 0.0;
+  /// Verify only: steps the trial's *synchronous* engine needed to reach
+  /// confirmed legitimacy (the horizon when it diverged) — the paper's
+  /// step-count bound, measured next to the async virtual time above.
+  double sync_steps = 0.0;
+  /// Verify only: frame deliveries of the synchronous half up to that
+  /// point.
+  double sync_messages = 0.0;
   /// Sync: window-over-window comparisons that contributed.
   /// Async: legitimacy checks performed. Live: perturbation windows.
+  /// Verify: 1 (one certification trial per run).
   std::size_t windows = 0;
 };
 

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "util/rng.hpp"
+#include "verify/trial.hpp"
 
 namespace ssmwn::campaign {
 
@@ -110,6 +111,25 @@ TopologyUpdateKind parse_topology_update(const std::string& raw) {
   if (raw == "rebuild") return TopologyUpdateKind::kRebuild;
   if (raw == "incremental") return TopologyUpdateKind::kIncremental;
   fail("topology_update: expected rebuild|incremental, got '" + raw + "'");
+}
+
+// The verify-axis spellings live with the taxonomy (verify/faults.cpp);
+// rethrow their invalid_argument as SpecError so the parser's error
+// contract (and the CLI's exit-code mapping) stays uniform.
+verify::FaultClass parse_fault_class_or_fail(const std::string& raw) {
+  try {
+    return verify::parse_fault_class(raw);
+  } catch (const std::invalid_argument& error) {
+    fail(error.what());
+  }
+}
+
+verify::Daemon parse_daemon_or_fail(const std::string& raw) {
+  try {
+    return verify::parse_daemon(raw);
+  } catch (const std::invalid_argument& error) {
+    fail(error.what());
+  }
 }
 
 void require_scalar(const std::string& key,
@@ -216,6 +236,12 @@ std::string canonical_config(const ScenarioConfig& c) {
   if (c.protocol_live) {
     out << ";protocol_live=true;topology_update="
         << to_string(c.topology_update) << ";live_horizon=" << c.live_horizon;
+  }
+  // And for the certification axis: only verify points carry it.
+  if (c.verify_faults) {
+    out << ";verify_faults=true;fault_class="
+        << verify::to_string(c.fault_class)
+        << ";daemon=" << verify::to_string(c.daemon);
   }
   return out.str();
 }
@@ -344,6 +370,21 @@ CampaignSpec parse_spec(std::istream& in) {
     } else if (key == "live_horizon") {
       require_scalar(key, values);
       spec.live_horizon = parse_count(key, values.front());
+    } else if (key == "verify_faults") {
+      spec.verify_faults.clear();
+      for (const auto& v : values) {
+        spec.verify_faults.push_back(parse_bool(key, v));
+      }
+    } else if (key == "fault_class") {
+      spec.fault_class.clear();
+      for (const auto& v : values) {
+        spec.fault_class.push_back(parse_fault_class_or_fail(v));
+      }
+    } else if (key == "daemon") {
+      spec.daemon.clear();
+      for (const auto& v : values) {
+        spec.daemon.push_back(parse_daemon_or_fail(v));
+      }
     } else {
       fail("unknown key '" + key + "' (line " + std::to_string(line_no) + ")");
     }
@@ -413,6 +454,11 @@ void validate(const CampaignSpec& spec) {
   if (spec.topology_update.empty()) {
     fail("topology_update: needs at least one value");
   }
+  if (spec.verify_faults.empty()) {
+    fail("verify_faults: needs at least one value");
+  }
+  if (spec.fault_class.empty()) fail("fault_class: needs at least one value");
+  if (spec.daemon.empty()) fail("daemon: needs at least one value");
 }
 
 std::uint64_t run_seed(std::uint64_t seed_base, std::string_view canonical,
@@ -441,7 +487,10 @@ CampaignPlan expand(const CampaignSpec& spec) {
 
   // Fixed axis nesting (outermost first). The order here — not the order
   // of lines in the spec file — defines grid indices, so two files with
-  // reordered fields expand to identical plans.
+  // reordered fields expand to identical plans. The newest (verify)
+  // axes nest innermost of all; they are applied in a second, shallow
+  // stage below so this ladder stops growing a level per release.
+  std::vector<ScenarioConfig> base_points;
   for (const auto topology : spec.topology) {
     for (const auto n : spec.n) {
       for (const auto radius : spec.radius) {
@@ -531,8 +580,7 @@ CampaignPlan expand(const CampaignSpec& spec) {
                                      "1e-6 (window_s is the perturbation "
                                      "period and the live broadcast round)");
                               }
-                              plan.grid.push_back(
-                                  {config, canonical_config(config)});
+                              base_points.push_back(config);
                                 }
                               }
                             }
@@ -545,6 +593,62 @@ CampaignPlan expand(const CampaignSpec& spec) {
               }
             }
           }
+        }
+      }
+    }
+  }
+
+  // Stage 2: the certification axes, innermost of all (same
+  // release-boundary discipline as every prior axis: a non-verify point
+  // ignores fault_class and daemon, so emit it once per value set).
+  // Base-major, verify-minor iteration — identical grid order to
+  // splicing three more loops into the nest above, without deepening it.
+  for (const ScenarioConfig& base : base_points) {
+    for (const bool verify_faults : spec.verify_faults) {
+      for (const auto fault_class : spec.fault_class) {
+        for (const auto daemon : spec.daemon) {
+          if (!verify_faults && (fault_class != spec.fault_class.front() ||
+                                 daemon != spec.daemon.front())) {
+            continue;
+          }
+          ScenarioConfig config = base;
+          config.verify_faults = verify_faults;
+          config.fault_class = fault_class;
+          config.daemon = daemon;
+          if (config.verify_faults) {
+            // A certification trial is one corrupted fixed deployment
+            // played on BOTH engines; every axis that would change that
+            // shape is rejected loudly rather than silently ignored.
+            if (config.protocol_live) {
+              fail("verify_faults=true is incompatible with "
+                   "protocol_live=true (a trial runs a fixed deployment)");
+            }
+            if (config.scheduler != SchedulerKind::kSync) {
+              fail("verify_faults=true runs both engines itself; drop the "
+                   "scheduler axis (use daemon= for the async half)");
+            }
+            if (config.mobility != MobilityKind::kNone ||
+                config.churn_down > 0.0) {
+              fail("verify_faults=true is incompatible with mobility/churn "
+                   "(a trial runs a fixed deployment)");
+            }
+            if (config.topology != TopologyKind::kUniform) {
+              fail("verify_faults=true requires topology=uniform (trials "
+                   "draw their own uniform deployments)");
+            }
+            if (config.steps < verify::kMinHorizonRounds) {
+              // Below this no trial can ever confirm legitimacy, so
+              // every replication would report a "violation" that is
+              // really a budget impossibility.
+              fail("verify_faults=true requires steps >= " +
+                   std::to_string(verify::kMinHorizonRounds) +
+                   " (the horizon must cover the " +
+                   std::to_string(verify::kDefaultConfirmRounds) +
+                   "-round confirmation window plus the quiescence "
+                   "baseline)");
+            }
+          }
+          plan.grid.push_back({config, canonical_config(config)});
         }
       }
     }

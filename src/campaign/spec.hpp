@@ -22,6 +22,9 @@
 //   protocol_live = true              # run the protocol live under mobility
 //   topology_update = incremental, rebuild  # live: delta vs full rebuild
 //   live_horizon = 64                 # live: rounds per convergence phase
+//   verify_faults = true              # self-stabilization certification trials
+//   fault_class  = stale-cache, partial-frame   # corruption distribution
+//   daemon       = synchronous, randomized, unfair  # async-half adversary
 //
 // Expansion takes the Cartesian product of every list-valued axis and
 // schedules `replications` independent runs per grid point. Each run's
@@ -38,6 +41,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "verify/faults.hpp"
 
 namespace ssmwn::campaign {
 
@@ -111,6 +116,16 @@ struct ScenarioConfig {
   bool protocol_live = false;
   TopologyUpdateKind topology_update = TopologyUpdateKind::kIncremental;
   std::size_t live_horizon = 64;
+  // Self-stabilization certification axis (PR 5). verify_faults=true
+  // turns the run into one certification trial (src/verify/): corrupt
+  // the protocol state with `fault_class`, run to fixpoint on BOTH
+  // engines (the async half under `daemon`), check the legitimacy
+  // predicates plus cross-engine agreement. `steps` bounds the horizon
+  // in rounds. The three fields serialize into the canonical string
+  // only when verify_faults is true — pre-existing seeds untouched.
+  bool verify_faults = false;
+  verify::FaultClass fault_class = verify::FaultClass::kRandomAll;
+  verify::Daemon daemon = verify::Daemon::kRandomized;
 };
 
 /// Shortest decimal that round-trips to the exact double; used by the
@@ -154,6 +169,9 @@ struct CampaignSpec {
   std::vector<TopologyUpdateKind> topology_update{
       TopologyUpdateKind::kIncremental};
   std::size_t live_horizon = 64;  // scalar: rounds per convergence phase
+  std::vector<bool> verify_faults{false};
+  std::vector<verify::FaultClass> fault_class{verify::FaultClass::kRandomAll};
+  std::vector<verify::Daemon> daemon{verify::Daemon::kRandomized};
 };
 
 /// Parses `key = value` text. Throws SpecError on unknown keys,

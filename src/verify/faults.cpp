@@ -1,0 +1,307 @@
+#include "verify/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ssmwn::verify {
+
+std::string_view to_string(FaultClass fault) noexcept {
+  switch (fault) {
+    case FaultClass::kRandomAll: return "random-all";
+    case FaultClass::kMetricSkew: return "metric-skew";
+    case FaultClass::kClusterIdNoise: return "cluster-id-noise";
+    case FaultClass::kStaleCache: return "stale-cache";
+    case FaultClass::kHierarchyLoops: return "hierarchy-loops";
+    case FaultClass::kPartialFrame: return "partial-frame";
+  }
+  return "?";
+}
+
+std::string_view to_string(Daemon daemon) noexcept {
+  switch (daemon) {
+    case Daemon::kSynchronous: return "synchronous";
+    case Daemon::kRandomized: return "randomized";
+    case Daemon::kUnfair: return "unfair";
+  }
+  return "?";
+}
+
+FaultClass parse_fault_class(std::string_view text) {
+  for (const FaultClass fault : kAllFaultClasses) {
+    if (text == to_string(fault)) return fault;
+  }
+  throw std::invalid_argument(
+      "fault_class: expected random-all|metric-skew|cluster-id-noise|"
+      "stale-cache|hierarchy-loops|partial-frame, got '" +
+      std::string(text) + "'");
+}
+
+Daemon parse_daemon(std::string_view text) {
+  for (const Daemon daemon : kAllDaemons) {
+    if (text == to_string(daemon)) return daemon;
+  }
+  throw std::invalid_argument(
+      "daemon: expected synchronous|randomized|unfair, got '" +
+      std::string(text) + "'");
+}
+
+namespace {
+
+using core::DensityProtocol;
+using core::NeighborDigest;
+using graph::NodeId;
+using topology::ProtocolId;
+
+/// A metric value in the range real densities occupy (Definition 1 gives
+/// d_p in [1, (δ+1)/2]); plausible garbage is harder to flush than
+/// obvious garbage because no single rule firing exposes it.
+double plausible_metric(util::Rng& rng) { return rng.uniform(0.5, 4.0); }
+
+/// A protocol id that usually names a real node and sometimes a phantom.
+ProtocolId noisy_id(const topology::IdAssignment& ids, util::Rng& rng) {
+  if (!ids.empty() && rng.chance(0.8)) return ids[rng.index(ids.size())];
+  return rng.below(2 * std::max<std::uint64_t>(1, ids.size()));
+}
+
+/// Plants one cache entry for the *true* neighbor `q` of `node`,
+/// including a digest row per true neighbor-of-neighbor, then lets
+/// `mutate_entry` / `mutate_digest` decide how the contents lie.
+template <typename EntryFn, typename DigestFn>
+void plant_true_neighbors(DensityProtocol& protocol, const graph::Graph& g,
+                          const topology::IdAssignment& ids, NodeId node,
+                          CorruptionStats& stats, EntryFn&& mutate_entry,
+                          DigestFn&& mutate_digest) {
+  auto& state = protocol.mutable_state(node);
+  state.cache.clear();
+  for (const NodeId q : g.neighbors(node)) {
+    DensityProtocol::CacheEntry& entry = state.cache[ids[q]];
+    mutate_entry(q, entry);
+    entry.digests.clear();
+    entry.digests.reserve(g.degree(q));
+    for (const NodeId r : g.neighbors(q)) {
+      NeighborDigest digest;
+      digest.id = ids[r];
+      mutate_digest(r, digest);
+      entry.digests.push_back(digest);
+    }
+    std::sort(entry.digests.begin(), entry.digests.end(),
+              [](const NeighborDigest& a, const NeighborDigest& b) {
+                return a.id < b.id;
+              });
+    ++stats.cache_entries_planted;
+  }
+}
+
+void corrupt_metric_skew(DensityProtocol& protocol, const graph::Graph& g,
+                         const topology::IdAssignment& ids, util::Rng& rng,
+                         CorruptionStats& stats) {
+  const std::uint64_t name_space = protocol.name_space();
+  for (NodeId p = 0; p < g.node_count(); ++p) {
+    auto& s = protocol.mutable_state(p);
+    s.dag_id = rng.below(2 * name_space);
+    s.metric = rng.uniform(0.0, 8.0);
+    s.metric_valid = rng.chance(0.9);
+    plant_true_neighbors(
+        protocol, g, ids, p, stats,
+        [&](NodeId q, DensityProtocol::CacheEntry& entry) {
+          entry.dag_id = rng.below(2 * name_space);
+          entry.metric = rng.uniform(0.0, 8.0);
+          entry.metric_valid = rng.chance(0.9);
+          entry.head = ids[q];
+          entry.head_valid = rng.chance(0.5);
+          entry.age = 0;
+        },
+        [&](NodeId, NeighborDigest& d) {
+          d.dag_id = rng.below(2 * name_space);
+          d.metric = rng.uniform(0.0, 8.0);
+          d.metric_valid = rng.chance(0.9);
+          d.is_head = rng.chance(0.2);
+          ++stats.digests_mutated;
+        });
+    ++stats.nodes_touched;
+  }
+}
+
+void corrupt_cluster_id_noise(DensityProtocol& protocol,
+                              const graph::Graph& g,
+                              const topology::IdAssignment& ids,
+                              util::Rng& rng, CorruptionStats& stats) {
+  for (NodeId p = 0; p < g.node_count(); ++p) {
+    auto& s = protocol.mutable_state(p);
+    s.head = noisy_id(ids, rng);
+    s.head_valid = rng.chance(0.9);
+    s.parent = noisy_id(ids, rng);
+    s.parent_valid = rng.chance(0.9);
+    ++stats.nodes_touched;
+  }
+}
+
+void corrupt_stale_cache(DensityProtocol& protocol, const graph::Graph& g,
+                         const topology::IdAssignment& ids, util::Rng& rng,
+                         CorruptionStats& stats) {
+  const std::uint32_t max_age = protocol.config().cache_max_age;
+  const std::uint64_t name_space = protocol.name_space();
+  for (NodeId p = 0; p < g.node_count(); ++p) {
+    auto& s = protocol.mutable_state(p);
+    // Everyone remembers a world in which it was doing fine — valid
+    // flags set, plausible numbers, and (half the time) itself as head.
+    s.metric = plausible_metric(rng);
+    s.metric_valid = true;
+    if (rng.chance(0.5)) {
+      s.head = s.uid;
+      s.parent = s.uid;
+    } else {
+      s.head = noisy_id(ids, rng);
+      s.parent = noisy_id(ids, rng);
+    }
+    s.head_valid = true;
+    s.parent_valid = true;
+    plant_true_neighbors(
+        protocol, g, ids, p, stats,
+        [&](NodeId, DensityProtocol::CacheEntry& entry) {
+          entry.dag_id = rng.below(name_space);
+          entry.metric = plausible_metric(rng);
+          entry.metric_valid = true;
+          entry.head = noisy_id(ids, rng);
+          entry.head_valid = true;
+          // At the eviction brink: one or two quiet rounds from being
+          // aged out, so recovery races cache replacement.
+          entry.age = max_age - static_cast<std::uint32_t>(
+                                    rng.index(std::min<std::uint32_t>(
+                                        3, max_age + 1)));
+        },
+        [&](NodeId, NeighborDigest& d) {
+          d.dag_id = rng.below(name_space);
+          d.metric = plausible_metric(rng);
+          d.metric_valid = true;
+          d.is_head = rng.chance(0.3);
+          ++stats.digests_mutated;
+        });
+    ++stats.nodes_touched;
+  }
+}
+
+void corrupt_hierarchy_loops(DensityProtocol& protocol, const graph::Graph& g,
+                             const topology::IdAssignment& ids,
+                             util::Rng& rng, CorruptionStats& stats) {
+  // A random functional graph over real ids: parent pointers follow a
+  // random neighbor (cycles arise with high probability), heads name a
+  // random real node. Caches repeat the same lie so the first heard
+  // frames *reinforce* the bogus hierarchy instead of correcting it.
+  std::vector<ProtocolId> bogus_head(g.node_count());
+  for (NodeId p = 0; p < g.node_count(); ++p) {
+    bogus_head[p] = ids[rng.index(g.node_count())];
+  }
+  for (NodeId p = 0; p < g.node_count(); ++p) {
+    auto& s = protocol.mutable_state(p);
+    const auto neighbors = g.neighbors(p);
+    s.parent = neighbors.empty() ? s.uid
+                                 : ids[neighbors[rng.index(neighbors.size())]];
+    s.parent_valid = true;
+    s.head = bogus_head[p];
+    s.head_valid = true;
+    s.metric = plausible_metric(rng);
+    s.metric_valid = true;
+    plant_true_neighbors(
+        protocol, g, ids, p, stats,
+        [&](NodeId q, DensityProtocol::CacheEntry& entry) {
+          entry.dag_id = rng.below(protocol.name_space());
+          entry.metric = plausible_metric(rng);
+          entry.metric_valid = true;
+          entry.head = bogus_head[q];
+          entry.head_valid = true;
+          entry.age = 0;
+        },
+        [&](NodeId r, NeighborDigest& d) {
+          d.metric = plausible_metric(rng);
+          d.metric_valid = true;
+          d.is_head = bogus_head[r] == ids[r];
+          ++stats.digests_mutated;
+        });
+    ++stats.nodes_touched;
+  }
+}
+
+void corrupt_partial_frame(DensityProtocol& protocol, const graph::Graph& g,
+                           const topology::IdAssignment& ids, util::Rng& rng,
+                           CorruptionStats& stats) {
+  // Start from an accurate cache (the state right after a clean round),
+  // then tear the relayed digest lists the way a half-received frame
+  // would: truncations, flag flips, ids rewritten to other nodes.
+  for (NodeId p = 0; p < g.node_count(); ++p) {
+    plant_true_neighbors(
+        protocol, g, ids, p, stats,
+        [&](NodeId q, DensityProtocol::CacheEntry& entry) {
+          entry.dag_id = rng.below(protocol.name_space());
+          entry.metric = plausible_metric(rng);
+          entry.metric_valid = true;
+          entry.head = ids[q];
+          entry.head_valid = rng.chance(0.5);
+          entry.age = 0;
+        },
+        [&](NodeId, NeighborDigest& d) {
+          d.metric = plausible_metric(rng);
+          d.metric_valid = true;
+          d.is_head = false;
+        });
+    auto& s = protocol.mutable_state(p);
+    for (auto& [id, entry] : s.cache) {
+      auto& digests = entry.digests;
+      if (digests.empty()) continue;
+      if (rng.chance(0.5)) {  // torn tail
+        digests.resize(rng.index(digests.size()) + 1);
+        ++stats.digests_mutated;
+      }
+      if (rng.chance(0.4)) {  // corrupted id byte
+        digests[rng.index(digests.size())].id = noisy_id(ids, rng);
+        ++stats.digests_mutated;
+      }
+      if (rng.chance(0.4)) {  // flipped head bit
+        NeighborDigest& d = digests[rng.index(digests.size())];
+        d.is_head = !d.is_head;
+        ++stats.digests_mutated;
+      }
+      // Keep the sorted-by-id invariant the protocol's binary searches
+      // document; a torn frame reassembled by the radio layer would
+      // still be ordered, just wrong.
+      std::sort(digests.begin(), digests.end(),
+                [](const NeighborDigest& a, const NeighborDigest& b) {
+                  return a.id < b.id;
+                });
+    }
+    ++stats.nodes_touched;
+  }
+}
+
+}  // namespace
+
+CorruptionStats StateCorruptor::apply(core::DensityProtocol& protocol,
+                                      FaultClass fault,
+                                      util::Rng& rng) const {
+  CorruptionStats stats;
+  switch (fault) {
+    case FaultClass::kRandomAll:
+      protocol.corrupt_all(rng);
+      stats.nodes_touched = protocol.node_count();
+      break;
+    case FaultClass::kMetricSkew:
+      corrupt_metric_skew(protocol, *graph_, *ids_, rng, stats);
+      break;
+    case FaultClass::kClusterIdNoise:
+      corrupt_cluster_id_noise(protocol, *graph_, *ids_, rng, stats);
+      break;
+    case FaultClass::kStaleCache:
+      corrupt_stale_cache(protocol, *graph_, *ids_, rng, stats);
+      break;
+    case FaultClass::kHierarchyLoops:
+      corrupt_hierarchy_loops(protocol, *graph_, *ids_, rng, stats);
+      break;
+    case FaultClass::kPartialFrame:
+      corrupt_partial_frame(protocol, *graph_, *ids_, rng, stats);
+      break;
+  }
+  return stats;
+}
+
+}  // namespace ssmwn::verify

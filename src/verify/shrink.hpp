@@ -1,0 +1,43 @@
+// Deterministic scenario shrinking for failing trials.
+//
+// A certifier that reports "trial 713 of fault class stale-cache failed
+// at n=150" leaves the human a haystack. The shrinker turns that tuple
+// into the smallest spec it can find that *still fails with the same
+// violation*: greedy, deterministic reduction over the trial axes —
+// halve then decrement the node count, simplify the daemon to the
+// synchronous one, the variant to basic, the medium to lossless — each
+// candidate re-run through the full trial and kept only if the identical
+// violation class reproduces. No randomness of its own: shrinking the
+// same failure twice yields the same minimal spec.
+#pragma once
+
+#include <cstddef>
+
+#include "verify/trial.hpp"
+
+namespace ssmwn::verify {
+
+struct ShrinkResult {
+  /// Smallest spec found that still fails with the original violation.
+  TrialSpec minimal;
+  /// The failing result at `minimal` (violation matches the original's).
+  TrialResult minimal_result;
+  /// True iff the input spec itself reproduced its failure; when false,
+  /// `minimal` is just the input and nothing was shrunk.
+  bool reproduced = false;
+  /// Trials executed while shrinking (includes the reproduction run).
+  std::size_t attempts = 0;
+  /// Accepted reductions.
+  std::size_t shrinks = 0;
+};
+
+/// Minimizes `failing`. `budget` bounds the number of candidate trials
+/// (shrinking is re-execution-heavy; the default is plenty for the
+/// greedy strategy to bottom out). `hooks` are passed through to every
+/// candidate run so an injected mutation stays injected while its repro
+/// is minimized.
+[[nodiscard]] ShrinkResult shrink(const TrialSpec& failing,
+                                  const TrialHooks* hooks = nullptr,
+                                  std::size_t budget = 200);
+
+}  // namespace ssmwn::verify

@@ -75,6 +75,23 @@ replications    = 2
 seed_base       = 616161
 )";
 
+// Verify (certification-trial) grid points ride the same guarantee:
+// each run is one deterministic cross-engine trial, so a verify sweep
+// must replay byte-identically for any --threads.
+constexpr const char* kVerifySpecText = R"(
+name          = replay-verify
+topology      = uniform
+n             = 30, 60
+radius        = 0.16
+variant       = basic
+verify_faults = true
+fault_class   = random-all, stale-cache
+daemon        = synchronous, unfair
+steps         = 240
+replications  = 2
+seed_base     = 717171
+)";
+
 Rendered render_campaign_text(const char* text, unsigned threads) {
   const auto spec = campaign::parse_spec_text(text);
   const auto plan = campaign::expand(spec);
@@ -164,6 +181,68 @@ TEST(CampaignReplay, LiveGridReplaysByteIdentically) {
   EXPECT_NE(serial.json.find("\"reconverge_messages\""), std::string::npos);
   EXPECT_NE(serial.json.find("\"topology_update\": \"incremental\""),
             std::string::npos);
+}
+
+TEST(CampaignReplay, VerifyGridReplaysByteIdentically) {
+  const auto serial = render_campaign_text(kVerifySpecText, 1);
+  const auto repeat = render_campaign_text(kVerifySpecText, 1);
+  EXPECT_EQ(serial.csv, repeat.csv);
+  EXPECT_EQ(serial.json, repeat.json);
+  for (const unsigned threads : {2u, 4u}) {
+    const auto parallel = render_campaign_text(kVerifySpecText, threads);
+    EXPECT_EQ(serial.csv, parallel.csv) << "threads=" << threads;
+    EXPECT_EQ(serial.json, parallel.json) << "threads=" << threads;
+  }
+  // Verify schema: the certification columns and metric rows appear.
+  EXPECT_NE(serial.csv.find(",verify_faults,fault_class,daemon,"),
+            std::string::npos);
+  EXPECT_NE(serial.csv.find(",sync_converge_steps,"), std::string::npos);
+  EXPECT_NE(serial.json.find("\"sync_messages\""), std::string::npos);
+  EXPECT_NE(serial.json.find("\"fault_class\": \"stale-cache\""),
+            std::string::npos);
+  EXPECT_NE(serial.json.find("\"daemon\": \"unfair\""), std::string::npos);
+  // But never the live rows — a verify plan measures no perturbations.
+  EXPECT_EQ(serial.csv.find("reconverge"), std::string::npos);
+}
+
+TEST(CampaignReplay, NonVerifyPlansKeepTheirSchemas) {
+  // Sync-only, async, and live plans must not grow verify columns or
+  // metric rows — all pre-existing campaign outputs stay byte-identical
+  // across the release that introduced the certification axis.
+  const auto sync_only = render_campaign(1);
+  EXPECT_EQ(sync_only.csv.find("verify_faults"), std::string::npos);
+  EXPECT_EQ(sync_only.csv.find("sync_converge_steps"), std::string::npos);
+  const auto async_plan = render_campaign_text(kAsyncSpecText, 1);
+  EXPECT_EQ(async_plan.csv.find("verify_faults"), std::string::npos);
+  EXPECT_EQ(async_plan.json.find("fault_class"), std::string::npos);
+  const auto live_plan = render_campaign_text(kLiveSpecText, 1);
+  EXPECT_EQ(live_plan.csv.find("verify_faults"), std::string::npos);
+  EXPECT_EQ(live_plan.csv.find("sync_converge_steps"), std::string::npos);
+  EXPECT_EQ(live_plan.json.find("daemon"), std::string::npos);
+  const auto plan =
+      campaign::expand(campaign::parse_spec_text(kLiveSpecText));
+  EXPECT_FALSE(campaign::plan_uses_verify(plan));
+  EXPECT_EQ(campaign::report_metric_count(plan), campaign::kLiveMetricCount);
+}
+
+TEST(CampaignReplay, CanonicalStringsAreStableAcrossTheVerifyRelease) {
+  // The exact pre-verify canonical serialization of a default grid
+  // point, pinned byte for byte: run seeds hash this string, so any
+  // drift silently reshuffles every pre-existing campaign.
+  campaign::ScenarioConfig config;
+  EXPECT_EQ(campaign::canonical_config(config),
+            "topology=uniform;n=300;radius=0.08;variant=basic;"
+            "mobility=none;speed_min=0;speed_max=1.6;tau=1;churn_down=0;"
+            "churn_up=0.5;steps=50;window_s=2;world_m=1000");
+  // A verify point appends — never reorders — the new axis.
+  config.verify_faults = true;
+  config.fault_class = verify::FaultClass::kPartialFrame;
+  config.daemon = verify::Daemon::kUnfair;
+  EXPECT_EQ(campaign::canonical_config(config),
+            "topology=uniform;n=300;radius=0.08;variant=basic;"
+            "mobility=none;speed_min=0;speed_max=1.6;tau=1;churn_down=0;"
+            "churn_up=0.5;steps=50;window_s=2;world_m=1000;"
+            "verify_faults=true;fault_class=partial-frame;daemon=unfair");
 }
 
 TEST(CampaignReplay, NonLivePlansKeepTheirSchemas) {

@@ -291,6 +291,88 @@ TEST(CampaignSpec, ProtocolLiveLiftsTheAsyncMobilityRejection) {
                SpecError);
 }
 
+TEST(CampaignSpec, VerifyAxisExpandsAndDeduplicatesNonVerifyPoints) {
+  // fault_class and daemon only matter for verify points: sweeping all
+  // three axes must emit each non-verify point once but every verify
+  // combination: 1 + 2×3 = 7 points.
+  const auto plan = campaign::expand(campaign::parse_spec_text(R"(
+    n             = 40
+    verify_faults = false, true
+    fault_class   = random-all, stale-cache
+    daemon        = synchronous, randomized, unfair
+    replications  = 2
+  )"));
+  EXPECT_EQ(plan.grid.size(), 7u);
+  std::size_t verify_points = 0;
+  std::set<std::string> canonicals;
+  std::set<std::uint64_t> seeds;
+  for (const auto& point : plan.grid) {
+    verify_points += point.config.verify_faults;
+    canonicals.insert(point.canonical);
+  }
+  for (const auto& run : plan.runs) seeds.insert(run.seed);
+  EXPECT_EQ(verify_points, 6u);
+  EXPECT_EQ(canonicals.size(), plan.grid.size());
+  EXPECT_EQ(seeds.size(), plan.runs.size());
+}
+
+TEST(CampaignSpec, NonVerifyCanonicalIsStableAcrossTheVerifyRelease) {
+  // Non-verify points serialize without any certification fields — all
+  // pre-existing sync, async, AND live campaign seeds survive the
+  // release that added the axis.
+  campaign::ScenarioConfig config;
+  EXPECT_EQ(campaign::canonical_config(config).find("verify"),
+            std::string::npos);
+  config.scheduler = campaign::SchedulerKind::kAsync;
+  EXPECT_EQ(campaign::canonical_config(config).find("verify"),
+            std::string::npos);
+  config.scheduler = campaign::SchedulerKind::kSync;
+  config.protocol_live = true;
+  const auto live_canonical = campaign::canonical_config(config);
+  EXPECT_EQ(live_canonical.find("verify"), std::string::npos);
+  EXPECT_EQ(live_canonical.find("fault_class"), std::string::npos);
+  EXPECT_EQ(live_canonical.find("daemon"), std::string::npos);
+
+  config.protocol_live = false;
+  config.verify_faults = true;
+  EXPECT_NE(campaign::canonical_config(config).find(
+                ";verify_faults=true;fault_class=random-all;"
+                "daemon=randomized"),
+            std::string::npos);
+}
+
+TEST(CampaignSpec, VerifyRejectsIncompatibleAxes) {
+  const auto rejects = [](const char* text, const char* needle) {
+    try {
+      (void)campaign::expand(campaign::parse_spec_text(text));
+      FAIL() << "spec was accepted: " << text;
+    } catch (const SpecError& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << "message '" << error.what() << "' lacks '" << needle << "'";
+    }
+  };
+  rejects("verify_faults = true\nprotocol_live = true", "protocol_live");
+  rejects("verify_faults = true\nscheduler = async", "scheduler");
+  rejects("verify_faults = true\nmobility = random-direction", "mobility");
+  rejects("verify_faults = true\nchurn_down = 0.1", "mobility/churn");
+  rejects("verify_faults = true\ntopology = grid", "uniform");
+  // A horizon below the confirmation window can never certify; every
+  // replication would report a fake "violation" (exit 0) — reject it.
+  rejects("verify_faults = true\nsteps = 4", "steps");
+  rejects("fault_class = bitflip", "fault_class");
+  rejects("daemon = byzantine", "daemon");
+  rejects("verify_faults = maybe", "verify_faults");
+  // The valid shape expands, lossy media included.
+  const auto plan = campaign::expand(campaign::parse_spec_text(
+      "verify_faults = true\nfault_class = partial-frame\n"
+      "daemon = unfair\ntau = 0.9\nn = 30\nsteps = 40"));
+  ASSERT_EQ(plan.grid.size(), 1u);
+  EXPECT_TRUE(plan.grid[0].config.verify_faults);
+  EXPECT_EQ(plan.grid[0].config.fault_class,
+            verify::FaultClass::kPartialFrame);
+  EXPECT_EQ(plan.grid[0].config.daemon, verify::Daemon::kUnfair);
+}
+
 TEST(CampaignSpec, SpecErrorIsInvalidArgument) {
   // The CLI maps std::invalid_argument to the bad-arguments exit code;
   // spec errors must ride that path, not the run-failure one.

@@ -14,29 +14,15 @@
 #include "sim/async_network.hpp"
 #include "sim/loss.hpp"
 #include "stabilize/convergence.hpp"
-#include "topology/generators.hpp"
+#include "support/deployments.hpp"
 #include "topology/ids.hpp"
-#include "topology/udg.hpp"
 #include "util/rng.hpp"
 
 namespace ssmwn {
 namespace {
 
-struct World {
-  graph::Graph graph;
-  topology::IdAssignment ids;
-  core::ClusteringResult oracle;
-};
-
-World make_world(std::size_t n, double radius, std::uint64_t seed) {
-  util::Rng rng(seed);
-  World w;
-  const auto pts = topology::uniform_points(n, rng);
-  w.graph = topology::unit_disk_graph(pts, radius);
-  w.ids = topology::random_ids(n, rng);
-  w.oracle = core::cluster_density(w.graph, w.ids, {});
-  return w;
-}
+using testsupport::World;
+using testsupport::make_world;
 
 /// Runs the protocol from a corrupted state under `config` and checks
 /// convergence to the oracle within `horizon_s` of virtual time.

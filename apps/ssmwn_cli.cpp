@@ -203,6 +203,17 @@ sim::AsyncConfig parse_async_config(const util::Args& args,
   return async;
 }
 
+/// `--stepping full|dirty` (protocol subcommand): selects the classic
+/// full sweep or the quiescence-aware dirty-region stepper. Results are
+/// bit-identical; only the per-tick cost changes.
+sim::Stepping parse_stepping_flag(const util::Args& args) {
+  const std::string stepping = args.get("stepping", "full");
+  if (stepping == "full") return sim::Stepping::kFull;
+  if (stepping == "dirty") return sim::Stepping::kDirty;
+  throw std::invalid_argument("--stepping must be full|dirty (got '" +
+                              stepping + "')");
+}
+
 /// Rejects the async-only flags when the selected mode never reads them
 /// — a silently ignored --daemon would mislabel an experiment.
 void reject_async_flags(const util::Args& args) {
@@ -227,6 +238,8 @@ int run_protocol_async(const util::Args& args, const Deployment& d,
   const double tau = args.get_double("tau", 1.0);
   const auto medium = sim::make_loss_model(tau, rng.split());
   sim::AsyncNetwork network(d.graph, protocol, *medium, async, rng.split());
+  const sim::Stepping stepping = parse_stepping_flag(args);
+  network.set_stepping(stepping);
 
   // Shared legitimacy definition (core/legitimacy.hpp) — the CLI and
   // the campaign runner must agree on what "converged" means.
@@ -274,6 +287,11 @@ int run_protocol_async(const util::Args& args, const Deployment& d,
   std::size_t heads = 0;
   for (const char flag : protocol.head_flags()) heads += flag != 0;
   std::printf("final cluster-heads: %zu\n", heads);
+  if (stepping == sim::Stepping::kDirty) {
+    std::printf("dirty stepping: %llu rule sweeps run, %llu elided\n",
+                static_cast<unsigned long long>(network.activity().nodes_stepped()),
+                static_cast<unsigned long long>(network.activity().nodes_skipped()));
+  }
   return ok ? kExitOk : kExitRunFailure;
 }
 
@@ -360,12 +378,21 @@ int run_protocol_live(const util::Args& args, const Deployment& d,
   // window_s so both report virtual seconds).
   std::optional<sim::Network<core::DensityProtocol>> sync_net;
   std::optional<sim::AsyncNetwork<core::DensityProtocol>> async_net;
+  const sim::Stepping stepping = parse_stepping_flag(args);
+  const bool dirty = stepping == sim::Stepping::kDirty;
   if (async_engine) {
     async_net.emplace(g, protocol, *medium, parse_async_config(args, window_s),
                       rng.split());
+    async_net->set_stepping(stepping);
   } else {
     reject_async_flags(args);
+    if (dirty && tau < 1.0) {
+      throw std::invalid_argument(
+          "--stepping dirty on the synchronous engine requires --tau 1 "
+          "(use --scheduler async for lossy dirty runs)");
+    }
     sync_net.emplace(g, protocol, *medium, parse_threads(args));
+    sync_net->set_stepping(stepping);
   }
   auto settle = [&] {
     legitimacy.reset();
@@ -423,7 +450,10 @@ int run_protocol_live(const util::Args& args, const Deployment& d,
       broke = delta.removed.size();
       sync_net->apply_topology_delta(delta);
     } else {
+      // In-place rebuild carries no delta; under dirty stepping
+      // re-announce the graph so every node wakes to the change.
       rebuilt.reset(topology::unit_disk_graph(points, radius));
+      if (dirty) sync_net->set_graph(g);
     }
     recompute_oracle();
     const auto report = settle();
@@ -445,6 +475,15 @@ int run_protocol_live(const util::Args& args, const Deployment& d,
   std::size_t heads = 0;
   for (const char flag : protocol.head_flags()) heads += flag != 0;
   std::printf("final cluster-heads: %zu\n", heads);
+  if (dirty) {
+    const auto stepped = async_engine ? async_net->activity().nodes_stepped()
+                                      : sync_net->activity().nodes_stepped();
+    const auto skipped = async_engine ? async_net->activity().nodes_skipped()
+                                      : sync_net->activity().nodes_skipped();
+    std::printf("dirty stepping: %llu rule sweeps run, %llu elided\n",
+                static_cast<unsigned long long>(stepped),
+                static_cast<unsigned long long>(skipped));
+  }
   return cold.converged ? kExitOk : kExitRunFailure;
 }
 
@@ -483,7 +522,14 @@ int run_protocol(const util::Args& args, util::Rng& rng) {
   // --threads N parallelizes the step engine; 0 = hardware concurrency.
   // Results are bit-identical for any value (see docs/ARCHITECTURE.md).
   const unsigned threads = parse_threads(args);
+  const sim::Stepping stepping = parse_stepping_flag(args);
+  if (stepping == sim::Stepping::kDirty && tau < 1.0) {
+    throw std::invalid_argument(
+        "--stepping dirty on the synchronous engine requires --tau 1 "
+        "(use --scheduler async for lossy dirty runs)");
+  }
   sim::Network network(d.graph, protocol, *medium, threads);
+  network.set_stepping(stepping);
   if (threads != 1) {
     // Report the effective size: 0 resolves to hardware concurrency and
     // oversized requests are clamped by the engine.
@@ -518,6 +564,11 @@ int run_protocol(const util::Args& args, util::Rng& rng) {
   std::size_t heads = 0;
   for (char flag : protocol.head_flags()) heads += flag != 0;
   std::printf("final cluster-heads: %zu\n", heads);
+  if (stepping == sim::Stepping::kDirty) {
+    std::printf("dirty stepping: %llu rule sweeps run, %llu elided\n",
+                static_cast<unsigned long long>(network.activity().nodes_stepped()),
+                static_cast<unsigned long long>(network.activity().nodes_skipped()));
+  }
   return trace.quiescent_since() < steps ? 0 : 1;
 }
 
@@ -767,6 +818,7 @@ void usage() {
       "           [--mobility random-direction|random-waypoint]\n"
       "           [--speed-min MPS] [--speed-max MPS]\n"
       "           [--windows W] [--window-s SECS]\n"
+      "           [--stepping full|dirty]\n"
       "  routing  --n N --radius R [--grid] [--seed S] [--pairs K]\n"
       "  campaign <spec-file> [--threads N] [--csv F] [--json F]\n"
       "           [--quiet] [--replications N] [--seed S]\n"
@@ -800,6 +852,10 @@ void usage() {
       "               --topology incremental patches live edge deltas\n"
       "               (eager stale-link invalidation); rebuild swaps in\n"
       "               a fresh graph (recovery by cache aging alone)\n"
+      "  --stepping   full (default) re-runs every node each tick; dirty\n"
+      "               runs only nodes whose closed neighborhood changed\n"
+      "               (bit-identical results, large steady-state speedup;\n"
+      "               sync engine requires --tau 1)\n"
       "exit codes: 0 success, 1 run failure, 2 bad arguments or spec");
 }
 
@@ -817,7 +873,7 @@ const std::map<std::string, std::vector<std::string>> kKnownFlags = {
      {"n", "radius", "grid", "tau", "steps", "corrupt", "dag", "fusion",
       "threads", "scheduler", "daemon", "period", "period-jitter",
       "link-delay", "live", "topology", "mobility", "speed-min", "speed-max",
-      "windows", "window-s"}},
+      "windows", "window-s", "stepping"}},
     {"routing", {"n", "radius", "grid", "pairs"}},
     {"campaign", {"threads", "csv", "json", "quiet", "replications"}},
     {"verify",

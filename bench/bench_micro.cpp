@@ -1,6 +1,7 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the library:
 // UDG construction, density computation, the clustering solver, DAG
-// renaming, and one distributed protocol step. These quantify the cost
+// renaming, one distributed protocol step, and the SoA compare kernels
+// the quiescence machinery runs every step. These quantify the cost
 // model behind the bench harness, not any table of the paper.
 #include <benchmark/benchmark.h>
 
@@ -8,6 +9,7 @@
 #include "core/dag_ids.hpp"
 #include "core/density.hpp"
 #include "core/protocol.hpp"
+#include "core/soa_state.hpp"
 #include "sim/network.hpp"
 #include "topology/generators.hpp"
 #include "topology/ids.hpp"
@@ -101,6 +103,52 @@ void BM_ProtocolStep(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_ProtocolStep)->Arg(100)->Arg(400);
+
+// Two populated scalar populations, bit-identical except for a sparse
+// sprinkle of divergent rows near the end — the shape the differential
+// harness sees (identical until a stepping bug flips something late).
+std::pair<core::NodeScalars, core::NodeScalars> make_populations(
+    std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::NodeScalars a;
+  a.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.dag_id[i] = rng();
+    a.metric[i] = rng.uniform();
+    a.head[i] = static_cast<topology::ProtocolId>(rng() % n);
+    a.parent[i] = static_cast<topology::ProtocolId>(rng() % n);
+    a.metric_valid[i] = 1;
+    a.head_valid[i] = static_cast<std::uint8_t>(rng() % 2);
+    a.parent_valid[i] = a.head_valid[i];
+  }
+  core::NodeScalars b = a;
+  for (std::size_t i = n - n / 64; i < n; i += 7) b.head[i] ^= 1;
+  return {std::move(a), std::move(b)};
+}
+
+// The per-step cost of the bitwise equivalence check: seven flat
+// column scans (vectorizable) instead of one gather-heavy row loop.
+void BM_SoaFirstDivergentRow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto [a, b] = make_populations(n, 2026);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::first_divergent_row(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SoaFirstDivergentRow)->Arg(1000)->Arg(100000);
+
+void BM_SoaCountDivergentRows(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto [a, b] = make_populations(n, 2027);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::count_divergent_rows(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SoaCountDivergentRows)->Arg(1000)->Arg(100000);
 
 }  // namespace
 

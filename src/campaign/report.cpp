@@ -40,7 +40,8 @@ void append_escaped_json(std::string& out, std::string_view s) {
 }
 
 std::string config_fields_csv(const ScenarioConfig& c, bool extended,
-                              bool live_schema, bool verify_schema) {
+                              bool live_schema, bool verify_schema,
+                              bool dirty_schema) {
   std::ostringstream out = classic_stream();
   out << to_string(c.topology) << ',' << c.n << ','
       << format_double(c.radius) << ',' << to_string(c.variant) << ','
@@ -76,11 +77,19 @@ std::string config_fields_csv(const ScenarioConfig& c, bool extended,
         << (c.verify_faults ? std::string(verify::to_string(c.daemon))
                             : std::string());
   }
+  if (dirty_schema) {
+    // Stepper cell: the mode on rows with a stepper seam, empty where
+    // the axis is inapplicable (classic sync, certification trials).
+    out << ','
+        << (stepping_applies(c) ? std::string(to_string(c.stepping))
+                                : std::string());
+  }
   return out.str();
 }
 
 std::string config_json(const ScenarioConfig& c, bool extended,
-                        bool live_schema, bool verify_schema) {
+                        bool live_schema, bool verify_schema,
+                        bool dirty_schema) {
   std::ostringstream out = classic_stream();
   out << "\"topology\": \"" << to_string(c.topology) << "\", \"n\": " << c.n
       << ", \"radius\": " << format_double(c.radius) << ", \"variant\": \""
@@ -116,6 +125,9 @@ std::string config_json(const ScenarioConfig& c, bool extended,
           << "\", \"daemon\": \"" << verify::to_string(c.daemon) << '"';
     }
   }
+  if (dirty_schema && stepping_applies(c)) {
+    out << ", \"stepping\": \"" << to_string(c.stepping) << '"';
+  }
   return out.str();
 }
 
@@ -146,6 +158,9 @@ std::string short_label(const ScenarioConfig& c) {
   if (c.verify_faults) {
     out << " verify/" << verify::to_string(c.fault_class) << '/'
         << verify::to_string(c.daemon);
+  }
+  if (stepping_applies(c) && c.stepping == SteppingKind::kDirty) {
+    out << " dirty";
   }
   if (c.mobility != MobilityKind::kNone) {
     out << ' ' << (c.mobility == MobilityKind::kRandomDirection ? "rd" : "rwp")
@@ -180,6 +195,16 @@ bool plan_uses_verify(const CampaignPlan& plan) noexcept {
   return false;
 }
 
+bool plan_uses_dirty(const CampaignPlan& plan) noexcept {
+  for (const auto& point : plan.grid) {
+    if (stepping_applies(point.config) &&
+        point.config.stepping == SteppingKind::kDirty) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::size_t report_metric_count(const CampaignPlan& plan) noexcept {
   if (plan_uses_verify(plan)) return kMetricNames.size();
   if (plan_uses_live(plan)) return kLiveMetricCount;
@@ -192,17 +217,19 @@ void write_csv(std::ostream& out, const CampaignPlan& plan,
   const bool extended = plan_uses_async(plan);
   const bool live_schema = plan_uses_live(plan);
   const bool verify_schema = plan_uses_verify(plan);
+  const bool dirty_schema = plan_uses_dirty(plan);
   const std::size_t metric_count = report_metric_count(plan);
   out << "campaign,topology,n,radius,variant,mobility,speed_min,speed_max,"
          "tau,churn_down,churn_up,steps,window_s,world_m,";
   if (extended) out << "scheduler,period_jitter,link_delay,";
   if (live_schema) out << "protocol_live,topology_update,live_horizon,";
   if (verify_schema) out << "verify_faults,fault_class,daemon,";
+  if (dirty_schema) out << "stepping,";
   out << "metric,count,mean,stddev,p50,p95,min,max\n";
   for (const auto& aggregate : aggregates) {
     const auto& config = plan.grid[aggregate.grid_index].config;
-    const std::string fields =
-        config_fields_csv(config, extended, live_schema, verify_schema);
+    const std::string fields = config_fields_csv(
+        config, extended, live_schema, verify_schema, dirty_schema);
     // Only metrics the run actually measured (see metric_applies): no
     // fabricated converge_time=0 for sync points, no fabricated
     // delta=0 for async points.
@@ -228,6 +255,7 @@ void write_json(std::ostream& out, const CampaignPlan& plan,
   const bool extended = plan_uses_async(plan);
   const bool live_schema = plan_uses_live(plan);
   const bool verify_schema = plan_uses_verify(plan);
+  const bool dirty_schema = plan_uses_dirty(plan);
   const std::size_t metric_count = report_metric_count(plan);
   std::string name;
   append_escaped_json(name, plan.name);
@@ -238,7 +266,8 @@ void write_json(std::ostream& out, const CampaignPlan& plan,
     const auto& aggregate = aggregates[i];
     const auto& config = plan.grid[aggregate.grid_index].config;
     out << (i == 0 ? "\n" : ",\n") << "    {"
-        << config_json(config, extended, live_schema, verify_schema)
+        << config_json(config, extended, live_schema, verify_schema,
+                       dirty_schema)
         << ", \"metrics\": {";
     // As in write_csv: only the metrics this run actually measured.
     const bool async_point = config.scheduler != SchedulerKind::kSync;

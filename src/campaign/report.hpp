@@ -54,6 +54,15 @@ namespace ssmwn::campaign {
 /// byte-for-byte, same release-boundary discipline as the live axis.
 [[nodiscard]] bool plan_uses_verify(const CampaignPlan& plan) noexcept;
 
+/// True iff any grid point runs the quiescence-aware dirty stepper
+/// (stepping_applies && stepping == kDirty) — triggers the dirty schema
+/// extension: one more config column/key (`stepping`, the cell empty /
+/// key omitted on points without a stepper). Plans that never flip the
+/// axis keep their previous schema byte-for-byte, same release-boundary
+/// discipline as every prior axis. The stepper changes *cost only* —
+/// never results — so no new metric rows come with it.
+[[nodiscard]] bool plan_uses_dirty(const CampaignPlan& plan) noexcept;
+
 /// Number of metric rows the writers emit per grid point:
 /// kSyncMetricCount for a purely synchronous plan, kAsyncMetricCount
 /// with the async axis, kLiveMetricCount with live points,

@@ -76,6 +76,9 @@ RunMetrics execute_async_run(const ScenarioConfig& config,
   async.link_delay_s = config.link_delay;
   async.daemon = sim::DaemonKind::kRandomized;
   sim::AsyncNetwork network(g, protocol, *medium, async, engine_rng);
+  if (config.stepping == SteppingKind::kDirty) {
+    network.set_stepping(sim::Stepping::kDirty);
+  }
 
   // Shared legitimacy definition (core/legitimacy.hpp): exact oracle
   // match only when head identity is a pure function of the topology.
@@ -211,8 +214,11 @@ RunMetrics execute_live_run(const ScenarioConfig& config,
   };
 
   RunMetrics out;
+  const bool dirty = config.stepping == SteppingKind::kDirty;
   if (config.scheduler == SchedulerKind::kSync) {
     sim::Network network(g, protocol, *medium, 1);
+    // expand() rejects dirty+sync with tau < 1, so this never throws.
+    if (dirty) network.set_stepping(sim::Stepping::kDirty);
     // Unified units with the async engine: one synchronous step is one
     // broadcast round ≈ one window_s of virtual time.
     auto settle = [&] {
@@ -238,9 +244,16 @@ RunMetrics execute_live_run(const ScenarioConfig& config,
       if (mover) mover->step(ws.points, config.window_s);
       if (churn) churn->step();
       if (incremental) {
+        // apply_topology_delta also wakes the closed neighborhood of
+        // every delta endpoint under dirty stepping, so quiescent nodes
+        // near a change re-run their rules next step.
         network.apply_topology_delta(live->update(ws.points, alive_span()));
       } else {
+        // Rebuild mode mutates the Graph in place with no delta: under
+        // dirty stepping quiescent nodes would never learn of the change,
+        // so re-announce the graph — set_graph wakes every node.
         rebuild_graph();
+        if (dirty) network.set_graph(g);
       }
       recompute_oracle();
       record_window(settle(), 0.0);
@@ -252,6 +265,9 @@ RunMetrics execute_live_run(const ScenarioConfig& config,
     async.link_delay_s = config.link_delay;
     async.daemon = sim::DaemonKind::kRandomized;
     sim::AsyncNetwork network(g, protocol, *medium, async, engine_rng);
+    // Safe under both topology-update modes: the async skip decision
+    // reads only protocol cache state, never adjacency.
+    if (dirty) network.set_stepping(sim::Stepping::kDirty);
     auto settle = [&] {
       legitimacy.reset();
       return sim::settle_async(

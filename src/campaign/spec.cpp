@@ -113,6 +113,12 @@ TopologyUpdateKind parse_topology_update(const std::string& raw) {
   fail("topology_update: expected rebuild|incremental, got '" + raw + "'");
 }
 
+SteppingKind parse_stepping(const std::string& raw) {
+  if (raw == "full") return SteppingKind::kFull;
+  if (raw == "dirty") return SteppingKind::kDirty;
+  fail("stepping: expected full|dirty, got '" + raw + "'");
+}
+
 // The verify-axis spellings live with the taxonomy (verify/faults.cpp);
 // rethrow their invalid_argument as SpecError so the parser's error
 // contract (and the CLI's exit-code mapping) stays uniform.
@@ -207,6 +213,14 @@ std::string_view to_string(TopologyUpdateKind kind) noexcept {
   return "?";
 }
 
+std::string_view to_string(SteppingKind kind) noexcept {
+  switch (kind) {
+    case SteppingKind::kFull: return "full";
+    case SteppingKind::kDirty: return "dirty";
+  }
+  return "?";
+}
+
 std::string canonical_config(const ScenarioConfig& c) {
   std::ostringstream out;
   // Integer formatting also honors the stream's locale (grouping, e.g.
@@ -242,6 +256,14 @@ std::string canonical_config(const ScenarioConfig& c) {
     out << ";verify_faults=true;fault_class="
         << verify::to_string(c.fault_class)
         << ";daemon=" << verify::to_string(c.daemon);
+  }
+  // Quiescence axis: serialized only when it both applies and deviates
+  // from the default. `stepping=full` is never written — full stepping
+  // is what every campaign ran before the axis existed, so even
+  // pre-existing *live and async* points keep their exact canonical
+  // strings (and seeds, and outputs) across this release boundary.
+  if (stepping_applies(c) && c.stepping == SteppingKind::kDirty) {
+    out << ";stepping=dirty";
   }
   return out.str();
 }
@@ -385,6 +407,9 @@ CampaignSpec parse_spec(std::istream& in) {
       for (const auto& v : values) {
         spec.daemon.push_back(parse_daemon_or_fail(v));
       }
+    } else if (key == "stepping") {
+      spec.stepping.clear();
+      for (const auto& v : values) spec.stepping.push_back(parse_stepping(v));
     } else {
       fail("unknown key '" + key + "' (line " + std::to_string(line_no) + ")");
     }
@@ -459,6 +484,7 @@ void validate(const CampaignSpec& spec) {
   }
   if (spec.fault_class.empty()) fail("fault_class: needs at least one value");
   if (spec.daemon.empty()) fail("daemon: needs at least one value");
+  if (spec.stepping.empty()) fail("stepping: needs at least one value");
 }
 
 std::uint64_t run_seed(std::uint64_t seed_base, std::string_view canonical,
@@ -611,10 +637,30 @@ CampaignPlan expand(const CampaignSpec& spec) {
                                  daemon != spec.daemon.front())) {
             continue;
           }
+          // The stepping axis nests innermost of all. It only sweeps on
+          // points that have a stepper (live or async, never verify);
+          // everywhere else the point is emitted once, with the axis
+          // collapsed to its first value.
+          for (const auto stepping : spec.stepping) {
           ScenarioConfig config = base;
           config.verify_faults = verify_faults;
           config.fault_class = fault_class;
           config.daemon = daemon;
+          config.stepping = stepping;
+          if (!stepping_applies(config) &&
+              stepping != spec.stepping.front()) {
+            continue;
+          }
+          if (config.stepping == SteppingKind::kDirty &&
+              config.protocol_live &&
+              config.scheduler == SchedulerKind::kSync && config.tau < 1.0) {
+            // The synchronous dirty stepper elides whole nodes per tick,
+            // which is only bit-identical when the medium is loss-free
+            // (sim::Network::set_stepping enforces the same at runtime).
+            fail("stepping=dirty on the synchronous engine requires tau=1 "
+                 "(a lossy medium draws per-link randomness for skipped "
+                 "nodes; use scheduler=async for lossy dirty runs)");
+          }
           if (config.verify_faults) {
             // A certification trial is one corrupted fixed deployment
             // played on BOTH engines; every axis that would change that
@@ -649,6 +695,7 @@ CampaignPlan expand(const CampaignSpec& spec) {
             }
           }
           plan.grid.push_back({config, canonical_config(config)});
+          }
         }
       }
     }

@@ -25,6 +25,7 @@
 //   verify_faults = true              # self-stabilization certification trials
 //   fault_class  = stale-cache, partial-frame   # corruption distribution
 //   daemon       = synchronous, randomized, unfair  # async-half adversary
+//   stepping     = full, dirty        # quiescence-aware dirty-region stepper
 //
 // Expansion takes the Cartesian product of every list-valued axis and
 // schedules `replications` independent runs per grid point. Each run's
@@ -77,11 +78,19 @@ enum class SchedulerKind { kSync, kAsync };
 /// differs, which is exactly the scientific axis.
 enum class TopologyUpdateKind { kRebuild, kIncremental };
 
+/// Which stepper executes a protocol-under-engine run: the classic full
+/// sweep or the quiescence-aware dirty-region stepper (sim::Stepping).
+/// Dirty stepping is bit-identical to full stepping — the axis sweeps
+/// *cost*, never results — so campaigns can flip it on for speed and
+/// replay tests can assert the outputs match byte for byte.
+enum class SteppingKind { kFull, kDirty };
+
 [[nodiscard]] std::string_view to_string(TopologyKind kind) noexcept;
 [[nodiscard]] std::string_view to_string(MobilityKind kind) noexcept;
 [[nodiscard]] std::string_view to_string(Variant variant) noexcept;
 [[nodiscard]] std::string_view to_string(SchedulerKind kind) noexcept;
 [[nodiscard]] std::string_view to_string(TopologyUpdateKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(SteppingKind kind) noexcept;
 
 /// One fully resolved grid point: everything a single run needs except
 /// its seed.
@@ -126,7 +135,26 @@ struct ScenarioConfig {
   bool verify_faults = false;
   verify::FaultClass fault_class = verify::FaultClass::kRandomAll;
   verify::Daemon daemon = verify::Daemon::kRandomized;
+  // Quiescence axis (PR 6). Selects the stepper for runs that execute
+  // the protocol on an engine (live runs on either engine, classic
+  // async runs); the classic sync modes are oracle-driven and have no
+  // stepper, and certification trials pin their own execution, so the
+  // axis is inapplicable there (see stepping_applies). Serializes into
+  // the canonical string only when applicable AND dirty — every
+  // pre-existing campaign's seeds and outputs stay byte-identical, and
+  // a full-vs-dirty sweep differs only in the one new point's string.
+  SteppingKind stepping = SteppingKind::kFull;
 };
+
+/// Whether the stepping axis has any effect on this grid point: the run
+/// must execute the protocol on an engine with a stepper seam. (Classic
+/// sync points cluster via the oracle; verify points run fixed
+/// certification trials.)
+[[nodiscard]] constexpr bool stepping_applies(
+    const ScenarioConfig& config) noexcept {
+  if (config.verify_faults) return false;
+  return config.protocol_live || config.scheduler == SchedulerKind::kAsync;
+}
 
 /// Shortest decimal that round-trips to the exact double; used by the
 /// canonical serialization and every report writer so numbers format
@@ -172,6 +200,7 @@ struct CampaignSpec {
   std::vector<bool> verify_faults{false};
   std::vector<verify::FaultClass> fault_class{verify::FaultClass::kRandomAll};
   std::vector<verify::Daemon> daemon{verify::Daemon::kRandomized};
+  std::vector<SteppingKind> stepping{SteppingKind::kFull};
 };
 
 /// Parses `key = value` text. Throws SpecError on unknown keys,

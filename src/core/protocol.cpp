@@ -1,6 +1,7 @@
 #include "core/protocol.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace ssmwn::core {
 
@@ -17,6 +18,15 @@ bool digest_contains(const std::vector<NeighborDigest>& digests,
   return it != digests.end() && it->id == id;
 }
 
+bool digest_lists_equal(const std::vector<NeighborDigest>& cached,
+                        std::span<const NeighborDigest> incoming) {
+  if (cached.size() != incoming.size()) return false;
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    if (!digest_bits_equal(cached[i], incoming[i])) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 DensityProtocol::DensityProtocol(topology::IdAssignment uids,
@@ -28,11 +38,11 @@ DensityProtocol::DensityProtocol(topology::IdAssignment uids,
   }
   name_space_ = std::max<std::uint64_t>(name_space_, config_.delta_hint + 1);
 
-  states_.resize(uids_.size());
-  for (graph::NodeId p = 0; p < states_.size(); ++p) {
-    states_[p].uid = uids_[p];
-    states_[p].rng = rng.split();
-    states_[p].dag_id = states_[p].rng.below(name_space_);
+  cols_.resize(uids_.size());
+  aux_.resize(uids_.size());
+  for (graph::NodeId p = 0; p < aux_.size(); ++p) {
+    aux_[p].rng = rng.split();
+    cols_.dag_id[p] = aux_[p].rng.below(name_space_);
   }
 
   // The paper's program, verbatim as guarded commands. Guards that are
@@ -52,13 +62,13 @@ DensityProtocol::DensityProtocol(topology::IdAssignment uids,
 
 void DensityProtocol::make_frame(graph::NodeId sender, FrameHeader& header,
                                  std::span<Digest> digests) const {
-  const NodeState& s = states_[sender];
+  const ConstNodeState s = const_view(sender);
   header.id = s.uid;
   header.dag_id = s.dag_id;
   header.metric = s.metric;
-  header.metric_valid = s.metric_valid;
+  header.metric_valid = s.metric_valid != 0;
   header.head = s.head;
-  header.head_valid = s.head_valid;
+  header.head_valid = s.head_valid != 0;
   std::size_t i = 0;
   for (const auto& [id, entry] : s.cache) {  // map order: sorted by id
     digests[i++] = NeighborDigest{
@@ -89,16 +99,55 @@ DensityProtocol::Frame DensityProtocol::make_frame(
 void DensityProtocol::deliver(graph::NodeId receiver,
                               const FrameHeader& header,
                               std::span<const Digest> digests) {
-  NodeState& s = states_[receiver];
-  if (header.id == s.uid) return;  // defensive: never cache oneself
-  CacheEntry& entry = s.cache[header.id];
-  entry.dag_id = header.dag_id;
-  entry.metric = header.metric;
-  entry.metric_valid = header.metric_valid;
-  entry.head = header.head;
-  entry.head_valid = header.head_valid;
-  entry.digests.assign(digests.begin(), digests.end());
-  entry.age = 0;
+  if (header.id == uids_[receiver]) return;  // defensive: never cache oneself
+  auto& cache = aux_[receiver].cache;
+  if (!tracking_) {
+    CacheEntry& entry = cache[header.id];
+    entry.dag_id = header.dag_id;
+    entry.metric = header.metric;
+    entry.metric_valid = header.metric_valid;
+    entry.head = header.head;
+    entry.head_valid = header.head_valid;
+    entry.digests.assign(digests.begin(), digests.end());
+    entry.age = 0;
+    return;
+  }
+
+  // Tracked delivery: compare before overwrite. A differing header means
+  // the receiver's *own* next frame changes too (the digest row it
+  // relays for this sender is derived from exactly these fields); a
+  // difference only in the relayed digest list feeds R1/R2 but never
+  // re-enters a frame, so it wakes the receiver without waking the
+  // receiver's neighbors.
+  auto it = cache.find(header.id);
+  bool header_diff;
+  bool digests_diff;
+  CacheEntry* entry;
+  if (it == cache.end()) {
+    entry = &cache[header.id];
+    header_diff = true;
+    digests_diff = true;
+  } else {
+    entry = &it->second;
+    header_diff = entry->dag_id != header.dag_id ||
+                  !double_bits_equal(entry->metric, header.metric) ||
+                  entry->metric_valid != header.metric_valid ||
+                  entry->head != header.head ||
+                  entry->head_valid != header.head_valid;
+    digests_diff = !digest_lists_equal(entry->digests, digests);
+  }
+  entry->dag_id = header.dag_id;
+  entry->metric = header.metric;
+  entry->metric_valid = header.metric_valid;
+  entry->head = header.head;
+  entry->head_valid = header.head_valid;
+  entry->digests.assign(digests.begin(), digests.end());
+  entry->age = 0;
+  if (header_diff || digests_diff) {
+    pending_[receiver] = 1;
+    step_state_changed_[receiver] = 1;
+  }
+  if (header_diff) step_frame_changed_[receiver] = 1;
 }
 
 void DensityProtocol::deliver(graph::NodeId receiver, const Frame& frame) {
@@ -114,11 +163,15 @@ void DensityProtocol::deliver(graph::NodeId receiver, const Frame& frame) {
 }
 
 void DensityProtocol::on_edge_removed(graph::NodeId a, graph::NodeId b) {
-  if (a >= states_.size() || b >= states_.size()) return;
+  if (a >= aux_.size() || b >= aux_.size()) return;
   const auto forget = [this](graph::NodeId node, graph::NodeId gone) {
-    auto& cache = states_[node].cache;
+    auto& cache = aux_[node].cache;
     if (const auto it = cache.find(uids_[gone]); it != cache.end()) {
       cache.erase(it);
+      // The evicted digest row vanishes from the node's next frame, so
+      // this counts as an external mutation: the node and (via the
+      // stepper's closed-neighborhood wake) its neighbors must step.
+      externally_touched(node);
     }
   };
   forget(a, b);
@@ -126,15 +179,113 @@ void DensityProtocol::on_edge_removed(graph::NodeId a, graph::NodeId b) {
 }
 
 void DensityProtocol::tick(graph::NodeId node) {
-  engine_.sweep(states_[node]);
+  if (tracking_) {
+    tracked_tick(node);
+    return;
+  }
+  NodeState s = view(node);
+  engine_.sweep(s);
+}
+
+void DensityProtocol::tracked_tick(graph::NodeId node) {
+  const ScalarRow before = scalar_row(cols_, node);
+  NodeState s = view(node);
+  engine_.sweep(s);
+  const ScalarRow after = scalar_row(cols_, node);
+  const bool frame_diff = frame_scalars_differ(before, after);
+  const bool own_diff = !rows_bitwise_equal(before, after);
+  if (own_diff) step_state_changed_[node] = 1;
+  if (frame_diff) step_frame_changed_[node] = 1;
+  stable_[node] = own_diff ? 0 : 1;
+  pending_[node] = 0;
+}
+
+bool DensityProtocol::maybe_tick(graph::NodeId node) {
+  if (!tracking_) {
+    tick(node);
+    return true;
+  }
+  // Provably a no-op: the previous sweep left every shared variable
+  // unchanged (so it also drew no randomness — N1 only draws when it
+  // renames), and no input moved since. Sweeping again would recompute
+  // identical values from identical inputs.
+  if (!pending_[node] && stable_[node]) return false;
+  tracked_tick(node);
+  return true;
+}
+
+DensityProtocol::Activity DensityProtocol::consume_activity(
+    graph::NodeId node) {
+  Activity activity{step_state_changed_[node] != 0,
+                    step_frame_changed_[node] != 0};
+  step_state_changed_[node] = 0;
+  step_frame_changed_[node] = 0;
+  return activity;
+}
+
+void DensityProtocol::set_activity_tracking(bool on) {
+  tracking_ = on;
+  const std::size_t n = aux_.size();
+  if (on) {
+    // Every node starts pending: the first tracked step is a full one,
+    // after which quiescence is discovered, never assumed.
+    pending_.assign(n, 1);
+    stable_.assign(n, 0);
+    step_state_changed_.assign(n, 0);
+    step_frame_changed_.assign(n, 0);
+    external_mark_.assign(n, 0);
+    external_list_.clear();
+  } else {
+    pending_.clear();
+    stable_.clear();
+    step_state_changed_.clear();
+    step_frame_changed_.clear();
+    external_mark_.clear();
+    external_list_.clear();
+  }
+}
+
+void DensityProtocol::externally_touched(graph::NodeId p) {
+  if (!tracking_) return;
+  pending_[p] = 1;
+  stable_[p] = 0;
+  step_state_changed_[p] = 1;
+  step_frame_changed_[p] = 1;
+  if (!external_mark_[p]) {
+    external_mark_[p] = 1;
+    external_list_.push_back(p);
+  }
+}
+
+std::vector<graph::NodeId> DensityProtocol::take_external_wakes() {
+  std::vector<graph::NodeId> drained;
+  drained.swap(external_list_);
+  for (const graph::NodeId p : drained) external_mark_[p] = 0;
+  std::sort(drained.begin(), drained.end());
+  return drained;
 }
 
 void DensityProtocol::end_step(graph::NodeId node) {
-  NodeState& s = states_[node];
-  for (auto it = s.cache.begin(); it != s.cache.end();) {
+  auto& cache = aux_[node].cache;
+  for (auto it = cache.begin(); it != cache.end();) {
     if (++it->second.age > config_.cache_max_age) {
-      it = s.cache.erase(it);
+      if (tracking_) {
+        // Eviction changes the cache (a rule input) and removes a digest
+        // row from the node's next frame.
+        pending_[node] = 1;
+        step_state_changed_[node] = 1;
+        step_frame_changed_[node] = 1;
+      }
+      it = cache.erase(it);
     } else {
+      if (tracking_ && it->second.age >= 2) {
+        // An entry nobody refreshed this step (phantom neighbor or a
+        // silenced sender) is counting toward eviction: the node's
+        // boundary state differs from one where the entry was fresh, so
+        // it must keep stepping until the entry dies. Rule inputs are
+        // untouched (ages never feed the rules), hence no `pending_`.
+        step_state_changed_[node] = 1;
+      }
       ++it;
     }
   }
@@ -143,7 +294,7 @@ void DensityProtocol::end_step(graph::NodeId node) {
 NodeRank DensityProtocol::self_rank(const NodeState& s) const {
   return NodeRank{
       .metric = s.metric,
-      .incumbent = s.head_valid && s.head == s.uid,
+      .incumbent = s.head_valid != 0 && s.head == s.uid,
       .tie_id = config_.cluster.use_dag_ids
                     ? static_cast<topology::ProtocolId>(s.dag_id)
                     : s.uid,
@@ -328,49 +479,31 @@ void DensityProtocol::rule_r2(NodeState& s) {
 }
 
 std::vector<char> DensityProtocol::head_flags() const {
-  std::vector<char> flags(states_.size(), 0);
-  for (graph::NodeId p = 0; p < states_.size(); ++p) {
-    const NodeState& s = states_[p];
-    flags[p] = (s.head_valid && s.head == s.uid) ? 1 : 0;
+  std::vector<char> flags(aux_.size(), 0);
+  for (graph::NodeId p = 0; p < aux_.size(); ++p) {
+    flags[p] =
+        (cols_.head_valid[p] != 0 && cols_.head[p] == uids_[p]) ? 1 : 0;
   }
   return flags;
 }
 
 std::vector<topology::ProtocolId> DensityProtocol::head_values() const {
-  std::vector<topology::ProtocolId> values(states_.size(), 0);
-  for (graph::NodeId p = 0; p < states_.size(); ++p) {
-    values[p] = states_[p].head;
-  }
-  return values;
+  return cols_.head;
 }
 
 std::vector<topology::ProtocolId> DensityProtocol::parent_values() const {
-  std::vector<topology::ProtocolId> values(states_.size(), 0);
-  for (graph::NodeId p = 0; p < states_.size(); ++p) {
-    values[p] = states_[p].parent;
-  }
-  return values;
+  return cols_.parent;
 }
 
-std::vector<double> DensityProtocol::metrics() const {
-  std::vector<double> values(states_.size(), 0.0);
-  for (graph::NodeId p = 0; p < states_.size(); ++p) {
-    values[p] = states_[p].metric;
-  }
-  return values;
-}
+std::vector<double> DensityProtocol::metrics() const { return cols_.metric; }
 
 std::vector<std::uint64_t> DensityProtocol::dag_id_values() const {
-  std::vector<std::uint64_t> values(states_.size(), 0);
-  for (graph::NodeId p = 0; p < states_.size(); ++p) {
-    values[p] = states_[p].dag_id;
-  }
-  return values;
+  return cols_.dag_id;
 }
 
 namespace {
 
-void scramble_state(DensityProtocol::NodeState& s, std::uint64_t name_space,
+void scramble_state(DensityProtocol::NodeState s, std::uint64_t name_space,
                     std::size_t node_count, util::Rng& rng) {
   s.dag_id = rng.below(name_space * 2);  // may even escape the name space
   s.metric = rng.uniform(0.0, 8.0);
@@ -399,17 +532,19 @@ void scramble_state(DensityProtocol::NodeState& s, std::uint64_t name_space,
 }  // namespace
 
 void DensityProtocol::corrupt_all(util::Rng& rng) {
-  for (auto& s : states_) {
-    scramble_state(s, name_space_, states_.size(), rng);
+  for (graph::NodeId p = 0; p < aux_.size(); ++p) {
+    scramble_state(view(p), name_space_, aux_.size(), rng);
+    externally_touched(p);
   }
 }
 
 std::size_t DensityProtocol::corrupt_fraction(util::Rng& rng,
                                               double fraction) {
   std::size_t hit = 0;
-  for (auto& s : states_) {
+  for (graph::NodeId p = 0; p < aux_.size(); ++p) {
     if (rng.chance(fraction)) {
-      scramble_state(s, name_space_, states_.size(), rng);
+      scramble_state(view(p), name_space_, aux_.size(), rng);
+      externally_touched(p);
       ++hit;
     }
   }
@@ -417,13 +552,124 @@ std::size_t DensityProtocol::corrupt_fraction(util::Rng& rng,
 }
 
 void DensityProtocol::reset_node(graph::NodeId p) {
-  NodeState& s = states_[p];
-  const auto uid = s.uid;
-  auto rng = s.rng;
-  s = NodeState{};
-  s.uid = uid;
-  s.rng = rng;
+  NodeState s = view(p);
+  s.dag_id = 0;
+  s.metric = 0.0;
+  s.metric_valid = 0;
+  s.head = 0;
+  s.head_valid = 0;
+  s.parent = 0;
+  s.parent_valid = 0;
+  s.cache.clear();
+  s.last_heard_s = -1.0;
+  s.deliveries = 0;
   s.dag_id = s.rng.below(name_space_);
+  externally_touched(p);
+}
+
+// --- differential-harness helpers ------------------------------------
+
+namespace {
+
+bool cache_entries_equal(const DensityProtocol::CacheEntry& a,
+                         const DensityProtocol::CacheEntry& b) {
+  if (a.dag_id != b.dag_id || !double_bits_equal(a.metric, b.metric) ||
+      a.metric_valid != b.metric_valid || a.head != b.head ||
+      a.head_valid != b.head_valid || a.age != b.age ||
+      a.digests.size() != b.digests.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.digests.size(); ++i) {
+    if (!digest_bits_equal(a.digests[i], b.digests[i])) return false;
+  }
+  return true;
+}
+
+bool cold_state_equal(const DensityProtocol& a, const DensityProtocol& b,
+                      graph::NodeId p) {
+  const auto sa = a.state(p);
+  const auto sb = b.state(p);
+  if (sa.uid != sb.uid || !(sa.rng == sb.rng) ||
+      !double_bits_equal(sa.last_heard_s, sb.last_heard_s) ||
+      sa.deliveries != sb.deliveries) {
+    return false;
+  }
+  if (sa.cache.size() != sb.cache.size()) return false;
+  auto ib = sb.cache.begin();
+  for (const auto& [id, entry] : sa.cache) {
+    if (ib->first != id || !cache_entries_equal(entry, ib->second)) {
+      return false;
+    }
+    ++ib;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool node_states_bitwise_equal(const DensityProtocol& a,
+                               const DensityProtocol& b, graph::NodeId p) {
+  return rows_bitwise_equal(scalar_row(a.scalars(), p),
+                            scalar_row(b.scalars(), p)) &&
+         cold_state_equal(a, b, p);
+}
+
+std::optional<graph::NodeId> first_divergent_node(const DensityProtocol& a,
+                                                  const DensityProtocol& b) {
+  if (a.node_count() != b.node_count()) return graph::NodeId{0};
+  // Hot scalars first: one vectorized pass over the SoA columns finds
+  // the earliest scalar divergence; cold state is then checked row by
+  // row only up to that bound.
+  const std::size_t scalar_first = first_divergent_row(a.scalars(), b.scalars());
+  for (graph::NodeId p = 0; p < a.node_count(); ++p) {
+    if (p == scalar_first) return p;
+    if (!cold_state_equal(a, b, p)) return p;
+  }
+  if (scalar_first < a.node_count()) return graph::NodeId{scalar_first};
+  return std::nullopt;
+}
+
+std::string describe_divergence(const DensityProtocol& a,
+                                const DensityProtocol& b, graph::NodeId p) {
+  std::ostringstream out;
+  const auto sa = a.state(p);
+  const auto sb = b.state(p);
+  const auto field = [&out](const char* name, const auto& va,
+                            const auto& vb) {
+    if (va != vb) {
+      out << ' ' << name << '=' << +va << " vs " << +vb;
+    }
+  };
+  field("uid", sa.uid, sb.uid);
+  field("dag_id", sa.dag_id, sb.dag_id);
+  field("metric", sa.metric, sb.metric);
+  field("metric_valid", sa.metric_valid, sb.metric_valid);
+  field("head", sa.head, sb.head);
+  field("head_valid", sa.head_valid, sb.head_valid);
+  field("parent", sa.parent, sb.parent);
+  field("parent_valid", sa.parent_valid, sb.parent_valid);
+  field("last_heard_s", sa.last_heard_s, sb.last_heard_s);
+  field("deliveries", sa.deliveries, sb.deliveries);
+  if (!(sa.rng == sb.rng)) out << " rng=<diverged>";
+  if (sa.cache.size() != sb.cache.size()) {
+    out << " cache_size=" << sa.cache.size() << " vs " << sb.cache.size();
+  } else {
+    auto ib = sb.cache.begin();
+    for (const auto& [id, entry] : sa.cache) {
+      if (ib->first != id) {
+        out << " cache_key=" << id << " vs " << ib->first;
+        break;
+      }
+      if (!cache_entries_equal(entry, ib->second)) {
+        out << " cache[" << id << "]=<diverged age " << entry.age << " vs "
+            << ib->second.age << '>';
+        break;
+      }
+      ++ib;
+    }
+  }
+  const std::string text = out.str();
+  return text.empty() ? std::string(" <bitwise identical>") : text;
 }
 
 }  // namespace ssmwn::core

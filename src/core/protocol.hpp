@@ -19,18 +19,35 @@
 // paper's Table 2 schedule: neighbors after 1 step, density after 2,
 // parent after 3, head after 3 + tree depth.
 //
-// The class implements the Protocol concept of sim::Network.
+// State layout: the seven hot shared variables live structure-of-arrays
+// in core::NodeScalars (soa_state.hpp) so population-wide scans and the
+// per-step snapshot/diff kernels vectorize; the cold per-node state
+// (neighbor cache, RNG, async observability) stays array-of-structs in
+// NodeAux. `NodeState` — the type the rules, tests and the fault
+// injector all manipulate — is a *view*: a bundle of references into
+// both stores. Views are returned by value; bind them as `auto s =` or
+// `const auto& s =` (lifetime extension keeps the temporary alive; the
+// referenced storage is the protocol's own and outlives any observer).
+//
+// The class implements the Protocol concept of sim::Network, plus the
+// quiescence extension (sim::QuiescentProtocol) the dirty-region
+// steppers use: with activity tracking enabled it detects, per node and
+// per step, whether anything rule-relevant changed — delivered frame
+// content, own shared variables, cache aging/eviction — and exposes the
+// verdict through `consume_activity` / `maybe_tick`.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/dag_ids.hpp"
 #include "core/flat_cache.hpp"
 #include "core/options.hpp"
 #include "core/rank.hpp"
+#include "core/soa_state.hpp"
 #include "graph/graph.hpp"
 #include "stabilize/rules.hpp"
 #include "topology/ids.hpp"
@@ -48,6 +65,16 @@ struct NeighborDigest {
   bool metric_valid = false;
   bool is_head = false;
 };
+
+/// Bitwise digest equality (metric compared at the bit level, see
+/// double_bits_equal) — the comparison the quiescence change detector
+/// and the differential harness both use.
+[[nodiscard]] inline bool digest_bits_equal(const NeighborDigest& a,
+                                            const NeighborDigest& b) noexcept {
+  return a.id == b.id && a.dag_id == b.dag_id &&
+         double_bits_equal(a.metric, b.metric) &&
+         a.metric_valid == b.metric_valid && a.is_head == b.is_head;
+}
 
 /// The broadcast payload: the sender's shared variables plus its digest of
 /// its own 1-neighborhood (sorted by id).
@@ -112,17 +139,10 @@ class DensityProtocol {
     std::uint32_t age = 0;
   };
 
-  /// Full per-node state; public so tests and the fault injector can
-  /// reach every bit of it ("arbitrary initial state" means all of this).
-  struct NodeState {
-    topology::ProtocolId uid = 0;
-    std::uint64_t dag_id = 0;
-    double metric = 0.0;
-    bool metric_valid = false;
-    topology::ProtocolId head = 0;
-    bool head_valid = false;
-    topology::ProtocolId parent = 0;
-    bool parent_valid = false;
+  /// Cold per-node state: everything that is not one of the seven hot
+  /// scalars. Kept array-of-structs — the cache dominates and is
+  /// variable-sized anyway.
+  struct NodeAux {
     /// Sorted by id — same iteration order as the std::map it replaced,
     /// but contiguous, so the per-step rule sweeps stream memory.
     FlatMap<topology::ProtocolId, CacheEntry> cache;
@@ -132,6 +152,42 @@ class DensityProtocol {
     /// (< 0 = never) and total frames heard.
     double last_heard_s = -1.0;
     std::uint64_t deliveries = 0;
+  };
+
+  /// Mutable view of one node's full state; public so tests and the
+  /// fault injector can reach every bit of it ("arbitrary initial
+  /// state" means all of this). Members are references into the SoA
+  /// columns and the cold store — copy the view freely, it stays a
+  /// window onto the same node.
+  struct NodeState {
+    const topology::ProtocolId& uid;
+    std::uint64_t& dag_id;
+    double& metric;
+    std::uint8_t& metric_valid;
+    topology::ProtocolId& head;
+    std::uint8_t& head_valid;
+    topology::ProtocolId& parent;
+    std::uint8_t& parent_valid;
+    FlatMap<topology::ProtocolId, CacheEntry>& cache;
+    util::Rng& rng;
+    double& last_heard_s;
+    std::uint64_t& deliveries;
+  };
+
+  /// Read-only counterpart of NodeState, returned by `state()`.
+  struct ConstNodeState {
+    const topology::ProtocolId& uid;
+    const std::uint64_t& dag_id;
+    const double& metric;
+    const std::uint8_t& metric_valid;
+    const topology::ProtocolId& head;
+    const std::uint8_t& head_valid;
+    const topology::ProtocolId& parent;
+    const std::uint8_t& parent_valid;
+    const FlatMap<topology::ProtocolId, CacheEntry>& cache;
+    const util::Rng& rng;
+    const double& last_heard_s;
+    const std::uint64_t& deliveries;
   };
 
   /// `uids[p]` is node p's globally-unique protocol identifier; `rng`
@@ -154,7 +210,7 @@ class DensityProtocol {
   /// Number of digest slots `make_frame` will fill for `sender` right now
   /// (its current cache size); the engine sizes the pool from these.
   [[nodiscard]] std::size_t digest_count(graph::NodeId sender) const {
-    return states_[sender].cache.size();
+    return aux_[sender].cache.size();
   }
   /// Arena overload: writes the shared variables into `header` and
   /// exactly `digest_count(sender)` digests into `digests`.
@@ -181,20 +237,62 @@ class DensityProtocol {
   /// timestamp only feeds the NodeState observability fields, so tests
   /// and metrics can ask *when* a node last heard anything.
   void on_delivery(graph::NodeId receiver, double time_s) {
-    NodeState& s = states_[receiver];
-    s.last_heard_s = time_s;
-    ++s.deliveries;
+    NodeAux& aux = aux_[receiver];
+    aux.last_heard_s = time_s;
+    ++aux.deliveries;
   }
+
+  // --- quiescence concept (sim::QuiescentProtocol) ----------------------
+  /// What a node did during the step that just ran, from the point of
+  /// view of the dirty-region stepper: did any rule-relevant part of its
+  /// own state change (it must step again), and did any frame-visible
+  /// part change (its neighbors must step too — knowledge travels one
+  /// hop per step, so one hop of wake-up is exactly enough).
+  struct Activity {
+    bool state_changed = false;
+    bool frame_changed = false;
+  };
+
+  /// Turns per-node change detection on or off. Off (the default) the
+  /// hot paths are exactly the classic ones — `deliver` overwrites
+  /// without comparing, `tick` sweeps without snapshotting. Turning it
+  /// on (re)arms every node as pending, so the first tracked step is
+  /// always a full one.
+  void set_activity_tracking(bool on);
+  [[nodiscard]] bool activity_tracking() const noexcept { return tracking_; }
+
+  /// Sweeps the guarded rules unless the sweep is provably a no-op: the
+  /// previous sweep changed nothing (`self-stable`) and no input changed
+  /// since (no differing frame content, no eviction, no external
+  /// mutation). Returns true iff the sweep ran. With tracking disabled
+  /// this is exactly `tick`.
+  bool maybe_tick(graph::NodeId node);
+
+  /// Returns and clears the node's accumulated activity flags for the
+  /// step that just completed. Only meaningful with tracking enabled.
+  [[nodiscard]] Activity consume_activity(graph::NodeId node);
+
+  /// Nodes whose state was mutated from outside the step loop since the
+  /// last call (fault injection, `mutable_state`, severed links). The
+  /// dirty-region stepper drains this before each step and wakes each
+  /// listed node together with its closed neighborhood — in full
+  /// stepping those neighbors would hear the mutated frame that same
+  /// step, so the wake must not lag by one. Sorted ascending.
+  [[nodiscard]] std::vector<graph::NodeId> take_external_wakes();
 
   // --- observation ----------------------------------------------------
   [[nodiscard]] std::size_t node_count() const noexcept {
-    return states_.size();
+    return aux_.size();
   }
-  [[nodiscard]] const NodeState& state(graph::NodeId p) const {
-    return states_[p];
+  [[nodiscard]] ConstNodeState state(graph::NodeId p) const {
+    return const_view(p);
   }
-  [[nodiscard]] NodeState& mutable_state(graph::NodeId p) {
-    return states_[p];
+  /// Mutable access for tests and fault injectors. With tracking on,
+  /// conservatively marks the node externally dirty (any field may be
+  /// about to change).
+  [[nodiscard]] NodeState mutable_state(graph::NodeId p) {
+    externally_touched(p);
+    return view(p);
   }
   [[nodiscard]] const ProtocolConfig& config() const noexcept {
     return config_;
@@ -202,6 +300,9 @@ class DensityProtocol {
   [[nodiscard]] std::uint64_t name_space() const noexcept {
     return name_space_;
   }
+  /// The hot shared-variable columns, for population-scan kernels and
+  /// the bitwise divergence search.
+  [[nodiscard]] const NodeScalars& scalars() const noexcept { return cols_; }
 
   /// is_head flags (H(p) == Id_p) per graph index.
   [[nodiscard]] std::vector<char> head_flags() const;
@@ -226,6 +327,35 @@ class DensityProtocol {
   void reset_node(graph::NodeId p);
 
  private:
+  [[nodiscard]] NodeState view(graph::NodeId p) {
+    return NodeState{uids_[p],
+                     cols_.dag_id[p],
+                     cols_.metric[p],
+                     cols_.metric_valid[p],
+                     cols_.head[p],
+                     cols_.head_valid[p],
+                     cols_.parent[p],
+                     cols_.parent_valid[p],
+                     aux_[p].cache,
+                     aux_[p].rng,
+                     aux_[p].last_heard_s,
+                     aux_[p].deliveries};
+  }
+  [[nodiscard]] ConstNodeState const_view(graph::NodeId p) const {
+    return ConstNodeState{uids_[p],
+                          cols_.dag_id[p],
+                          cols_.metric[p],
+                          cols_.metric_valid[p],
+                          cols_.head[p],
+                          cols_.head_valid[p],
+                          cols_.parent[p],
+                          cols_.parent_valid[p],
+                          aux_[p].cache,
+                          aux_[p].rng,
+                          aux_[p].last_heard_s,
+                          aux_[p].deliveries};
+  }
+
   [[nodiscard]] NodeRank self_rank(const NodeState& s) const;
   [[nodiscard]] NodeRank entry_rank(topology::ProtocolId id,
                                     const CacheEntry& e) const;
@@ -235,11 +365,54 @@ class DensityProtocol {
   void rule_r1(NodeState& s);
   void rule_r2(NodeState& s);
 
+  /// Marks a node as mutated outside the step loop (tracking only):
+  /// pending, not self-stable, both step flags raised, queued for
+  /// `take_external_wakes`.
+  void externally_touched(graph::NodeId p);
+  void tracked_tick(graph::NodeId node);
+
   topology::IdAssignment uids_;
   ProtocolConfig config_;
   std::uint64_t name_space_ = 1;
-  std::vector<NodeState> states_;
+  NodeScalars cols_;
+  std::vector<NodeAux> aux_;
   stabilize::RuleEngine<NodeState> engine_;
+
+  // --- quiescence machinery (all empty / untouched while tracking_ is
+  // off, so the classic engines pay nothing) ---------------------------
+  bool tracking_ = false;
+  /// An input changed since the last sweep; the next sweep must run.
+  std::vector<std::uint8_t> pending_;
+  /// The last sweep changed none of the node's shared variables.
+  std::vector<std::uint8_t> stable_;
+  /// Step-scoped: some rule-relevant state changed this step.
+  std::vector<std::uint8_t> step_state_changed_;
+  /// Step-scoped: some frame-visible state changed this step.
+  std::vector<std::uint8_t> step_frame_changed_;
+  std::vector<std::uint8_t> external_mark_;
+  std::vector<graph::NodeId> external_list_;
 };
+
+// --- differential-harness helpers ------------------------------------
+
+/// True iff node `p` holds bit-identical state in both protocols:
+/// shared variables, full cache contents (including ages and relayed
+/// digests), RNG state and the async observability fields.
+[[nodiscard]] bool node_states_bitwise_equal(const DensityProtocol& a,
+                                             const DensityProtocol& b,
+                                             graph::NodeId p);
+
+/// First node whose state differs bitwise, or nullopt when the two
+/// populations are identical. Scans the SoA columns first (vectorized),
+/// then the cold state of candidate rows.
+[[nodiscard]] std::optional<graph::NodeId> first_divergent_node(
+    const DensityProtocol& a, const DensityProtocol& b);
+
+/// Human-readable description of how node `p` differs between the two
+/// protocols (field names and both values) — the payload of a
+/// divergence report from the equivalence harness.
+[[nodiscard]] std::string describe_divergence(const DensityProtocol& a,
+                                              const DensityProtocol& b,
+                                              graph::NodeId p);
 
 }  // namespace ssmwn::core

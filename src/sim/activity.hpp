@@ -1,0 +1,115 @@
+// The ActivityTracker seam shared by both dirty-region steppers.
+//
+// Dirty-region ("quiescence-aware") stepping re-runs the protocol only
+// for nodes whose closed neighborhood actually changed. The tracker owns
+// the two ingredients both engines need:
+//
+//   * the activity set — double-buffered node sets (`wake` marks a node
+//     for the *next* step; `begin_step` promotes the accumulated wakes
+//     to the current step's work list, sorted ascending so phase order
+//     is deterministic);
+//   * the stepped/skipped counters the quiescence property tests and
+//     campaign reports read (`nodes_stepped == 0` is the definition of
+//     true quiescence — not just "cheap ticks").
+//
+// The synchronous engine uses both halves; the event-driven engine has
+// no step-wide set (its activations are per-node already) and uses only
+// the counters.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssmwn::sim {
+
+/// Which stepper a run uses: the classic full sweep (every node, every
+/// step) or the quiescence-aware dirty-region stepper. Dirty stepping is
+/// bit-identical to full stepping at any thread count — that guarantee
+/// is the point of the differential harness in tests/sim.
+enum class Stepping {
+  kFull,
+  kDirty,
+};
+
+class ActivityTracker {
+ public:
+  /// Sizes the tracker for `n` nodes and empties both sets; with
+  /// `all_active`, every node is queued for the next step (how a dirty
+  /// run starts: quiescence is discovered, never assumed). Counters are
+  /// not touched — use `reset_counters` for a fresh run.
+  void reset(std::size_t n, bool all_active) {
+    next_mark_.assign(n, 0);
+    next_list_.clear();
+    current_list_.clear();
+    if (all_active) {
+      next_list_.resize(n);
+      for (std::size_t p = 0; p < n; ++p) next_list_[p] = p;
+      std::fill(next_mark_.begin(), next_mark_.end(), 1);
+    }
+  }
+
+  void reset_counters() noexcept {
+    nodes_stepped_ = nodes_skipped_ = 0;
+    last_stepped_ = last_skipped_ = 0;
+  }
+
+  /// Queues `p` for the next step (idempotent).
+  void wake(graph::NodeId p) {
+    if (!next_mark_[p]) {
+      next_mark_[p] = 1;
+      next_list_.push_back(p);
+    }
+  }
+
+  /// Promotes the accumulated wakes to the current work list (sorted
+  /// ascending) and starts accumulating the following step's set.
+  void begin_step() {
+    current_list_.swap(next_list_);
+    next_list_.clear();
+    for (const graph::NodeId p : current_list_) next_mark_[p] = 0;
+    std::sort(current_list_.begin(), current_list_.end());
+  }
+
+  /// The current step's work list; valid until the next `begin_step`.
+  [[nodiscard]] std::span<const graph::NodeId> active() const noexcept {
+    return current_list_;
+  }
+
+  void record(std::size_t stepped, std::size_t skipped) noexcept {
+    nodes_stepped_ += stepped;
+    nodes_skipped_ += skipped;
+    last_stepped_ = stepped;
+    last_skipped_ = skipped;
+  }
+
+  /// Cumulative node-steps actually executed / skipped.
+  [[nodiscard]] std::uint64_t nodes_stepped() const noexcept {
+    return nodes_stepped_;
+  }
+  [[nodiscard]] std::uint64_t nodes_skipped() const noexcept {
+    return nodes_skipped_;
+  }
+  /// Same, for the most recent step (or activation) only.
+  [[nodiscard]] std::size_t last_nodes_stepped() const noexcept {
+    return last_stepped_;
+  }
+  [[nodiscard]] std::size_t last_nodes_skipped() const noexcept {
+    return last_skipped_;
+  }
+
+ private:
+  std::vector<std::uint8_t> next_mark_;
+  std::vector<graph::NodeId> next_list_;
+  std::vector<graph::NodeId> current_list_;
+  std::uint64_t nodes_stepped_ = 0;
+  std::uint64_t nodes_skipped_ = 0;
+  std::size_t last_stepped_ = 0;
+  std::size_t last_skipped_ = 0;
+};
+
+}  // namespace ssmwn::sim

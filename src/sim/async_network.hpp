@@ -60,9 +60,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/activity.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/loss.hpp"
 #include "sim/scheduler.hpp"
@@ -177,6 +179,41 @@ class AsyncNetwork {
   /// order — the canonical trace the determinism tests byte-compare.
   void set_event_log(std::vector<Event>* log) noexcept { event_log_ = log; }
 
+  // --- quiescence-aware stepping ---------------------------------------
+
+  /// Enables dirty-region execution for the event-driven engine. Unlike
+  /// the synchronous stepper, nothing about the *event* schedule may
+  /// change — skipping a broadcast or a delivery would shift the RNG
+  /// draw sequences and the trace — so the only thing elided is the rule
+  /// sweep inside an activation, and only when the protocol proves it a
+  /// no-op (`maybe_tick`). The event trace, message counters, and every
+  /// node state stay byte-identical to full stepping under any daemon
+  /// and any loss model. Requires the quiescence extension; throws
+  /// std::invalid_argument otherwise.
+  void set_stepping(Stepping mode) {
+    if constexpr (QuiescentProtocol<Protocol>) {
+      stepping_ = mode;
+      protocol_->set_activity_tracking(mode == Stepping::kDirty);
+      tracker_.reset_counters();
+    } else {
+      if (mode == Stepping::kDirty) {
+        throw std::invalid_argument(
+            "protocol does not implement the quiescence extension "
+            "dirty-region stepping needs");
+      }
+      stepping_ = Stepping::kFull;
+    }
+  }
+
+  [[nodiscard]] Stepping stepping() const noexcept { return stepping_; }
+
+  /// Stepped/skipped counters: one count per activation (did its rule
+  /// sweep run?). `nodes_stepped` staying flat while activations keep
+  /// firing is the async form of quiescence.
+  [[nodiscard]] const ActivityTracker& activity() const noexcept {
+    return tracker_;
+  }
+
   // --- dynamic topology (live runs) ------------------------------------
 
   /// Schedules a topology perturbation at virtual time `t` (clamped to
@@ -269,8 +306,21 @@ class AsyncNetwork {
   void activate(graph::NodeId p, VirtualTime t) {
     // Rules first: the node computes on what it has heard so far, then
     // announces the result. (The synchronous engine orders one global
-    // step broadcast-then-tick; per node the cycle is the same.)
-    protocol_->tick(p);
+    // step broadcast-then-tick; per node the cycle is the same.) Under
+    // dirty-region stepping the sweep is skipped when provably a no-op;
+    // the broadcast still happens — neighbors' caches must age and
+    // refresh exactly as under full stepping.
+    bool swept = true;
+    if constexpr (QuiescentProtocol<Protocol>) {
+      if (stepping_ == Stepping::kDirty) {
+        swept = protocol_->maybe_tick(p);
+      } else {
+        protocol_->tick(p);
+      }
+    } else {
+      protocol_->tick(p);
+    }
+    tracker_.record(swept ? 1 : 0, swept ? 0 : 1);
 
     // Broadcast. begin_step marks one local transmission round so
     // per-sender-draw models (BroadcastCollision) stay memoryless per
@@ -363,6 +413,8 @@ class AsyncNetwork {
   std::vector<std::uint32_t> free_topology_slots_;
   std::uint64_t topology_updates_ = 0;
   std::uint64_t messages_expired_ = 0;
+  Stepping stepping_ = Stepping::kFull;
+  ActivityTracker tracker_;
 };
 
 /// The one way every driver (campaign runner, CLI, tests) measures

@@ -38,10 +38,12 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <type_traits>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/activity.hpp"
 #include "sim/loss.hpp"
 #include "sim/parallel.hpp"
 #include "sim/scheduler.hpp"
@@ -81,7 +83,70 @@ class Network {
     set_threads(threads);
   }
 
-  void set_graph(const graph::Graph& g) noexcept { graph_ = &g; }
+  void set_graph(const graph::Graph& g) {
+    graph_ = &g;
+    // A wholesale graph swap (mobility rebuild mode) invalidates every
+    // adjacency assumption the activity set encodes: wake everyone.
+    if (stepping_ == Stepping::kDirty) {
+      tracker_.reset(g.node_count(), /*all_active=*/true);
+    }
+  }
+
+  /// Selects the stepper. Dirty-region stepping requires a protocol with
+  /// both the arena and quiescence extensions and a loss model that
+  /// always delivers (skipping a node is only provably a no-op when its
+  /// inputs are deterministic; a lossy medium re-randomizes them — and
+  /// skipped deliveries would desynchronize the loss model's RNG draw
+  /// sequence from the full stepper's). Throws std::invalid_argument
+  /// when those preconditions fail. Entering dirty mode arms the
+  /// protocol's change detector and wakes every node; leaving it
+  /// disarms the detector, restoring the classic byte-for-byte paths.
+  void set_stepping(Stepping mode) {
+    if (mode == stepping_) return;
+    if constexpr (ArenaProtocol<Protocol> && QuiescentProtocol<Protocol>) {
+      if (mode == Stepping::kDirty) {
+        if (!loss_->always_delivers()) {
+          throw std::invalid_argument(
+              "dirty-region stepping requires a loss-free medium "
+              "(loss model must report always_delivers)");
+        }
+        stepping_ = Stepping::kDirty;
+        protocol_->set_activity_tracking(true);
+        tracker_.reset(graph_->node_count(), /*all_active=*/true);
+        tracker_.reset_counters();
+        return;
+      }
+      stepping_ = Stepping::kFull;
+      protocol_->set_activity_tracking(false);
+      tracker_.reset(0, false);
+      return;
+    } else {
+      if (mode == Stepping::kDirty) {
+        throw std::invalid_argument(
+            "protocol does not implement the arena + quiescence "
+            "extensions dirty-region stepping needs");
+      }
+      stepping_ = Stepping::kFull;
+    }
+  }
+
+  [[nodiscard]] Stepping stepping() const noexcept { return stepping_; }
+
+  /// Activity counters (and, in dirty mode, the current step's work
+  /// list): `activity().last_nodes_stepped() == 0` after a step is the
+  /// quiescence property the tests assert.
+  [[nodiscard]] const ActivityTracker& activity() const noexcept {
+    return tracker_;
+  }
+
+  /// Seeds the activity set from outside knowledge — e.g.
+  /// `graph::DynamicGraph::dirty_nodes()` after a live patch: wakes each
+  /// listed node and its closed neighborhood (their next frames and
+  /// heard frames may both have changed). No-op in full stepping.
+  void mark_dirty(std::span<const graph::NodeId> nodes) {
+    if (stepping_ != Stepping::kDirty) return;
+    for (const graph::NodeId p : nodes) wake_closed(p);
+  }
 
   /// Rebuilds the worker pool synchronously (joins the old workers,
   /// spawns the new ones); steps use the new size from the next call.
@@ -127,22 +192,43 @@ class Network {
       for (const auto& [a, b] : delta.removed) {
         protocol_->on_edge_removed(a, b);
       }
-    } else {
-      (void)delta;
+    }
+    // Dirty stepping: a patched edge changes the inputs of exactly the
+    // closed neighborhoods of its endpoints — the endpoints see a
+    // different adjacency row (and, for removals, a pruned cache), their
+    // neighbors must hear the endpoints' changed frames this very step.
+    if (stepping_ == Stepping::kDirty) {
+      for (const auto& [a, b] : delta.added) {
+        wake_closed(a);
+        wake_closed(b);
+      }
+      for (const auto& [a, b] : delta.removed) {
+        wake_closed(a);
+        wake_closed(b);
+      }
     }
   }
 
   /// Runs one synchronous broadcast-receive-compute step.
   void step() {
     loss_->begin_step();
+    if constexpr (ArenaProtocol<Protocol> && QuiescentProtocol<Protocol>) {
+      if (stepping_ == Stepping::kDirty) {
+        step_dirty();
+        ++steps_;
+        return;
+      }
+    }
     if constexpr (ArenaProtocol<Protocol>) {
       if (!legacy_engine_) {
         step_arena();
+        tracker_.record(graph_->node_count(), 0);
         ++steps_;
         return;
       }
     }
     step_legacy();
+    tracker_.record(graph_->node_count(), 0);
     ++steps_;
   }
 
@@ -269,16 +355,126 @@ class Network {
     });
   }
 
+  /// Wakes `p` and its (current-graph) neighbors for the next step.
+  void wake_closed(graph::NodeId p) {
+    tracker_.wake(p);
+    for (const graph::NodeId r : graph_->neighbors(p)) tracker_.wake(r);
+  }
+
+  /// The quiescence-aware step: only active nodes (those whose closed
+  /// neighborhood changed last step) receive, tick and age; everyone
+  /// else is left untouched — which is bit-identical to full stepping
+  /// because a skipped node is at a boundary-state fixpoint with
+  /// unchanged inputs (see docs/ARCHITECTURE.md §7 for the induction).
+  /// Active receivers hear *all* their neighbors — quiescent senders'
+  /// frames are built on demand (make_frame is const) — so cache ages
+  /// and contents evolve exactly as under the full stepper.
+  void step_dirty() {
+    const graph::Graph& g = *graph_;
+    const std::size_t n = g.node_count();
+    auto& arena = arena_;
+    auto* protocol = protocol_;
+
+    // Nodes mutated outside the step loop (fault injection, severed
+    // links) wake their closed neighborhood: under full stepping their
+    // neighbors would hear the mutated frame this very step.
+    for (const graph::NodeId p : protocol_->take_external_wakes()) {
+      wake_closed(p);
+    }
+
+    tracker_.begin_step();
+    const std::span<const graph::NodeId> active = tracker_.active();
+    if (active.empty()) {
+      tracker_.record(0, n);
+      return;
+    }
+
+    // Phase 0 (serial): the sender set — every neighbor of an active
+    // node broadcasts (quiescent senders included; their frames are
+    // pure reads). Row i of the compact pool belongs to sender_list_[i].
+    sender_mark_.assign(n, 0);
+    sender_slot_.resize(n);
+    sender_list_.clear();
+    for (const graph::NodeId q : active) {
+      messages_delivered_ += g.degree(q);
+      for (const graph::NodeId r : g.neighbors(q)) {
+        if (!sender_mark_[r]) {
+          sender_mark_[r] = 1;
+          sender_slot_[r] = sender_list_.size();
+          sender_list_.push_back(r);
+        }
+      }
+    }
+    const std::size_t senders = sender_list_.size();
+    dirty_offsets_.resize(senders + 1);
+    dirty_offsets_[0] = 0;
+    for (std::size_t i = 0; i < senders; ++i) {
+      dirty_offsets_[i + 1] =
+          dirty_offsets_[i] + protocol_->digest_count(sender_list_[i]);
+    }
+    arena.pool.resize(dirty_offsets_[senders]);
+    arena.headers.resize(senders);
+
+    // Phase 1 (parallel by sender): snapshot the needed frames.
+    for_nodes(senders, [protocol, &arena, this](std::size_t i) {
+      protocol->make_frame(
+          sender_list_[i], arena.headers[i],
+          std::span(arena.pool.data() + dirty_offsets_[i],
+                    dirty_offsets_[i + 1] - dirty_offsets_[i]));
+    });
+
+    // Phase 2 (parallel by active receiver): every active node pulls
+    // every neighbor's frame, ascending-sender order as always.
+    for_nodes(active.size(), [protocol, &arena, active, &g,
+                              this](std::size_t i) {
+      const graph::NodeId q = active[i];
+      for (const graph::NodeId r : g.neighbors(q)) {
+        const std::size_t slot = sender_slot_[r];
+        protocol->deliver(
+            q, arena.headers[slot],
+            std::span(arena.pool.data() + dirty_offsets_[slot],
+                      dirty_offsets_[slot + 1] - dirty_offsets_[slot]));
+      }
+    });
+
+    // Phases 3 + 4 (parallel by active node): guarded rules, cache aging.
+    for_nodes(active.size(), [protocol, active](std::size_t i) {
+      protocol->tick(active[i]);
+    });
+    for_nodes(active.size(), [protocol, active](std::size_t i) {
+      protocol->end_step(active[i]);
+    });
+
+    // Phase 5 (serial): one-hop activity propagation. A node whose own
+    // state moved steps again; a node whose *frame-visible* state moved
+    // additionally wakes its neighbors — knowledge travels one hop per
+    // step, so one hop of wake-up is exactly enough.
+    for (const graph::NodeId q : active) {
+      const auto a = protocol_->consume_activity(q);
+      if (a.state_changed) tracker_.wake(q);
+      if (a.frame_changed) {
+        for (const graph::NodeId r : g.neighbors(q)) tracker_.wake(r);
+      }
+    }
+    tracker_.record(active.size(), n - active.size());
+  }
+
   const graph::Graph* graph_;
   Protocol* protocol_;
   LossModel* loss_;
   std::size_t steps_ = 0;
   std::uint64_t messages_delivered_ = 0;
   bool legacy_engine_ = false;
+  Stepping stepping_ = Stepping::kFull;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<typename Protocol::Frame> frames_;       // legacy engine
   detail::ArenaStorage<Protocol> arena_;               // arena engine
   std::vector<unsigned char> incoming_;                // per-edge decisions
+  ActivityTracker tracker_;                            // dirty stepping
+  std::vector<std::uint8_t> sender_mark_;
+  std::vector<std::size_t> sender_slot_;
+  std::vector<graph::NodeId> sender_list_;
+  std::vector<std::size_t> dirty_offsets_;
 };
 
 }  // namespace ssmwn::sim

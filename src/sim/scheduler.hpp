@@ -73,6 +73,34 @@ concept TopologyAwareProtocol = requires(P& p, graph::NodeId a,
   p.on_edge_removed(a, b);
 };
 
+/// Optional quiescence extension: the protocol can detect, per node and
+/// per step, whether anything rule-relevant changed, and can skip a rule
+/// sweep when it is provably a no-op. Both dirty-region steppers key off
+/// this concept:
+///
+///   * set_activity_tracking(on) arms/disarms the change detector (off,
+///     the protocol's hot paths must be byte-for-byte the classic ones);
+///   * maybe_tick(p) sweeps unless provably redundant, returns whether
+///     it swept (the async engine's activation uses this in place of
+///     tick);
+///   * consume_activity(p) reports and clears what changed during the
+///     step that just ran — `state_changed` keeps p itself awake,
+///     `frame_changed` wakes p's neighbors (the synchronous dirty
+///     stepper's one-hop activity propagation);
+///   * take_external_wakes() lists nodes mutated from outside the step
+///     loop (fault injection, severed links) so the stepper can wake
+///     their closed neighborhoods before the next step.
+template <typename P>
+concept QuiescentProtocol =
+    requires(P& p, const P& cp, graph::NodeId node) {
+      p.set_activity_tracking(true);
+      { cp.activity_tracking() } -> std::convertible_to<bool>;
+      { p.maybe_tick(node) } -> std::convertible_to<bool>;
+      { p.consume_activity(node).state_changed } -> std::convertible_to<bool>;
+      { p.consume_activity(node).frame_changed } -> std::convertible_to<bool>;
+      { p.take_external_wakes() } -> std::convertible_to<std::vector<graph::NodeId>>;
+    };
+
 /// Reusable storage for one in-flight frame. Arena protocols get a POD
 /// header plus a digest vector whose capacity survives reuse (steady
 /// state: zero allocations once every slot has seen its deepest frame);

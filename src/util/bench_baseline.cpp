@@ -1,0 +1,204 @@
+#include "util/bench_baseline.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ssmwn::util {
+namespace {
+
+/// Minimal scanner over the fixed JsonReport shape. Whitespace-tolerant,
+/// order-sensitive (the writer always emits name, n, threads, metric,
+/// value in that order).
+struct Scanner {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes `"key":` (quotes included) at the cursor.
+  bool key(std::string_view k) {
+    skip_ws();
+    const std::string want = "\"" + std::string(k) + "\"";
+    if (text.substr(pos, want.size()) != want) return false;
+    pos += want.size();
+    return consume(':');
+  }
+
+  bool string_value(std::string& out) {
+    if (!consume('"')) return false;
+    const std::size_t start = pos;
+    while (pos < text.size() && text[pos] != '"') ++pos;
+    if (pos >= text.size()) return false;
+    out.assign(text.substr(start, pos - start));
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool number_value(double& out) {
+    skip_ws();
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    const auto res = std::from_chars(begin, end, out);
+    if (res.ec != std::errc{}) return false;
+    pos = static_cast<std::size_t>(res.ptr - text.data());
+    return true;
+  }
+};
+
+}  // namespace
+
+bool same_series(const BenchRecord& a, const BenchRecord& b) {
+  return a.bench == b.bench && a.name == b.name && a.metric == b.metric &&
+         a.n == b.n && a.threads == b.threads;
+}
+
+bool is_rate_metric(std::string_view metric) {
+  return metric.find("/s") != std::string_view::npos;
+}
+
+bool parse_bench_json(std::string_view text, std::vector<BenchRecord>& out,
+                      std::string& error) {
+  Scanner s{text};
+  std::string bench;
+  if (!s.consume('{') || !s.key("bench") || !s.string_value(bench) ||
+      !s.consume(',') || !s.key("records") || !s.consume('[')) {
+    error = "malformed header (expected {\"bench\": ..., \"records\": [...)";
+    return false;
+  }
+  s.skip_ws();
+  if (s.consume(']')) return true;  // empty report
+  do {
+    BenchRecord r;
+    r.bench = bench;
+    double n = 0.0, threads = 0.0;
+    if (!s.consume('{') || !s.key("name") || !s.string_value(r.name) ||
+        !s.consume(',') || !s.key("n") || !s.number_value(n) ||
+        !s.consume(',') || !s.key("threads") || !s.number_value(threads) ||
+        !s.consume(',') || !s.key("metric") || !s.string_value(r.metric) ||
+        !s.consume(',') || !s.key("value") || !s.number_value(r.value) ||
+        !s.consume('}')) {
+      error = "malformed record #" + std::to_string(out.size());
+      return false;
+    }
+    r.n = static_cast<std::size_t>(n);
+    r.threads = static_cast<unsigned>(threads);
+    out.push_back(std::move(r));
+  } while (s.consume(','));
+  if (!s.consume(']')) {
+    error = "unterminated records array";
+    return false;
+  }
+  return true;
+}
+
+bool load_bench_dir(const std::string& dir, std::vector<BenchRecord>& out,
+                    std::string& error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    error = dir + " is not a directory";
+    return false;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.starts_with("BENCH_") &&
+        name.ends_with(".json")) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      error = "cannot read " + path.string();
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string parse_error;
+    if (!parse_bench_json(buffer.str(), out, parse_error)) {
+      error = path.string() + ": " + parse_error;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t BenchCompareReport::regressions() const {
+  std::size_t count = 0;
+  for (const auto& c : compared) count += c.regression;
+  return count;
+}
+
+BenchCompareReport compare_benchmarks(
+    const std::vector<BenchRecord>& baseline,
+    const std::vector<BenchRecord>& candidate, double tolerance) {
+  BenchCompareReport report;
+  for (const BenchRecord& base : baseline) {
+    const auto match =
+        std::find_if(candidate.begin(), candidate.end(),
+                     [&](const BenchRecord& c) { return same_series(c, base); });
+    if (match == candidate.end()) {
+      report.unmatched.push_back(base);
+      continue;
+    }
+    BenchComparison cmp;
+    cmp.baseline = base;
+    cmp.candidate_value = match->value;
+    cmp.ratio = base.value != 0.0 ? match->value / base.value : 1.0;
+    cmp.gated = is_rate_metric(base.metric) && base.value > 0.0;
+    cmp.regression = cmp.gated && cmp.ratio < 1.0 - tolerance;
+    report.compared.push_back(std::move(cmp));
+  }
+  return report;
+}
+
+std::string render_comparison(const BenchCompareReport& report,
+                              double tolerance) {
+  std::ostringstream out;
+  out << "bench_compare: " << report.compared.size() << " series, tolerance "
+      << tolerance * 100.0 << "%\n";
+  for (const auto& c : report.compared) {
+    const BenchRecord& b = c.baseline;
+    out << (c.regression ? "  REGRESSION " : (c.gated ? "  ok         "
+                                                      : "  (info)     "))
+        << b.bench << " / " << b.name << " [" << b.metric << ", n=" << b.n
+        << ", threads=" << b.threads << "]: " << b.value << " -> "
+        << c.candidate_value << " (" << c.ratio * 100.0 << "%)\n";
+  }
+  for (const auto& b : report.unmatched) {
+    out << "  missing    " << b.bench << " / " << b.name << " [" << b.metric
+        << ", n=" << b.n << ", threads=" << b.threads
+        << "]: no candidate record (warn only)\n";
+  }
+  const std::size_t bad = report.regressions();
+  if (bad > 0) {
+    out << "FAIL: " << bad << " gated metric(s) regressed beyond "
+        << tolerance * 100.0 << "%\n";
+  } else {
+    out << "PASS: no gated metric regressed beyond " << tolerance * 100.0
+        << "%\n";
+  }
+  return out.str();
+}
+
+}  // namespace ssmwn::util

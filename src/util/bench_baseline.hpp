@@ -1,0 +1,76 @@
+// Bench-baseline regression gate (library half; the CLI driver is
+// tools/bench_compare.cpp).
+//
+// Every bench binary emits a machine-readable BENCH_<name>.json
+// (bench::JsonReport). Checked-in copies live under bench/baselines/;
+// CI reruns the smoke benches and feeds both directories through
+// compare_benchmarks, which fails the build when any *rate* metric
+// (anything containing "/s": ticks/s, steps/s, updates/s) regressed by
+// more than the tolerance. Non-rate metrics (counts, seconds, ratios)
+// are cross-machine-noisy or not perf at all and are reported but never
+// gated. The parser handles exactly the shape JsonReport writes — no
+// external JSON dependency.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssmwn::util {
+
+/// One measured value from a BENCH_*.json report.
+struct BenchRecord {
+  std::string bench;   // the report's "bench" field
+  std::string name;    // row name within the bench
+  std::string metric;  // e.g. "ticks/s"
+  std::size_t n = 0;
+  unsigned threads = 1;
+  double value = 0.0;
+};
+
+/// Records are matched across runs by everything except the value.
+[[nodiscard]] bool same_series(const BenchRecord& a, const BenchRecord& b);
+
+/// A rate metric — higher is better, eligible for gating.
+[[nodiscard]] bool is_rate_metric(std::string_view metric);
+
+/// Parses one JsonReport-shaped document. Returns false (and sets
+/// `error`) on malformed input; on success appends to `out`.
+bool parse_bench_json(std::string_view text, std::vector<BenchRecord>& out,
+                      std::string& error);
+
+/// Loads every BENCH_*.json directly inside `dir`.
+bool load_bench_dir(const std::string& dir, std::vector<BenchRecord>& out,
+                    std::string& error);
+
+struct BenchComparison {
+  BenchRecord baseline;
+  double candidate_value = 0.0;
+  /// candidate / baseline; for rate metrics < 1 means slower.
+  double ratio = 1.0;
+  bool gated = false;       // rate metric, eligible to fail the build
+  bool regression = false;  // gated and ratio < 1 - tolerance
+};
+
+struct BenchCompareReport {
+  std::vector<BenchComparison> compared;
+  /// Baseline series with no matching candidate record (warn only: a
+  /// size-capped CI smoke run legitimately covers fewer points).
+  std::vector<BenchRecord> unmatched;
+
+  [[nodiscard]] std::size_t regressions() const;
+};
+
+/// Compares candidate against baseline at fractional `tolerance`
+/// (0.10 = a gated metric may be up to 10% slower before it counts as a
+/// regression).
+[[nodiscard]] BenchCompareReport compare_benchmarks(
+    const std::vector<BenchRecord>& baseline,
+    const std::vector<BenchRecord>& candidate, double tolerance);
+
+/// Human-readable summary (one line per comparison, regressions marked).
+[[nodiscard]] std::string render_comparison(const BenchCompareReport& report,
+                                            double tolerance);
+
+}  // namespace ssmwn::util

@@ -103,6 +103,11 @@ class Rng {
     return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL);
   }
 
+  /// State equality — two generators that compare equal will produce the
+  /// same stream forever. The differential stepping harness uses this to
+  /// assert that a skipped node's generator was truly never advanced.
+  [[nodiscard]] friend bool operator==(const Rng&, const Rng&) = default;
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

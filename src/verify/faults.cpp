@@ -72,7 +72,7 @@ void plant_true_neighbors(DensityProtocol& protocol, const graph::Graph& g,
                           const topology::IdAssignment& ids, NodeId node,
                           CorruptionStats& stats, EntryFn&& mutate_entry,
                           DigestFn&& mutate_digest) {
-  auto& state = protocol.mutable_state(node);
+  auto state = protocol.mutable_state(node);
   state.cache.clear();
   for (const NodeId q : g.neighbors(node)) {
     DensityProtocol::CacheEntry& entry = state.cache[ids[q]];
@@ -98,7 +98,7 @@ void corrupt_metric_skew(DensityProtocol& protocol, const graph::Graph& g,
                          CorruptionStats& stats) {
   const std::uint64_t name_space = protocol.name_space();
   for (NodeId p = 0; p < g.node_count(); ++p) {
-    auto& s = protocol.mutable_state(p);
+    auto s = protocol.mutable_state(p);
     s.dag_id = rng.below(2 * name_space);
     s.metric = rng.uniform(0.0, 8.0);
     s.metric_valid = rng.chance(0.9);
@@ -128,7 +128,7 @@ void corrupt_cluster_id_noise(DensityProtocol& protocol,
                               const topology::IdAssignment& ids,
                               util::Rng& rng, CorruptionStats& stats) {
   for (NodeId p = 0; p < g.node_count(); ++p) {
-    auto& s = protocol.mutable_state(p);
+    auto s = protocol.mutable_state(p);
     s.head = noisy_id(ids, rng);
     s.head_valid = rng.chance(0.9);
     s.parent = noisy_id(ids, rng);
@@ -143,7 +143,7 @@ void corrupt_stale_cache(DensityProtocol& protocol, const graph::Graph& g,
   const std::uint32_t max_age = protocol.config().cache_max_age;
   const std::uint64_t name_space = protocol.name_space();
   for (NodeId p = 0; p < g.node_count(); ++p) {
-    auto& s = protocol.mutable_state(p);
+    auto s = protocol.mutable_state(p);
     // Everyone remembers a world in which it was doing fine — valid
     // flags set, plausible numbers, and (half the time) itself as head.
     s.metric = plausible_metric(rng);
@@ -194,7 +194,7 @@ void corrupt_hierarchy_loops(DensityProtocol& protocol, const graph::Graph& g,
     bogus_head[p] = ids[rng.index(g.node_count())];
   }
   for (NodeId p = 0; p < g.node_count(); ++p) {
-    auto& s = protocol.mutable_state(p);
+    auto s = protocol.mutable_state(p);
     const auto neighbors = g.neighbors(p);
     s.parent = neighbors.empty() ? s.uid
                                  : ids[neighbors[rng.index(neighbors.size())]];
@@ -245,7 +245,7 @@ void corrupt_partial_frame(DensityProtocol& protocol, const graph::Graph& g,
           d.metric_valid = true;
           d.is_head = false;
         });
-    auto& s = protocol.mutable_state(p);
+    auto s = protocol.mutable_state(p);
     for (auto& [id, entry] : s.cache) {
       auto& digests = entry.digests;
       if (digests.empty()) continue;

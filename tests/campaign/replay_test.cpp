@@ -274,6 +274,95 @@ TEST(CampaignReplay, SyncOnlyPlansKeepTheLegacySchema) {
   EXPECT_EQ(campaign::report_metric_count(plan), campaign::kSyncMetricCount);
 }
 
+// The quiescence axis, swept over both engines under mobility. tau=1:
+// expand() rejects dirty stepping on a lossy synchronous engine.
+constexpr const char* kDirtySpecText = R"(
+name            = replay-dirty
+topology        = uniform
+n               = 40
+radius          = 0.16
+variant         = basic
+scheduler       = sync, async
+mobility        = random-direction
+speed_max       = 10
+protocol_live   = true
+topology_update = incremental, rebuild
+live_horizon    = 16
+stepping        = full, dirty
+steps           = 3
+replications    = 2
+seed_base       = 818181
+)";
+
+TEST(CampaignReplay, DirtyGridReplaysByteIdentically) {
+  const auto serial = render_campaign_text(kDirtySpecText, 1);
+  const auto repeat = render_campaign_text(kDirtySpecText, 1);
+  EXPECT_EQ(serial.csv, repeat.csv);
+  EXPECT_EQ(serial.json, repeat.json);
+  for (const unsigned threads : {2u, 4u}) {
+    const auto parallel = render_campaign_text(kDirtySpecText, threads);
+    EXPECT_EQ(serial.csv, parallel.csv) << "threads=" << threads;
+    EXPECT_EQ(serial.json, parallel.json) << "threads=" << threads;
+  }
+  // Dirty schema: the stepping column/key appears, with both values.
+  EXPECT_NE(serial.csv.find(",stepping,"), std::string::npos);
+  EXPECT_NE(serial.json.find("\"stepping\": \"dirty\""), std::string::npos);
+  EXPECT_NE(serial.json.find("\"stepping\": \"full\""), std::string::npos);
+}
+
+TEST(CampaignReplay, DirtySteppingLeavesRunMetricsIdentical) {
+  // The axis sweeps cost, not results: force the dirty plan's run seeds
+  // to the full plan's and every run-level metric must agree — exactly
+  // on the async engine, and on everything but the message counters on
+  // the sync engine (dirty mode counts deliveries only for the nodes it
+  // actually steps; the trajectory itself is bitwise-equal, which the
+  // sim-level equivalence suite asserts per tick).
+  auto strip = [](const char* text, const char* value) {
+    std::string spec(text);
+    const auto pos = spec.find("stepping        = full, dirty");
+    spec.replace(pos, std::string("stepping        = full, dirty").size(),
+                 std::string("stepping        = ") + value);
+    return campaign::expand(campaign::parse_spec_text(spec));
+  };
+  auto full_plan = strip(kDirtySpecText, "full");
+  auto dirty_plan = strip(kDirtySpecText, "dirty");
+  ASSERT_EQ(full_plan.runs.size(), dirty_plan.runs.size());
+  for (std::size_t i = 0; i < dirty_plan.runs.size(); ++i) {
+    ASSERT_EQ(full_plan.runs[i].grid_index, dirty_plan.runs[i].grid_index);
+    dirty_plan.runs[i].seed = full_plan.runs[i].seed;
+  }
+  const auto full = campaign::CampaignRunner(2).run(full_plan);
+  const auto dirty = campaign::CampaignRunner(2).run(dirty_plan);
+  ASSERT_EQ(full.size(), dirty.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    const auto& config = full_plan.grid[full_plan.runs[i].grid_index].config;
+    EXPECT_EQ(full[i].stability, dirty[i].stability) << "run " << i;
+    EXPECT_EQ(full[i].cluster_count, dirty[i].cluster_count) << "run " << i;
+    EXPECT_EQ(full[i].converge_time, dirty[i].converge_time) << "run " << i;
+    EXPECT_EQ(full[i].reconverge_time, dirty[i].reconverge_time)
+        << "run " << i;
+    EXPECT_EQ(full[i].windows, dirty[i].windows) << "run " << i;
+    if (config.scheduler == campaign::SchedulerKind::kAsync) {
+      EXPECT_EQ(full[i].messages, dirty[i].messages) << "run " << i;
+      EXPECT_EQ(full[i].reconverge_messages, dirty[i].reconverge_messages)
+          << "run " << i;
+    }
+  }
+}
+
+TEST(CampaignReplay, NonDirtyPlansKeepTheirSchemas) {
+  // No pre-existing spec mentions stepping, so none may grow the column
+  // — their CSV/JSON stay byte-identical across the quiescence release.
+  for (const char* text :
+       {kSpecText, kAsyncSpecText, kLiveSpecText, kVerifySpecText}) {
+    const auto rendered = render_campaign_text(text, 1);
+    EXPECT_EQ(rendered.csv.find("stepping"), std::string::npos);
+    EXPECT_EQ(rendered.json.find("stepping"), std::string::npos);
+    EXPECT_FALSE(campaign::plan_uses_dirty(
+        campaign::expand(campaign::parse_spec_text(text))));
+  }
+}
+
 TEST(CampaignReplay, ReportsAreWellFormed) {
   const auto rendered = render_campaign(2);
   // CSV: header + 4 scenarios x (sync metric) rows.

@@ -373,6 +373,90 @@ TEST(CampaignSpec, VerifyRejectsIncompatibleAxes) {
   EXPECT_EQ(plan.grid[0].config.daemon, verify::Daemon::kUnfair);
 }
 
+TEST(CampaignSpec, SteppingAxisExpandsAndDeduplicatesInapplicablePoints) {
+  // stepping only matters for points with a stepper seam (live or
+  // async): sweeping it alongside protocol_live must emit the classic
+  // sync point once but both live variants: 1 + 2 = 3 points.
+  const auto plan = campaign::expand(campaign::parse_spec_text(R"(
+    n             = 40
+    protocol_live = false, true
+    stepping      = full, dirty
+    replications  = 2
+  )"));
+  EXPECT_EQ(plan.grid.size(), 3u);
+  std::size_t dirty_points = 0;
+  std::set<std::string> canonicals;
+  std::set<std::uint64_t> seeds;
+  for (const auto& point : plan.grid) {
+    dirty_points += point.config.stepping == campaign::SteppingKind::kDirty &&
+                    campaign::stepping_applies(point.config);
+    canonicals.insert(point.canonical);
+  }
+  for (const auto& run : plan.runs) seeds.insert(run.seed);
+  EXPECT_EQ(dirty_points, 1u);
+  EXPECT_EQ(canonicals.size(), plan.grid.size());
+  EXPECT_EQ(seeds.size(), plan.runs.size());
+}
+
+TEST(CampaignSpec, CanonicalIsStableAcrossTheSteppingRelease) {
+  // stepping=full is NEVER serialized, and stepping=dirty only where it
+  // applies — so every pre-existing point (classic sync, async, live,
+  // verify) keeps its exact canonical string, and therefore its seeds
+  // and byte-identical outputs, across the release that added the axis.
+  campaign::ScenarioConfig config;
+  EXPECT_EQ(campaign::canonical_config(config).find("stepping"),
+            std::string::npos);
+  config.scheduler = campaign::SchedulerKind::kAsync;
+  EXPECT_EQ(campaign::canonical_config(config).find("stepping"),
+            std::string::npos);
+  config.protocol_live = true;
+  EXPECT_EQ(campaign::canonical_config(config).find("stepping"),
+            std::string::npos);
+
+  // Where it applies and deviates, it serializes — as the suffix.
+  config.stepping = campaign::SteppingKind::kDirty;
+  const auto live_dirty = campaign::canonical_config(config);
+  EXPECT_TRUE(live_dirty.ends_with(";stepping=dirty")) << live_dirty;
+
+  // Inapplicable points never carry it, even when set programmatically:
+  // a certification trial pins its own execution.
+  campaign::ScenarioConfig trial;
+  trial.verify_faults = true;
+  trial.steps = 40;
+  trial.stepping = campaign::SteppingKind::kDirty;
+  EXPECT_FALSE(campaign::stepping_applies(trial));
+  EXPECT_EQ(campaign::canonical_config(trial).find("stepping"),
+            std::string::npos);
+}
+
+TEST(CampaignSpec, DirtySteppingRequiresLossFreeSyncEngine) {
+  const auto rejects = [](const char* text, const char* needle) {
+    try {
+      (void)campaign::expand(campaign::parse_spec_text(text));
+      FAIL() << "spec was accepted: " << text;
+    } catch (const SpecError& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << "message '" << error.what() << "' lacks '" << needle << "'";
+    }
+  };
+  // The sync dirty stepper elides nodes and with them their per-link
+  // loss draws; only a loss-free medium keeps it bit-identical.
+  rejects("protocol_live = true\nstepping = dirty\ntau = 0.9", "tau=1");
+  rejects("stepping = sloppy", "stepping");
+  // The async engine's dirty mode preserves the event trace under any
+  // loss model, so the same sweep is fine there...
+  const auto lossy_async = campaign::expand(campaign::parse_spec_text(
+      "scheduler = async\nstepping = dirty\ntau = 0.9\nn = 30\nsteps = 5"));
+  ASSERT_EQ(lossy_async.grid.size(), 1u);
+  EXPECT_EQ(lossy_async.grid[0].config.stepping,
+            campaign::SteppingKind::kDirty);
+  // ...and so is loss-free sync live.
+  const auto clean_live = campaign::expand(campaign::parse_spec_text(
+      "protocol_live = true\nstepping = dirty\nn = 30\nsteps = 5"));
+  ASSERT_EQ(clean_live.grid.size(), 1u);
+  EXPECT_TRUE(clean_live.grid[0].canonical.ends_with(";stepping=dirty"));
+}
+
 TEST(CampaignSpec, SpecErrorIsInvalidArgument) {
   // The CLI maps std::invalid_argument to the bad-arguments exit code;
   // spec errors must ride that path, not the run-failure one.

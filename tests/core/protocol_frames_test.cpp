@@ -20,7 +20,7 @@ core::ProtocolConfig tiny_config() {
 
 TEST(ProtocolFrames, FrameCarriesSharedVariables) {
   core::DensityProtocol protocol({7, 9}, tiny_config(), util::Rng(1));
-  auto& s = protocol.mutable_state(0);
+  auto s = protocol.mutable_state(0);
   s.metric = 1.25;
   s.metric_valid = true;
   s.head = 7;

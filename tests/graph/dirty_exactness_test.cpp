@@ -1,0 +1,127 @@
+// Exactness fuzz for DynamicGraph::dirty_nodes(): for random graphs and
+// random valid deltas, the reported dirty set must equal the
+// brute-force before/after adjacency diff — *exactly*. A false negative
+// (a node whose row changed but is not reported) would let the dirty
+// stepper skip a node whose inputs moved, silently corrupting the
+// bit-identity guarantee; a false positive would only waste work, but
+// the contract is exact so drift is caught either way.
+//
+// SSMWN_DIRTY_FUZZ scales the trial count (soak runs raise it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/dynamic.hpp"
+#include "graph/graph.hpp"
+#include "topology/generators.hpp"
+#include "topology/udg.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+using Adjacency = std::vector<std::vector<graph::NodeId>>;
+
+Adjacency snapshot(const graph::Graph& g) {
+  Adjacency rows(g.node_count());
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    const auto nbrs = g.neighbors(p);
+    rows[p].assign(nbrs.begin(), nbrs.end());
+  }
+  return rows;
+}
+
+/// Brute force: every node whose neighbor row is not byte-identical
+/// across the patch.
+std::vector<graph::NodeId> adjacency_diff(const Adjacency& before,
+                                          const Adjacency& after) {
+  std::vector<graph::NodeId> dirty;
+  for (graph::NodeId p = 0; p < before.size(); ++p) {
+    if (before[p] != after[p]) dirty.push_back(p);
+  }
+  return dirty;
+}
+
+/// A random *valid* delta against `g`: sampled node pairs become
+/// removals when the edge exists and additions when it does not, with
+/// duplicates discarded (EdgeDelta requires disjoint, duplicate-free,
+/// (low, high)-sorted pair lists).
+graph::EdgeDelta random_delta(const graph::Graph& g, util::Rng& rng,
+                              std::size_t attempts) {
+  graph::EdgeDelta delta;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> seen;
+  for (std::size_t k = 0; k < attempts; ++k) {
+    const auto a = static_cast<graph::NodeId>(rng.below(g.node_count()));
+    const auto b = static_cast<graph::NodeId>(rng.below(g.node_count()));
+    if (a == b) continue;
+    const std::pair<graph::NodeId, graph::NodeId> e{std::min(a, b),
+                                                    std::max(a, b)};
+    if (std::find(seen.begin(), seen.end(), e) != seen.end()) continue;
+    seen.push_back(e);
+    (g.adjacent(e.first, e.second) ? delta.removed : delta.added).push_back(e);
+  }
+  std::sort(delta.added.begin(), delta.added.end());
+  std::sort(delta.removed.begin(), delta.removed.end());
+  return delta;
+}
+
+std::vector<graph::NodeId> to_vector(std::span<const graph::NodeId> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(DirtyExactness, FuzzAgainstBruteForceAdjacencyDiff) {
+  const int rounds = util::env_int("SSMWN_DIRTY_FUZZ", 60);
+  util::Rng rng(0xD1237);
+  for (int round = 0; round < rounds; ++round) {
+    // Fresh geometric graph each round; a chain of deltas against it.
+    const std::size_t n = 20 + rng.below(100);
+    const double radius = 0.08 + rng.uniform(0.0, 0.14);
+    const auto pts = topology::uniform_points(n, rng);
+    graph::DynamicGraph dyn(topology::unit_disk_graph(pts, radius));
+
+    for (int patch = 0; patch < 8; ++patch) {
+      const Adjacency before = snapshot(dyn.view());
+      const auto delta =
+          random_delta(dyn.view(), rng, 1 + rng.below(2 * n));
+      dyn.apply_delta(delta);
+      const Adjacency after = snapshot(dyn.view());
+
+      const auto expected = adjacency_diff(before, after);
+      const auto reported = to_vector(dyn.dirty_nodes());
+
+      // No false negatives, ever — and no false positives either: the
+      // contract is the exact changed-row set, ascending.
+      ASSERT_EQ(reported, expected)
+          << "round=" << round << " patch=" << patch << " n=" << n
+          << " radius=" << radius << " |added|=" << delta.added.size()
+          << " |removed|=" << delta.removed.size();
+    }
+  }
+}
+
+TEST(DirtyExactness, EmptyDeltaReportsNoDirtyNodes) {
+  util::Rng rng(5);
+  const auto pts = topology::uniform_points(40, rng);
+  graph::DynamicGraph dyn(topology::unit_disk_graph(pts, 0.2));
+  dyn.apply_delta(graph::EdgeDelta{});
+  EXPECT_TRUE(dyn.dirty_nodes().empty());
+}
+
+TEST(DirtyExactness, ResetClearsTheDirtySet) {
+  util::Rng rng(6);
+  const auto pts = topology::uniform_points(30, rng);
+  graph::DynamicGraph dyn(topology::unit_disk_graph(pts, 0.25));
+  const auto delta = random_delta(dyn.view(), rng, 20);
+  dyn.apply_delta(delta);
+  ASSERT_FALSE(dyn.dirty_nodes().empty());
+  dyn.reset(topology::unit_disk_graph(pts, 0.25));
+  EXPECT_TRUE(dyn.dirty_nodes().empty());
+}
+
+}  // namespace
+}  // namespace ssmwn

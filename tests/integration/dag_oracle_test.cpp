@@ -87,7 +87,7 @@ TEST(DagOracle, SeededProtocolSurvivesCorruptionOfEverythingButNames) {
 
   util::Rng chaos(3);
   for (graph::NodeId p = 0; p < g.node_count(); ++p) {
-    auto& s = protocol.mutable_state(p);
+    auto s = protocol.mutable_state(p);
     s.metric = chaos.uniform(0.0, 8.0);
     s.metric_valid = chaos.chance(0.8);
     s.head = chaos.below(2 * g.node_count());

@@ -1,0 +1,125 @@
+// The bench-baseline comparator's semantics, pinned as unit tests —
+// including the acceptance scenario: a deliberate 20% ticks/s slowdown
+// MUST fail the 10% gate. CI runs the same logic through
+// tools/bench_compare; these tests are the permanent, machine-
+// independent encoding of that check (the live CI gate necessarily runs
+// with a looser tolerance because shared runners are noisy).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/bench_baseline.hpp"
+
+namespace ssmwn {
+namespace {
+
+// Exactly the shape bench::JsonReport::write emits.
+constexpr const char* kBaselineJson = R"({
+  "bench": "dirty_stepping",
+  "records": [
+    {"name": "full", "n": 100000, "threads": 1, "metric": "ticks/s", "value": 120.5},
+    {"name": "dirty", "n": 100000, "threads": 1, "metric": "ticks/s", "value": 2400},
+    {"name": "dirty", "n": 100000, "threads": 1, "metric": "speedup", "value": 19.9}
+  ]
+})";
+
+std::vector<util::BenchRecord> parse(const char* text) {
+  std::vector<util::BenchRecord> out;
+  std::string error;
+  const bool ok = util::parse_bench_json(text, out, error);
+  EXPECT_TRUE(ok) << error;
+  return out;
+}
+
+std::vector<util::BenchRecord> scaled(double factor) {
+  auto records = parse(kBaselineJson);
+  for (auto& r : records) r.value *= factor;
+  return records;
+}
+
+TEST(BenchBaseline, ParsesJsonReportShape) {
+  const auto records = parse(kBaselineJson);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].bench, "dirty_stepping");
+  EXPECT_EQ(records[0].name, "full");
+  EXPECT_EQ(records[0].metric, "ticks/s");
+  EXPECT_EQ(records[0].n, 100000u);
+  EXPECT_EQ(records[0].threads, 1u);
+  EXPECT_DOUBLE_EQ(records[0].value, 120.5);
+  EXPECT_DOUBLE_EQ(records[1].value, 2400.0);
+}
+
+TEST(BenchBaseline, RejectsMalformedInput) {
+  std::vector<util::BenchRecord> out;
+  std::string error;
+  EXPECT_FALSE(util::parse_bench_json("{\"records\": []}", out, error));
+  EXPECT_FALSE(util::parse_bench_json(
+      "{\"bench\": \"x\", \"records\": [{\"name\": \"a\"}]}", out, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchBaseline, TwentyPercentSlowdownFailsTheTenPercentGate) {
+  // The acceptance criterion, verbatim: a deliberately injected 20%
+  // slowdown must trip the comparator at the default 10% tolerance.
+  const auto baseline = parse(kBaselineJson);
+  const auto report =
+      util::compare_benchmarks(baseline, scaled(0.8), /*tolerance=*/0.10);
+  // Both ticks/s series regressed; the "speedup" ratio is not a rate
+  // metric and must stay informational.
+  EXPECT_EQ(report.regressions(), 2u);
+  for (const auto& c : report.compared) {
+    EXPECT_EQ(c.regression, c.baseline.metric == "ticks/s");
+    EXPECT_EQ(c.gated, c.baseline.metric == "ticks/s");
+  }
+}
+
+TEST(BenchBaseline, SmallNoiseAndImprovementsPass) {
+  const auto baseline = parse(kBaselineJson);
+  EXPECT_EQ(util::compare_benchmarks(baseline, scaled(0.95), 0.10)
+                .regressions(),
+            0u);
+  EXPECT_EQ(util::compare_benchmarks(baseline, scaled(1.5), 0.10)
+                .regressions(),
+            0u);
+}
+
+TEST(BenchBaseline, ToleranceOverrideLoosensTheGate) {
+  // The CI knob (SSMWN_BENCH_TOLERANCE → the tool's tolerance argument):
+  // at 25% the same 20% slowdown passes.
+  const auto baseline = parse(kBaselineJson);
+  EXPECT_EQ(util::compare_benchmarks(baseline, scaled(0.8), 0.25)
+                .regressions(),
+            0u);
+}
+
+TEST(BenchBaseline, MissingCandidateRecordsWarnOnly) {
+  // A size-capped smoke run covers fewer points than the checked-in
+  // baseline; that must not fail the gate.
+  const auto baseline = parse(kBaselineJson);
+  std::vector<util::BenchRecord> candidate{baseline[0]};
+  const auto report = util::compare_benchmarks(baseline, candidate, 0.10);
+  EXPECT_EQ(report.compared.size(), 1u);
+  EXPECT_EQ(report.unmatched.size(), 2u);
+  EXPECT_EQ(report.regressions(), 0u);
+}
+
+TEST(BenchBaseline, SeriesMatchingUsesAllKeyFields) {
+  auto baseline = parse(kBaselineJson);
+  auto candidate = baseline;
+  candidate[0].threads = 8;  // different series now
+  const auto report = util::compare_benchmarks(baseline, candidate, 0.10);
+  ASSERT_EQ(report.unmatched.size(), 1u);
+  EXPECT_EQ(report.unmatched[0].name, "full");
+}
+
+TEST(BenchBaseline, RateMetricDetection) {
+  EXPECT_TRUE(util::is_rate_metric("ticks/s"));
+  EXPECT_TRUE(util::is_rate_metric("updates/s"));
+  EXPECT_FALSE(util::is_rate_metric("seconds"));
+  EXPECT_FALSE(util::is_rate_metric("speedup"));
+  EXPECT_FALSE(util::is_rate_metric("clusters"));
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -102,7 +102,7 @@ TEST(VerifyTrial, StuckNodeInterferenceIsCaught) {
   // — the trial must flag the system, not certify around it.
   verify::TrialHooks hooks;
   hooks.interfere = [](core::DensityProtocol& protocol) {
-    auto& s = protocol.mutable_state(0);
+    auto s = protocol.mutable_state(0);
     s.head = 0xDEAD;
     s.head_valid = true;
   };

@@ -1,0 +1,59 @@
+// CI regression gate over tracked bench baselines.
+//
+//   bench_compare <baseline_dir> <candidate_dir> [tolerance]
+//
+// Loads every BENCH_*.json from both directories, matches records by
+// (bench, name, n, threads, metric), and exits nonzero when any rate
+// metric ("/s") in the candidate run is more than `tolerance` slower
+// than its baseline. Tolerance defaults to 0.10 (10%); the positional
+// argument or SSMWN_BENCH_TOLERANCE overrides it — CI machines are
+// noisy, so the workflow passes a generous value while the unit tests
+// (tests/util/bench_baseline_test.cpp) pin the comparison semantics
+// exactly. Missing candidate records only warn: a size-capped smoke run
+// legitimately covers fewer points than the checked-in baseline.
+//
+// Exit codes: 0 pass, 1 regression, 2 usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/bench_baseline.hpp"
+#include "util/env.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ssmwn;
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline_dir> <candidate_dir> "
+                 "[tolerance]\n");
+    return 2;
+  }
+  double tolerance = 0.10;
+  const std::string env = util::env_string("SSMWN_BENCH_TOLERANCE", "");
+  if (!env.empty()) tolerance = std::strtod(env.c_str(), nullptr);
+  if (argc == 4) tolerance = std::strtod(argv[3], nullptr);
+  if (!(tolerance > 0.0) || tolerance >= 1.0) {
+    std::fprintf(stderr, "bench_compare: tolerance must be in (0, 1)\n");
+    return 2;
+  }
+
+  std::vector<util::BenchRecord> baseline, candidate;
+  std::string error;
+  if (!util::load_bench_dir(argv[1], baseline, error)) {
+    std::fprintf(stderr, "bench_compare: baseline: %s\n", error.c_str());
+    return 2;
+  }
+  if (!util::load_bench_dir(argv[2], candidate, error)) {
+    std::fprintf(stderr, "bench_compare: candidate: %s\n", error.c_str());
+    return 2;
+  }
+  if (baseline.empty()) {
+    std::fprintf(stderr, "bench_compare: no BENCH_*.json under %s\n", argv[1]);
+    return 2;
+  }
+
+  const auto report = util::compare_benchmarks(baseline, candidate, tolerance);
+  std::fputs(util::render_comparison(report, tolerance).c_str(), stdout);
+  return report.regressions() > 0 ? 1 : 0;
+}

@@ -4,11 +4,11 @@
 //                  [--metric density|degree|lowest-id|max-min]
 //                  [--seed S] [--dot out.dot] [--csv out.csv] [--map]
 //   ssmwn protocol --n 200 --radius 0.1 [--tau 0.8] [--steps 100]
-//                  [--corrupt 0.3] [--dag] [--threads 4]
+//                  [--corrupt 0.3] [--dag] [--threads 4] [--shards 8]
 //                  [--scheduler sync|async] [--daemon randomized|...]
 //                  [--period 1.0] [--period-jitter 0.1] [--link-delay 0.02]
 //   ssmwn routing  --n 500 --radius 0.08 [--pairs 300]
-//   ssmwn campaign spec-file [--threads 4] [--csv F] [--json F]
+//   ssmwn campaign spec-file [--threads 4] [--shards 8] [--csv F] [--json F]
 //
 // `cluster` builds a deployment, clusters it, and prints the metrics of
 // the paper's evaluation (optionally a DOT file, a per-node CSV, or an
@@ -45,6 +45,7 @@
 #include "sim/async_network.hpp"
 #include "sim/loss.hpp"
 #include "sim/network.hpp"
+#include "sim/sharded_network.hpp"
 #include "sim/trace.hpp"
 #include "stabilize/convergence.hpp"
 #include "topology/generators.hpp"
@@ -75,6 +76,21 @@ unsigned parse_threads(const util::Args& args) {
                                 std::to_string(threads) + ")");
   }
   return static_cast<unsigned>(threads);
+}
+
+/// Validates the --shards execution knob shared by `protocol` and
+/// `campaign`. Like --threads it must never influence results: 0 or 1
+/// selects the unsharded sim::Network, >= 2 the spatially sharded
+/// engine, and the two are bit-identical at any value
+/// (tests/sim/sharded_equivalence_test.cpp), so pre-existing outputs
+/// stay byte-for-byte unchanged.
+std::size_t parse_shards(const util::Args& args) {
+  const auto shards = args.get_int("shards", 0);
+  if (shards < 0 || shards > 1'000'000) {
+    throw std::invalid_argument("--shards must be in [0, 1e6] (got " +
+                                std::to_string(shards) + ")");
+  }
+  return static_cast<std::size_t>(shards);
 }
 
 struct Deployment {
@@ -503,6 +519,12 @@ int run_protocol(const util::Args& args, util::Rng& rng) {
     throw std::invalid_argument("--scheduler must be sync|async (got '" +
                                 scheduler + "')");
   }
+  if (args.has("shards") &&
+      (args.get_bool("live", false) || scheduler == "async")) {
+    throw std::invalid_argument(
+        "--shards applies to the synchronous batch engine only (drop "
+        "--live / --scheduler async)");
+  }
   if (args.get_bool("live", false)) {
     return run_protocol_live(args, d, protocol, rng, scheduler == "async");
   }
@@ -528,48 +550,60 @@ int run_protocol(const util::Args& args, util::Rng& rng) {
         "--stepping dirty on the synchronous engine requires --tau 1 "
         "(use --scheduler async for lossy dirty runs)");
   }
-  sim::Network network(d.graph, protocol, *medium, threads);
-  network.set_stepping(stepping);
-  if (threads != 1) {
-    // Report the effective size: 0 resolves to hardware concurrency and
-    // oversized requests are clamped by the engine.
-    std::printf("step engine threads: %u\n", network.thread_count());
-  }
+  // Generic over the step engine: --shards >= 2 swaps in the spatially
+  // sharded engine, whose trajectory is bit-identical to sim::Network,
+  // so every line below prints the same bytes either way.
+  auto drive = [&](auto& network) -> int {
+    network.set_stepping(stepping);
+    if (threads != 1) {
+      // Report the effective size: 0 resolves to hardware concurrency and
+      // oversized requests are clamped by the engine.
+      std::printf("step engine threads: %u\n", network.thread_count());
+    }
 
-  const auto steps = static_cast<std::size_t>(args.get_int("steps", 100));
-  sim::HeadTrace trace;
-  trace.observe(protocol.head_values());
-  for (std::size_t s = 0; s < steps; ++s) {
-    network.step();
+    const auto steps = static_cast<std::size_t>(args.get_int("steps", 100));
+    sim::HeadTrace trace;
     trace.observe(protocol.head_values());
-  }
-  std::printf("cold start: %zu head changes, quiescent since step %zu\n",
-              trace.changes().size(), trace.quiescent_since());
-
-  const double corrupt = args.get_double("corrupt", 0.0);
-  if (corrupt > 0.0) {
-    util::Rng chaos(rng());
-    const auto hit = protocol.corrupt_fraction(chaos, corrupt);
-    sim::HeadTrace recovery;
-    recovery.observe(protocol.head_values());
     for (std::size_t s = 0; s < steps; ++s) {
       network.step();
-      recovery.observe(protocol.head_values());
+      trace.observe(protocol.head_values());
     }
-    std::printf("corrupted %zu nodes: %zu head changes during recovery, "
-                "quiescent since step %zu\n",
-                hit, recovery.changes().size(), recovery.quiescent_since());
-    if (recovery.quiescent_since() >= steps) return 1;
+    std::printf("cold start: %zu head changes, quiescent since step %zu\n",
+                trace.changes().size(), trace.quiescent_since());
+
+    const double corrupt = args.get_double("corrupt", 0.0);
+    if (corrupt > 0.0) {
+      util::Rng chaos(rng());
+      const auto hit = protocol.corrupt_fraction(chaos, corrupt);
+      sim::HeadTrace recovery;
+      recovery.observe(protocol.head_values());
+      for (std::size_t s = 0; s < steps; ++s) {
+        network.step();
+        recovery.observe(protocol.head_values());
+      }
+      std::printf("corrupted %zu nodes: %zu head changes during recovery, "
+                  "quiescent since step %zu\n",
+                  hit, recovery.changes().size(), recovery.quiescent_since());
+      if (recovery.quiescent_since() >= steps) return 1;
+    }
+    std::size_t heads = 0;
+    for (char flag : protocol.head_flags()) heads += flag != 0;
+    std::printf("final cluster-heads: %zu\n", heads);
+    if (stepping == sim::Stepping::kDirty) {
+      std::printf(
+          "dirty stepping: %llu rule sweeps run, %llu elided\n",
+          static_cast<unsigned long long>(network.activity().nodes_stepped()),
+          static_cast<unsigned long long>(network.activity().nodes_skipped()));
+    }
+    return trace.quiescent_since() < steps ? 0 : 1;
+  };
+  const std::size_t shards = parse_shards(args);
+  if (shards >= 2) {
+    sim::ShardedNetwork network(d.graph, protocol, *medium, shards, threads);
+    return drive(network);
   }
-  std::size_t heads = 0;
-  for (char flag : protocol.head_flags()) heads += flag != 0;
-  std::printf("final cluster-heads: %zu\n", heads);
-  if (stepping == sim::Stepping::kDirty) {
-    std::printf("dirty stepping: %llu rule sweeps run, %llu elided\n",
-                static_cast<unsigned long long>(network.activity().nodes_stepped()),
-                static_cast<unsigned long long>(network.activity().nodes_skipped()));
-  }
-  return trace.quiescent_since() < steps ? 0 : 1;
+  sim::Network network(d.graph, protocol, *medium, threads);
+  return drive(network);
 }
 
 int run_routing(const util::Args& args, util::Rng& rng) {
@@ -767,7 +801,9 @@ int run_campaign(const util::Args& args) {
   }
 
   const auto plan = campaign::expand(spec);
-  campaign::CampaignRunner runner(threads);
+  campaign::ExecutionOptions exec;
+  exec.shards = parse_shards(args);
+  campaign::CampaignRunner runner(threads, exec);
   if (!args.get_bool("quiet", false)) {
     std::printf("campaign '%s': %zu scenario(s) x %zu replication(s) = %zu "
                 "run(s) on %u thread(s)\n",
@@ -810,7 +846,7 @@ void usage() {
       "           [--dot F] [--csv F] [--map]\n"
       "  protocol --n N --radius R [--grid] [--seed S] [--tau T]\n"
       "           [--steps K] [--corrupt FRAC] [--dag] [--fusion]\n"
-      "           [--threads N] [--scheduler sync|async]\n"
+      "           [--threads N] [--shards N] [--scheduler sync|async]\n"
       "           [--daemon synchronous|randomized|unfair]\n"
       "           [--period SECS] [--period-jitter FRAC]\n"
       "           [--link-delay SECS]\n"
@@ -820,8 +856,8 @@ void usage() {
       "           [--windows W] [--window-s SECS]\n"
       "           [--stepping full|dirty]\n"
       "  routing  --n N --radius R [--grid] [--seed S] [--pairs K]\n"
-      "  campaign <spec-file> [--threads N] [--csv F] [--json F]\n"
-      "           [--quiet] [--replications N] [--seed S]\n"
+      "  campaign <spec-file> [--threads N] [--shards N] [--csv F]\n"
+      "           [--json F] [--quiet] [--replications N] [--seed S]\n"
       "  verify   [--trials N] [--classes all|c1,c2,...] [--n-min A]\n"
       "           [--n-max B] [--radius R] [--variant V] [--tau T]\n"
       "           [--steps H] [--seed S] [--threads N] [--repro F]\n"
@@ -830,6 +866,10 @@ void usage() {
       "  --threads N  step-engine / runner parallelism; 0 = hardware\n"
       "               concurrency, default 1; results are identical\n"
       "               for any value\n"
+      "  --shards N   spatially sharded sync engine (protocol/campaign):\n"
+      "               0/1 = unsharded (default), >= 2 carves the node\n"
+      "               range into N shards with per-pair boundary\n"
+      "               mailboxes; bit-identical results at any value\n"
       "  --seed S     experiment seed (campaign: overrides seed_base)\n"
       "  --scheduler  execution engine: sync (lockstep steps, default)\n"
       "               or async (event-driven: per-node jittered\n"
@@ -871,11 +911,12 @@ const std::map<std::string, std::vector<std::string>> kKnownFlags = {
       "dot", "csv", "map"}},
     {"protocol",
      {"n", "radius", "grid", "tau", "steps", "corrupt", "dag", "fusion",
-      "threads", "scheduler", "daemon", "period", "period-jitter",
+      "threads", "shards", "scheduler", "daemon", "period", "period-jitter",
       "link-delay", "live", "topology", "mobility", "speed-min", "speed-max",
       "windows", "window-s", "stepping"}},
     {"routing", {"n", "radius", "grid", "pairs"}},
-    {"campaign", {"threads", "csv", "json", "quiet", "replications"}},
+    {"campaign",
+     {"threads", "shards", "csv", "json", "quiet", "replications"}},
     {"verify",
      {"trials", "classes", "n-min", "n-max", "radius", "variant", "tau",
       "steps", "threads", "repro", "quiet"}},

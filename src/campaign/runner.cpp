@@ -19,6 +19,7 @@
 #include "sim/loss.hpp"
 #include "sim/network.hpp"
 #include "sim/parallel.hpp"
+#include "sim/sharded_network.hpp"
 #include "stabilize/convergence.hpp"
 #include "topology/generators.hpp"
 #include "topology/ids.hpp"
@@ -135,7 +136,8 @@ std::unique_ptr<mobility::MobilityModel> make_mover(
 /// protocol discovers only through its own cache aging.
 RunMetrics execute_live_run(const ScenarioConfig& config,
                             const topology::IdAssignment& ids,
-                            util::Rng& rng, RunWorkspace& ws) {
+                            util::Rng& rng, RunWorkspace& ws,
+                            const ExecutionOptions& exec) {
   // Fixed split order (see execute_async_run).
   util::Rng protocol_rng = rng.split();
   util::Rng loss_rng = rng.split();
@@ -216,47 +218,61 @@ RunMetrics execute_live_run(const ScenarioConfig& config,
   RunMetrics out;
   const bool dirty = config.stepping == SteppingKind::kDirty;
   if (config.scheduler == SchedulerKind::kSync) {
-    sim::Network network(g, protocol, *medium, 1);
-    // expand() rejects dirty+sync with tau < 1, so this never throws.
-    if (dirty) network.set_stepping(sim::Stepping::kDirty);
-    // Unified units with the async engine: one synchronous step is one
-    // broadcast round ≈ one window_s of virtual time.
-    auto settle = [&] {
-      legitimacy.reset();
-      std::size_t rounds = 0;
-      const std::uint64_t base = network.messages_delivered();
-      return stabilize::run_until_stable_virtual(
-          [&] {
-            network.step();
-            return static_cast<double>(++rounds) * config.window_s;
-          },
-          [&] { return network.messages_delivered() - base; },
-          [&] { return legitimacy.check(); }, confirm_s, horizon_s);
-    };
+    // Generic over the two sync engines: sim::Network and
+    // sim::ShardedNetwork expose the same stepping surface and are
+    // bit-identical, so the shard knob swaps the type without touching
+    // the run logic (or the results).
+    auto drive_sync = [&](auto& network) {
+      // expand() rejects dirty+sync with tau < 1, so this never throws.
+      if (dirty) network.set_stepping(sim::Stepping::kDirty);
+      // Unified units with the async engine: one synchronous step is one
+      // broadcast round ≈ one window_s of virtual time.
+      auto settle = [&] {
+        legitimacy.reset();
+        std::size_t rounds = 0;
+        const std::uint64_t base = network.messages_delivered();
+        return stabilize::run_until_stable_virtual(
+            [&] {
+              network.step();
+              return static_cast<double>(++rounds) * config.window_s;
+            },
+            [&] { return network.messages_delivered() - base; },
+            [&] { return legitimacy.check(); }, confirm_s, horizon_s);
+      };
 
-    const auto cold = settle();
-    out.converge_time =
-        cold.converged ? cold.stabilization_time_s : cold.time_simulated_s;
-    out.messages = static_cast<double>(
-        cold.converged ? cold.messages_to_converge : cold.messages_total);
+      const auto cold = settle();
+      out.converge_time =
+          cold.converged ? cold.stabilization_time_s : cold.time_simulated_s;
+      out.messages = static_cast<double>(
+          cold.converged ? cold.messages_to_converge : cold.messages_total);
 
-    for (std::size_t window = 0; window < config.steps; ++window) {
-      if (mover) mover->step(ws.points, config.window_s);
-      if (churn) churn->step();
-      if (incremental) {
-        // apply_topology_delta also wakes the closed neighborhood of
-        // every delta endpoint under dirty stepping, so quiescent nodes
-        // near a change re-run their rules next step.
-        network.apply_topology_delta(live->update(ws.points, alive_span()));
-      } else {
-        // Rebuild mode mutates the Graph in place with no delta: under
-        // dirty stepping quiescent nodes would never learn of the change,
-        // so re-announce the graph — set_graph wakes every node.
-        rebuild_graph();
-        if (dirty) network.set_graph(g);
+      for (std::size_t window = 0; window < config.steps; ++window) {
+        if (mover) mover->step(ws.points, config.window_s);
+        if (churn) churn->step();
+        if (incremental) {
+          // apply_topology_delta also wakes the closed neighborhood of
+          // every delta endpoint under dirty stepping, so quiescent nodes
+          // near a change re-run their rules next step.
+          network.apply_topology_delta(live->update(ws.points, alive_span()));
+        } else {
+          // Rebuild mode mutates the Graph in place with no delta, so
+          // re-announce it: under dirty stepping quiescent nodes would
+          // never learn of the change (set_graph wakes every node), and
+          // the sharded engine caches boundary-sender lists it must
+          // rebuild. For the unsharded full stepper this is a no-op.
+          rebuild_graph();
+          network.set_graph(g);
+        }
+        recompute_oracle();
+        record_window(settle(), 0.0);
       }
-      recompute_oracle();
-      record_window(settle(), 0.0);
+    };
+    if (exec.shards >= 2) {
+      sim::ShardedNetwork network(g, protocol, *medium, exec.shards, 1);
+      drive_sync(network);
+    } else {
+      sim::Network network(g, protocol, *medium, 1);
+      drive_sync(network);
     }
   } else {
     sim::AsyncConfig async;
@@ -343,7 +359,7 @@ RunMetrics execute_verify_run(const ScenarioConfig& config,
 }  // namespace
 
 RunMetrics execute_run(const ScenarioConfig& config, std::uint64_t seed,
-                       RunWorkspace& ws) {
+                       RunWorkspace& ws, const ExecutionOptions& exec) {
   // Verify trials own their whole world (deployment included, drawn
   // from the seed inside run_trial); dispatch before the shared
   // deployment draw below.
@@ -383,7 +399,7 @@ RunMetrics execute_run(const ScenarioConfig& config, std::uint64_t seed,
   // identically, so every mode over the same topology axes sees the
   // same world.
   if (config.protocol_live) {
-    return execute_live_run(config, ids, rng, ws);
+    return execute_live_run(config, ids, rng, ws, exec);
   }
   if (config.scheduler == SchedulerKind::kAsync) {
     return execute_async_run(config, ids, rng, ws);
@@ -451,10 +467,11 @@ RunMetrics execute_run(const ScenarioConfig& config, std::uint64_t seed,
   return out;
 }
 
-CampaignRunner::CampaignRunner(unsigned threads)
+CampaignRunner::CampaignRunner(unsigned threads, const ExecutionOptions& exec)
     : threads_(threads == 0
                    ? std::max(1u, std::thread::hardware_concurrency())
-                   : threads) {}
+                   : threads),
+      exec_(exec) {}
 
 std::vector<RunMetrics> CampaignRunner::run(const CampaignPlan& plan) {
   std::vector<RunMetrics> results(plan.runs.size());
@@ -465,7 +482,7 @@ std::vector<RunMetrics> CampaignRunner::run(const CampaignPlan& plan) {
     for (std::size_t i = 0; i < plan.runs.size(); ++i) {
       const auto& entry = plan.runs[i];
       results[i] =
-          execute_run(plan.grid[entry.grid_index].config, entry.seed, ws);
+          execute_run(plan.grid[entry.grid_index].config, entry.seed, ws, exec_);
     }
     return results;
   }
@@ -477,6 +494,7 @@ std::vector<RunMetrics> CampaignRunner::run(const CampaignPlan& plan) {
     std::vector<RunWorkspace>* workspaces;
     std::vector<std::size_t>* free_slots;
     std::mutex* mutex;
+    const ExecutionOptions* exec;
   };
   // One workspace per pool thread; a range claims one for its duration.
   // At most thread_count() ranges execute concurrently, so the free list
@@ -486,7 +504,7 @@ std::vector<RunMetrics> CampaignRunner::run(const CampaignPlan& plan) {
   free_slots.reserve(workspaces.size());
   for (std::size_t i = 0; i < workspaces.size(); ++i) free_slots.push_back(i);
   std::mutex mutex;
-  Ctx ctx{&plan, results.data(), &workspaces, &free_slots, &mutex};
+  Ctx ctx{&plan, results.data(), &workspaces, &free_slots, &mutex, &exec_};
 
   pool.parallel_for(
       plan.runs.size(), 1,
@@ -502,7 +520,7 @@ std::vector<RunMetrics> CampaignRunner::run(const CampaignPlan& plan) {
         for (std::size_t i = begin; i < end; ++i) {
           const auto& entry = ctx.plan->runs[i];
           ctx.results[i] = execute_run(ctx.plan->grid[entry.grid_index].config,
-                                       entry.seed, ws);
+                                       entry.seed, ws, *ctx.exec);
         }
         const std::scoped_lock lock(*ctx.mutex);
         ctx.free_slots->push_back(slot);

@@ -80,20 +80,42 @@ struct RunWorkspace {
   core::ClusteringResult previous;
 };
 
+/// Execution knobs that must never influence results. Like the runner's
+/// thread count — and unlike every ScenarioConfig axis — these are NOT
+/// part of the experiment's identity: they never enter canonical config
+/// strings or run seeds, and campaign outputs are byte-identical at any
+/// value (the sharded engine is bit-identical to sim::Network, asserted
+/// by tests/sim/sharded_equivalence_test.cpp and the campaign replay
+/// tests).
+struct ExecutionOptions {
+  /// 0 or 1 = the unsharded sim::Network; >= 2 = sim::ShardedNetwork
+  /// with that many contiguous shards. Applies to synchronous
+  /// protocol-live runs (the only campaign path that steps a sync
+  /// engine); classic-window and async runs ignore it.
+  std::size_t shards = 0;
+};
+
 /// Executes one run of `config` from `seed`. All randomness derives from
 /// `seed`; two calls with equal arguments return identical metrics —
 /// for async configs the whole event trace is deterministic, so this
-/// holds for the event-driven engine too.
+/// holds for the event-driven engine too, and `exec` cannot perturb the
+/// result (see ExecutionOptions).
 [[nodiscard]] RunMetrics execute_run(const ScenarioConfig& config,
-                                     std::uint64_t seed, RunWorkspace& ws);
+                                     std::uint64_t seed, RunWorkspace& ws,
+                                     const ExecutionOptions& exec = {});
 
 class CampaignRunner {
  public:
   /// `threads` is the total parallelism including the caller; 0 means
-  /// hardware concurrency. 1 runs everything inline.
-  explicit CampaignRunner(unsigned threads = 1);
+  /// hardware concurrency. 1 runs everything inline. `exec` carries the
+  /// result-neutral engine knobs every run shares.
+  explicit CampaignRunner(unsigned threads = 1,
+                          const ExecutionOptions& exec = {});
 
   [[nodiscard]] unsigned thread_count() const noexcept { return threads_; }
+  [[nodiscard]] const ExecutionOptions& execution() const noexcept {
+    return exec_;
+  }
 
   /// Runs every entry of the plan and returns the metrics in plan order.
   /// Deterministic for any thread count.
@@ -101,6 +123,7 @@ class CampaignRunner {
 
  private:
   unsigned threads_;
+  ExecutionOptions exec_;
 };
 
 }  // namespace ssmwn::campaign

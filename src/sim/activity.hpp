@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -38,6 +39,11 @@ enum class Stepping {
 
 class ActivityTracker {
  public:
+  /// Growth ceiling for `wake` past the reset size: a node index beyond
+  /// this is a corrupt id (e.g. kInvalidNode), not a late-arriving
+  /// topology delta, and would turn the resize into an OOM.
+  static constexpr std::size_t kMaxTrackedNode = std::size_t{1} << 31;
+
   /// Sizes the tracker for `n` nodes and empties both sets; with
   /// `all_active`, every node is queued for the next step (how a dirty
   /// run starts: quiescence is discovered, never assumed). Counters are
@@ -58,8 +64,19 @@ class ActivityTracker {
     last_stepped_ = last_skipped_ = 0;
   }
 
-  /// Queues `p` for the next step (idempotent).
+  /// Queues `p` for the next step (idempotent). A wake past the last
+  /// `reset` size is legal — a live topology delta or a shard handoff
+  /// can reference nodes the tracker has not been resized for yet — and
+  /// grows the mark array instead of indexing out of bounds. The assert
+  /// rejects ids past kMaxTrackedNode: those are corrupt (a stray
+  /// kInvalidNode would otherwise become an 8-billion-entry resize).
   void wake(graph::NodeId p) {
+    if (p >= next_mark_.size()) {
+      assert(p < kMaxTrackedNode &&
+             "ActivityTracker::wake: node id far beyond any reset size "
+             "(corrupt id?)");
+      next_mark_.resize(static_cast<std::size_t>(p) + 1, 0);
+    }
     if (!next_mark_[p]) {
       next_mark_[p] = 1;
       next_list_.push_back(p);

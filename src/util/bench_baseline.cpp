@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -149,16 +150,24 @@ std::size_t BenchCompareReport::regressions() const {
   return count;
 }
 
+std::size_t BenchCompareReport::integrity_failures(bool allow_missing) const {
+  std::size_t count = non_finite.size();
+  if (!allow_missing) count += missing_rates.size() + extra_rates.size();
+  return count;
+}
+
 BenchCompareReport compare_benchmarks(
     const std::vector<BenchRecord>& baseline,
     const std::vector<BenchRecord>& candidate, double tolerance) {
   BenchCompareReport report;
   for (const BenchRecord& base : baseline) {
+    if (!std::isfinite(base.value)) report.non_finite.push_back(base);
     const auto match =
         std::find_if(candidate.begin(), candidate.end(),
                      [&](const BenchRecord& c) { return same_series(c, base); });
     if (match == candidate.end()) {
       report.unmatched.push_back(base);
+      if (is_rate_metric(base.metric)) report.missing_rates.push_back(base);
       continue;
     }
     BenchComparison cmp;
@@ -169,29 +178,61 @@ BenchCompareReport compare_benchmarks(
     cmp.regression = cmp.gated && cmp.ratio < 1.0 - tolerance;
     report.compared.push_back(std::move(cmp));
   }
+  for (const BenchRecord& cand : candidate) {
+    if (!std::isfinite(cand.value)) report.non_finite.push_back(cand);
+    if (!is_rate_metric(cand.metric)) continue;
+    const auto match =
+        std::find_if(baseline.begin(), baseline.end(),
+                     [&](const BenchRecord& b) { return same_series(b, cand); });
+    if (match == baseline.end()) report.extra_rates.push_back(cand);
+  }
   return report;
 }
 
 std::string render_comparison(const BenchCompareReport& report,
-                              double tolerance) {
+                              double tolerance, bool allow_missing) {
   std::ostringstream out;
   out << "bench_compare: " << report.compared.size() << " series, tolerance "
       << tolerance * 100.0 << "%\n";
+  const auto series = [&out](const BenchRecord& b) -> std::ostringstream& {
+    out << b.bench << " / " << b.name << " [" << b.metric << ", n=" << b.n
+        << ", threads=" << b.threads << "]";
+    return out;
+  };
   for (const auto& c : report.compared) {
-    const BenchRecord& b = c.baseline;
     out << (c.regression ? "  REGRESSION " : (c.gated ? "  ok         "
-                                                      : "  (info)     "))
-        << b.bench << " / " << b.name << " [" << b.metric << ", n=" << b.n
-        << ", threads=" << b.threads << "]: " << b.value << " -> "
-        << c.candidate_value << " (" << c.ratio * 100.0 << "%)\n";
+                                                      : "  (info)     "));
+    series(c.baseline) << ": " << c.baseline.value << " -> "
+                       << c.candidate_value << " (" << c.ratio * 100.0
+                       << "%)\n";
   }
   for (const auto& b : report.unmatched) {
-    out << "  missing    " << b.bench << " / " << b.name << " [" << b.metric
-        << ", n=" << b.n << ", threads=" << b.threads
-        << "]: no candidate record (warn only)\n";
+    const bool rate = is_rate_metric(b.metric);
+    out << (rate ? (allow_missing ? "  missing-ok " : "  MISSING    ")
+                 : "  (info)     ");
+    series(b) << ": no candidate record"
+              << (rate ? (allow_missing ? " (allowed by --allow-missing)"
+                                        : " — gated series vanished")
+                       : " (warn only)")
+              << "\n";
+  }
+  for (const auto& b : report.extra_rates) {
+    out << (allow_missing ? "  extra-ok   " : "  EXTRA      ");
+    series(b) << ": candidate rate series has no baseline"
+              << (allow_missing ? " (allowed by --allow-missing)"
+                                : " — commit a baseline or drop the series")
+              << "\n";
+  }
+  for (const auto& b : report.non_finite) {
+    out << "  NON-FINITE ";
+    series(b) << ": value " << b.value << " is not a number\n";
   }
   const std::size_t bad = report.regressions();
-  if (bad > 0) {
+  const std::size_t broken = report.integrity_failures(allow_missing);
+  if (broken > 0) {
+    out << "FAIL: " << broken << " integrity failure(s) — the gate cannot "
+        << "trust its inputs\n";
+  } else if (bad > 0) {
     out << "FAIL: " << bad << " gated metric(s) regressed beyond "
         << tolerance * 100.0 << "%\n";
   } else {
@@ -199,6 +240,11 @@ std::string render_comparison(const BenchCompareReport& report,
         << "%\n";
   }
   return out.str();
+}
+
+int compare_exit_code(const BenchCompareReport& report, bool allow_missing) {
+  if (report.integrity_failures(allow_missing) > 0) return 3;
+  return report.regressions() > 0 ? 1 : 0;
 }
 
 }  // namespace ssmwn::util

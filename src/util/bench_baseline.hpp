@@ -55,11 +55,31 @@ struct BenchComparison {
 
 struct BenchCompareReport {
   std::vector<BenchComparison> compared;
-  /// Baseline series with no matching candidate record (warn only: a
-  /// size-capped CI smoke run legitimately covers fewer points).
+  /// Baseline series with no matching candidate record. Non-rate series
+  /// here are informational; rate series are duplicated into
+  /// `missing_rates` and treated as integrity failures (see below).
   std::vector<BenchRecord> unmatched;
+  /// *Rate* series in the baseline with no candidate record. A gate
+  /// that silently skips the very series it exists to gate is a silent
+  /// pass — an integrity failure unless the caller explicitly allows
+  /// reduced coverage (a size-capped CI smoke run).
+  std::vector<BenchRecord> missing_rates;
+  /// Rate series in the candidate with no baseline record: perf data
+  /// flowing past the gate ungated (typically a bench whose baseline
+  /// was never committed). Integrity failure unless allowed — a capped
+  /// smoke run may also measure points the full-scale baseline lacks.
+  std::vector<BenchRecord> extra_rates;
+  /// Records (either side) whose value is NaN or infinite. Every ratio
+  /// comparison against such a value is vacuously false, so a NaN
+  /// candidate would sail through the regression gate; always an
+  /// integrity failure, never allowed.
+  std::vector<BenchRecord> non_finite;
 
   [[nodiscard]] std::size_t regressions() const;
+  /// Count of integrity failures under the given policy: `non_finite`
+  /// always counts; `missing_rates` and `extra_rates` only when
+  /// `allow_missing` is false.
+  [[nodiscard]] std::size_t integrity_failures(bool allow_missing) const;
 };
 
 /// Compares candidate against baseline at fractional `tolerance`
@@ -69,8 +89,19 @@ struct BenchCompareReport {
     const std::vector<BenchRecord>& baseline,
     const std::vector<BenchRecord>& candidate, double tolerance);
 
-/// Human-readable summary (one line per comparison, regressions marked).
+/// Human-readable summary (one line per comparison; regressions and
+/// integrity failures marked, the latter downgraded to warnings where
+/// `allow_missing` applies).
 [[nodiscard]] std::string render_comparison(const BenchCompareReport& report,
-                                            double tolerance);
+                                            double tolerance,
+                                            bool allow_missing = false);
+
+/// The exit-code policy tools/bench_compare.cpp ships: 0 pass,
+/// 1 regression, 3 integrity failure (missing/extra rate series unless
+/// allowed, non-finite values always). Integrity outranks regression —
+/// a gate that cannot trust its inputs must not report a mere slowdown.
+/// (2 is reserved for usage / I/O errors, decided before comparison.)
+[[nodiscard]] int compare_exit_code(const BenchCompareReport& report,
+                                    bool allow_missing);
 
 }  // namespace ssmwn::util

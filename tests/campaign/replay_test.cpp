@@ -92,10 +92,11 @@ replications  = 2
 seed_base     = 717171
 )";
 
-Rendered render_campaign_text(const char* text, unsigned threads) {
+Rendered render_campaign_text(const char* text, unsigned threads,
+                              const campaign::ExecutionOptions& exec = {}) {
   const auto spec = campaign::parse_spec_text(text);
   const auto plan = campaign::expand(spec);
-  campaign::CampaignRunner runner(threads);
+  campaign::CampaignRunner runner(threads, exec);
   const auto results = runner.run(plan);
   campaign::MetricsAggregator aggregator(plan.grid.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -361,6 +362,38 @@ TEST(CampaignReplay, NonDirtyPlansKeepTheirSchemas) {
     EXPECT_FALSE(campaign::plan_uses_dirty(
         campaign::expand(campaign::parse_spec_text(text))));
   }
+}
+
+TEST(CampaignReplay, ShardCountDoesNotChangeTheBytes) {
+  // `--shards` is an execution knob like `--threads`, never a spec axis:
+  // it must not enter canonical strings or run seeds, and the sharded
+  // engine is bit-identical to sim::Network, so every campaign output is
+  // byte-identical at any shard count. Sweep the live plans — the only
+  // paths that step a synchronous engine — plus the dirty-stepping plan
+  // to cover the sharded quiescence path, at shard counts that exercise
+  // one-shard fallback, small, prime, and shards > nodes.
+  for (const char* text : {kLiveSpecText, kDirtySpecText}) {
+    const auto unsharded = render_campaign_text(text, 1);
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{7},
+                                     std::size_t{64}}) {
+      campaign::ExecutionOptions exec;
+      exec.shards = shards;
+      const auto sharded = render_campaign_text(text, 1, exec);
+      EXPECT_EQ(unsharded.csv, sharded.csv) << "shards=" << shards;
+      EXPECT_EQ(unsharded.json, sharded.json) << "shards=" << shards;
+      // Sharding composes with the threaded runner.
+      const auto pooled = render_campaign_text(text, 2, exec);
+      EXPECT_EQ(unsharded.csv, pooled.csv) << "shards=" << shards;
+      EXPECT_EQ(unsharded.json, pooled.json) << "shards=" << shards;
+    }
+  }
+  // Non-live plans never touch the sync engine; the knob is inert.
+  campaign::ExecutionOptions exec;
+  exec.shards = 7;
+  const auto classic = render_campaign_text(kSpecText, 1);
+  const auto classic_sharded = render_campaign_text(kSpecText, 1, exec);
+  EXPECT_EQ(classic.csv, classic_sharded.csv);
+  EXPECT_EQ(classic.json, classic_sharded.json);
 }
 
 TEST(CampaignReplay, ReportsAreWellFormed) {

@@ -1,0 +1,157 @@
+// Shard-plan invariants: the partitioner must hand sim::ShardedNetwork
+// a monotone cover of a true permutation for every input shape —
+// including the degenerate ones (n = 0, shards > nodes, single-node
+// shards) the sharded sweeps must survive without empty-range UB — and
+// the renumbering must preserve adjacency exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "topology/generators.hpp"
+#include "topology/point.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+TEST(Partition, ContiguousPlanIsIdentityPermutation) {
+  const auto plan = graph::plan_contiguous_shards(10, 4);
+  ASSERT_TRUE(plan.valid());
+  EXPECT_EQ(plan.node_count(), 10u);
+  EXPECT_EQ(plan.shard_count(), 4u);
+  for (graph::NodeId p = 0; p < 10; ++p) {
+    EXPECT_EQ(plan.to_new[p], p);
+    EXPECT_EQ(plan.to_old[p], p);
+  }
+  // Equal chunks: sizes differ by at most one and cover [0, n).
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const std::size_t size = plan.bounds[s + 1] - plan.bounds[s];
+    EXPECT_GE(size, 10u / 4u);
+    EXPECT_LE(size, 10u / 4u + 1u);
+  }
+}
+
+TEST(Partition, DegenerateShapesAreClamped) {
+  // n = 0: one empty shard, still a valid cover.
+  {
+    const auto plan = graph::plan_contiguous_shards(0, 8);
+    ASSERT_TRUE(plan.valid());
+    EXPECT_EQ(plan.shard_count(), 1u);
+    EXPECT_EQ(plan.bounds.front(), 0u);
+    EXPECT_EQ(plan.bounds.back(), 0u);
+  }
+  // shards = 0 is promoted to 1.
+  {
+    const auto plan = graph::plan_contiguous_shards(5, 0);
+    ASSERT_TRUE(plan.valid());
+    EXPECT_EQ(plan.shard_count(), 1u);
+  }
+  // shards > nodes clamps to single-node shards.
+  {
+    const auto plan = graph::plan_contiguous_shards(3, 100);
+    ASSERT_TRUE(plan.valid());
+    EXPECT_EQ(plan.shard_count(), 3u);
+    for (std::size_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(plan.bounds[s + 1] - plan.bounds[s], 1u);
+    }
+  }
+}
+
+TEST(Partition, ShardOfAgreesWithBounds) {
+  const auto plan = graph::plan_contiguous_shards(23, 7);
+  ASSERT_TRUE(plan.valid());
+  for (graph::NodeId p = 0; p < 23; ++p) {
+    const std::size_t s = plan.shard_of(p);
+    EXPECT_GE(static_cast<std::size_t>(p), plan.bounds[s]);
+    EXPECT_LT(static_cast<std::size_t>(p), plan.bounds[s + 1]);
+  }
+}
+
+TEST(Partition, SpatialPlanIsValidAndCellMajor) {
+  util::Rng rng(42);
+  const auto points = topology::uniform_points(200, rng);
+  const double radius = 0.1;
+  const auto plan = graph::plan_spatial_shards(points, radius, 8);
+  ASSERT_TRUE(plan.valid());
+  EXPECT_EQ(plan.shard_count(), 8u);
+
+  // Cell-major: the cell index sequence along the new numbering must be
+  // non-decreasing (same geometry as the UDG bucket grid), with ties
+  // broken by ascending original index.
+  double min_x = points[0].x, max_x = points[0].x;
+  double min_y = points[0].y, max_y = points[0].y;
+  for (const auto& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const auto cells_x = static_cast<std::size_t>((max_x - min_x) / radius) + 1;
+  const auto cells_y = static_cast<std::size_t>((max_y - min_y) / radius) + 1;
+  auto cell_of = [&](const topology::Point& p) {
+    auto cx = static_cast<std::size_t>((p.x - min_x) / radius);
+    auto cy = static_cast<std::size_t>((p.y - min_y) / radius);
+    return std::min(cy, cells_y - 1) * cells_x + std::min(cx, cells_x - 1);
+  };
+  for (std::size_t i = 1; i < plan.to_old.size(); ++i) {
+    const auto prev = cell_of(points[plan.to_old[i - 1]]);
+    const auto cur = cell_of(points[plan.to_old[i]]);
+    ASSERT_LE(prev, cur) << "not cell-major at new index " << i;
+    if (prev == cur) {
+      ASSERT_LT(plan.to_old[i - 1], plan.to_old[i])
+          << "cell tie not broken by original index at new index " << i;
+    }
+  }
+}
+
+TEST(Partition, SpatialPlanRejectsNonPositiveRadius) {
+  util::Rng rng(1);
+  const auto points = topology::uniform_points(10, rng);
+  EXPECT_THROW(graph::plan_spatial_shards(points, 0.0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(graph::plan_spatial_shards(points, -1.0, 2),
+               std::invalid_argument);
+}
+
+TEST(Partition, PermuteGraphPreservesAdjacencyExactly) {
+  util::Rng rng(7);
+  const auto points = topology::uniform_points(150, rng);
+  const double radius = 0.12;
+  const auto g = topology::unit_disk_graph(points, radius);
+  const auto plan = graph::plan_spatial_shards(points, radius, 5);
+  ASSERT_TRUE(plan.valid());
+  const auto h = graph::permute_graph(g, plan);
+
+  ASSERT_EQ(h.node_count(), g.node_count());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  for (graph::NodeId p = 0; p < g.node_count(); ++p) {
+    // h's row for to_new[p], pulled back through to_old, must be g's
+    // row for p (both sorted ascending by CSR construction).
+    std::vector<graph::NodeId> expected(g.neighbors(p).begin(),
+                                        g.neighbors(p).end());
+    std::vector<graph::NodeId> actual;
+    for (const graph::NodeId r : h.neighbors(plan.to_new[p])) {
+      actual.push_back(plan.to_old[r]);
+    }
+    std::sort(actual.begin(), actual.end());
+    ASSERT_EQ(actual, expected) << "adjacency differs at node " << p;
+  }
+}
+
+TEST(Partition, PermutedReordersPayloadVectors) {
+  const graph::ShardPlan plan{{2, 0, 1}, {1, 2, 0}, {0, 3}};
+  ASSERT_TRUE(plan.valid());
+  const std::vector<int> values{10, 20, 30};
+  const auto out = graph::permuted(plan, values);
+  // result[new] = values[to_old[new]].
+  EXPECT_EQ(out, (std::vector<int>{20, 30, 10}));
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -211,5 +211,33 @@ TEST(Quiescence, AsyncActivationsKeepFiringButSweepsStop) {
             frozen.size());
 }
 
+TEST(Quiescence, TrackerWakePastResetSizeGrowsInsteadOfUB) {
+  // Regression: `wake` used to index `next_mark_[p]` unchecked, so a
+  // live topology delta or a shard handoff referencing a node past the
+  // last reset size was silent out-of-bounds UB. It must grow instead,
+  // and the late-woken nodes must come out of begin_step like any other.
+  sim::ActivityTracker t;
+  t.reset(4, /*all_active=*/false);
+  t.wake(2);
+  t.wake(9);   // past the reset size: grows
+  t.wake(9);   // idempotent across the growth
+  t.wake(17);  // grows again
+  t.begin_step();
+  const auto active = t.active();
+  ASSERT_EQ(active.size(), 3u);
+  EXPECT_EQ(active[0], 2u);
+  EXPECT_EQ(active[1], 9u);
+  EXPECT_EQ(active[2], 17u);
+  // The grown slots behave normally afterwards: re-wake, promote, drain.
+  t.wake(17);
+  t.begin_step();
+  ASSERT_EQ(t.active().size(), 1u);
+  EXPECT_EQ(t.active()[0], 17u);
+  // A fresh reset shrinks back and clears every mark.
+  t.reset(2, /*all_active=*/false);
+  t.begin_step();
+  EXPECT_TRUE(t.active().empty());
+}
+
 }  // namespace
 }  // namespace ssmwn

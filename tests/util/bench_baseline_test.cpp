@@ -6,6 +6,7 @@
 // with a looser tolerance because shared runners are noisy).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -93,15 +94,99 @@ TEST(BenchBaseline, ToleranceOverrideLoosensTheGate) {
             0u);
 }
 
-TEST(BenchBaseline, MissingCandidateRecordsWarnOnly) {
-  // A size-capped smoke run covers fewer points than the checked-in
-  // baseline; that must not fail the gate.
+TEST(BenchBaseline, MissingRateSeriesIsAnIntegrityFailure) {
+  // Regression for the silent-pass case: dropping the very ticks/s
+  // series the gate exists to watch used to warn and exit 0. It is now
+  // an integrity failure (exit 3) unless --allow-missing says a
+  // reduced-scale smoke run is expected to cover fewer points.
   const auto baseline = parse(kBaselineJson);
   std::vector<util::BenchRecord> candidate{baseline[0]};
   const auto report = util::compare_benchmarks(baseline, candidate, 0.10);
   EXPECT_EQ(report.compared.size(), 1u);
   EXPECT_EQ(report.unmatched.size(), 2u);
+  // Of the two unmatched series only "dirty ticks/s" is a rate; the
+  // "speedup" ratio stays informational.
+  ASSERT_EQ(report.missing_rates.size(), 1u);
+  EXPECT_EQ(report.missing_rates[0].name, "dirty");
   EXPECT_EQ(report.regressions(), 0u);
+  EXPECT_EQ(report.integrity_failures(/*allow_missing=*/false), 1u);
+  EXPECT_EQ(report.integrity_failures(/*allow_missing=*/true), 0u);
+  EXPECT_EQ(util::compare_exit_code(report, /*allow_missing=*/false), 3);
+  EXPECT_EQ(util::compare_exit_code(report, /*allow_missing=*/true), 0);
+}
+
+TEST(BenchBaseline, ExtraCandidateRateSeriesIsAnIntegrityFailure) {
+  // The vice-versa silent pass: a candidate rate series with no
+  // baseline is perf data flowing past the gate ungated (a bench whose
+  // baseline was never committed) — it used to be ignored entirely.
+  const auto baseline = parse(kBaselineJson);
+  auto candidate = baseline;
+  candidate.push_back(parse(R"({
+    "bench": "sharded_steps",
+    "records": [
+      {"name": "sharded", "n": 1000000, "threads": 4, "metric": "ticks/s", "value": 12.5}
+    ]
+  })")[0]);
+  // A non-rate extra stays invisible to the gate.
+  candidate.push_back(parse(R"({
+    "bench": "sharded_steps",
+    "records": [
+      {"name": "sharded", "n": 1000000, "threads": 4, "metric": "boundary_fraction", "value": 0.03}
+    ]
+  })")[0]);
+  const auto report = util::compare_benchmarks(baseline, candidate, 0.10);
+  ASSERT_EQ(report.extra_rates.size(), 1u);
+  EXPECT_EQ(report.extra_rates[0].bench, "sharded_steps");
+  EXPECT_EQ(report.integrity_failures(false), 1u);
+  EXPECT_EQ(report.integrity_failures(true), 0u);
+  EXPECT_EQ(util::compare_exit_code(report, false), 3);
+  EXPECT_EQ(util::compare_exit_code(report, true), 0);
+}
+
+TEST(BenchBaseline, NonFiniteValuesNeverPass) {
+  // NaN poisons every ratio comparison into `false`, so a NaN candidate
+  // used to sail through the regression gate as a pass. The parser
+  // accepts the token (a bench that divided by zero writes it) and the
+  // comparator must flag it regardless of --allow-missing.
+  const auto baseline = parse(kBaselineJson);
+  auto nan_candidate = parse(R"({
+    "bench": "dirty_stepping",
+    "records": [
+      {"name": "full", "n": 100000, "threads": 1, "metric": "ticks/s", "value": nan},
+      {"name": "dirty", "n": 100000, "threads": 1, "metric": "ticks/s", "value": 2400},
+      {"name": "dirty", "n": 100000, "threads": 1, "metric": "speedup", "value": 19.9}
+    ]
+  })");
+  ASSERT_EQ(nan_candidate.size(), 3u);
+  const auto report = util::compare_benchmarks(baseline, nan_candidate, 0.10);
+  // The NaN comparison itself must not read as a regression pass...
+  EXPECT_EQ(report.regressions(), 0u);
+  // ...because it reads as an integrity failure, even with the smoke
+  // policy in force.
+  ASSERT_EQ(report.non_finite.size(), 1u);
+  EXPECT_EQ(report.non_finite[0].name, "full");
+  EXPECT_EQ(util::compare_exit_code(report, /*allow_missing=*/true), 3);
+  EXPECT_EQ(util::compare_exit_code(report, /*allow_missing=*/false), 3);
+
+  // Infinities are just as poisonous, on either side.
+  auto inf_baseline = baseline;
+  inf_baseline[0].value = std::numeric_limits<double>::infinity();
+  const auto rep2 =
+      util::compare_benchmarks(inf_baseline, parse(kBaselineJson), 0.10);
+  EXPECT_GE(rep2.non_finite.size(), 1u);
+  EXPECT_EQ(util::compare_exit_code(rep2, true), 3);
+}
+
+TEST(BenchBaseline, IntegrityOutranksRegression) {
+  // When the inputs are untrustworthy *and* slower, report the broken
+  // gate (exit 3), not the slowdown (exit 1).
+  const auto baseline = parse(kBaselineJson);
+  auto candidate = scaled(0.5);
+  candidate.pop_back();  // drop "speedup" (info — no integrity hit)
+  candidate[1].value = std::numeric_limits<double>::quiet_NaN();
+  const auto report = util::compare_benchmarks(baseline, candidate, 0.10);
+  EXPECT_GT(report.regressions(), 0u);
+  EXPECT_EQ(util::compare_exit_code(report, true), 3);
 }
 
 TEST(BenchBaseline, SeriesMatchingUsesAllKeyFields) {
@@ -111,6 +196,9 @@ TEST(BenchBaseline, SeriesMatchingUsesAllKeyFields) {
   const auto report = util::compare_benchmarks(baseline, candidate, 0.10);
   ASSERT_EQ(report.unmatched.size(), 1u);
   EXPECT_EQ(report.unmatched[0].name, "full");
+  // The 8-thread candidate row is itself an unmatched rate series.
+  ASSERT_EQ(report.extra_rates.size(), 1u);
+  EXPECT_EQ(report.extra_rates[0].threads, 8u);
 }
 
 TEST(BenchBaseline, RateMetricDetection) {

@@ -1,155 +1,209 @@
-// Micro-benchmarks (google-benchmark) for the hot paths of the library:
-// UDG construction, density computation, the clustering solver, DAG
-// renaming, one distributed protocol step, and the SoA compare kernels
-// the quiescence machinery runs every step. These quantify the cost
-// model behind the bench harness, not any table of the paper.
-#include <benchmark/benchmark.h>
+// Kernel-level micro-benchmarks for the protocol's hot paths: the
+// density computation, the branchless intersection kernels under the
+// balanced and skewed shapes the density rule produces, the SoA compare
+// scans the differential harness runs every step, and the per-step cost
+// of incremental density maintenance against the full-recompute oracle.
+// Self-contained timing (no external benchmark framework); emits
+// BENCH_micro.json via bench_support::JsonReport so the numbers join
+// the tracked baseline trajectory in bench/baselines/.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "core/clustering.hpp"
-#include "core/dag_ids.hpp"
+#include "bench_support.hpp"
 #include "core/density.hpp"
 #include "core/protocol.hpp"
 #include "core/soa_state.hpp"
 #include "sim/network.hpp"
-#include "topology/generators.hpp"
-#include "topology/ids.hpp"
-#include "topology/udg.hpp"
+#include "util/merge.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace ssmwn;
+using Clock = std::chrono::steady_clock;
 
-struct Fixture {
-  std::vector<topology::Point> points;
-  graph::Graph graph;
-  topology::IdAssignment ids;
-};
-
-Fixture make_fixture(std::size_t n, double radius, std::uint64_t seed) {
-  util::Rng rng(seed);
-  Fixture f;
-  f.points = topology::uniform_points(n, rng);
-  f.graph = topology::unit_disk_graph(f.points, radius);
-  f.ids = topology::random_ids(n, rng);
-  return f;
-}
-
-void BM_UnitDiskGraph(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(1);
-  const auto points = topology::uniform_points(n, rng);
-  const double radius = std::sqrt(8.0 / (3.14159 * static_cast<double>(n)));
-  for (auto _ : state) {
-    auto g = topology::unit_disk_graph(points, radius);
-    benchmark::DoNotOptimize(g.edge_count());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_UnitDiskGraph)->Arg(250)->Arg(1000)->Arg(4000);
-
-void BM_DensityAllNodes(benchmark::State& state) {
-  const auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 0.08, 2);
-  for (auto _ : state) {
-    auto d = core::compute_densities(f.graph);
-    benchmark::DoNotOptimize(d.data());
+/// Calibrated timing: runs `op` in growing batches until the measured
+/// window exceeds ~40ms, then reports seconds per call. Deterministic
+/// work only — `op` must not depend on how often it runs.
+template <typename Op>
+double seconds_per_call(Op&& op) {
+  std::size_t reps = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i) op();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (elapsed > 0.04) return elapsed / static_cast<double>(reps);
+    reps *= 4;
   }
 }
-BENCHMARK(BM_DensityAllNodes)->Arg(250)->Arg(1000)->Arg(4000);
 
-void BM_ClusterDensityBasic(benchmark::State& state) {
-  const auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 0.08, 3);
-  for (auto _ : state) {
-    auto r = core::cluster_density(f.graph, f.ids, {});
-    benchmark::DoNotOptimize(r.heads.size());
+/// Sorted unique ascending keys with pseudo-random gaps.
+std::vector<std::uint64_t> sorted_keys(std::size_t n, util::Rng& rng) {
+  std::vector<std::uint64_t> keys(n);
+  std::uint64_t v = 0;
+  for (auto& k : keys) {
+    v += 1 + rng.below(16);
+    k = v;
   }
-}
-BENCHMARK(BM_ClusterDensityBasic)->Arg(250)->Arg(1000);
-
-void BM_ClusterDensityFusion(benchmark::State& state) {
-  const auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 0.08, 4);
-  core::ClusterOptions opt;
-  opt.fusion = true;
-  for (auto _ : state) {
-    auto r = core::cluster_density(f.graph, f.ids, opt);
-    benchmark::DoNotOptimize(r.heads.size());
-  }
-}
-BENCHMARK(BM_ClusterDensityFusion)->Arg(250)->Arg(1000);
-
-void BM_DagRenaming(benchmark::State& state) {
-  const auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 0.08, 5);
-  util::Rng rng(6);
-  for (auto _ : state) {
-    auto dag = core::build_dag_ids(f.graph, f.ids, {}, rng);
-    benchmark::DoNotOptimize(dag.rounds);
-  }
-}
-BENCHMARK(BM_DagRenaming)->Arg(250)->Arg(1000);
-
-void BM_ProtocolStep(benchmark::State& state) {
-  const auto f = make_fixture(static_cast<std::size_t>(state.range(0)), 0.08, 7);
-  core::ProtocolConfig config;
-  config.delta_hint = f.graph.max_degree();
-  core::DensityProtocol protocol(f.ids, config, util::Rng(8));
-  sim::PerfectDelivery loss;
-  sim::Network network(f.graph, protocol, loss);
-  network.run(5);  // warm caches so steps are steady-state
-  for (auto _ : state) {
-    network.step();
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_ProtocolStep)->Arg(100)->Arg(400);
-
-// Two populated scalar populations, bit-identical except for a sparse
-// sprinkle of divergent rows near the end — the shape the differential
-// harness sees (identical until a stepping bug flips something late).
-std::pair<core::NodeScalars, core::NodeScalars> make_populations(
-    std::size_t n, std::uint64_t seed) {
-  util::Rng rng(seed);
-  core::NodeScalars a;
-  a.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    a.dag_id[i] = rng();
-    a.metric[i] = rng.uniform();
-    a.head[i] = static_cast<topology::ProtocolId>(rng() % n);
-    a.parent[i] = static_cast<topology::ProtocolId>(rng() % n);
-    a.metric_valid[i] = 1;
-    a.head_valid[i] = static_cast<std::uint8_t>(rng() % 2);
-    a.parent_valid[i] = a.head_valid[i];
-  }
-  core::NodeScalars b = a;
-  for (std::size_t i = n - n / 64; i < n; i += 7) b.head[i] ^= 1;
-  return {std::move(a), std::move(b)};
+  return keys;
 }
 
-// The per-step cost of the bitwise equivalence check: seven flat
-// column scans (vectorizable) instead of one gather-heavy row loop.
-void BM_SoaFirstDivergentRow(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto [a, b] = make_populations(n, 2026);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::first_divergent_row(a, b));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_SoaFirstDivergentRow)->Arg(1000)->Arg(100000);
-
-void BM_SoaCountDivergentRows(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto [a, b] = make_populations(n, 2027);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::count_divergent_rows(a, b));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_SoaCountDivergentRows)->Arg(1000)->Arg(100000);
+volatile std::size_t sink;  // keeps the optimizer honest
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::print_header(
+      "Micro — hot-path kernels",
+      "Density computation, branchless intersection kernels (balanced "
+      "and skewed), the SoA divergence scans, and a full protocol step "
+      "under incremental vs recompute density maintenance",
+      1);
+
+  util::Rng root(util::bench_seed());
+  bench::JsonReport json("micro");
+  util::Table table("Kernel throughput (higher is better)");
+  table.header({"kernel", "shape", "rate"});
+
+  // --- intersection kernels -------------------------------------------
+  // Balanced (radio-degree lists) and skewed (a short delta against a
+  // long cache) — the two shapes intersect_count dispatches between.
+  {
+    util::Rng rng = root.split();
+    struct Shape {
+      const char* name;
+      std::size_t na, nb;
+    };
+    const Shape shapes[] = {{"8x8", 8, 8},
+                            {"64x64", 64, 64},
+                            {"8x1024", 8, 1024}};
+    for (const auto& s : shapes) {
+      const auto a = sorted_keys(s.na, rng);
+      const auto b = sorted_keys(s.nb, rng);
+      const double linear = seconds_per_call([&] {
+        sink = util::intersect_count_linear(a.data(), a.size(), b.data(),
+                                            b.size());
+      });
+      const double gallop = seconds_per_call([&] {
+        sink = util::intersect_count_gallop(a.data(), a.size(), b.data(),
+                                            b.size());
+      });
+      const double elems =
+          static_cast<double>(s.na + s.nb);
+      table.row({"intersect_linear", s.name,
+                 util::Table::num(elems / linear / 1e6, 1) + " Melem/s"});
+      table.row({"intersect_gallop", s.name,
+                 util::Table::num(elems / gallop / 1e6, 1) + " Melem/s"});
+      json.add(std::string("intersect/linear/") + s.name, s.na + s.nb, 1,
+               "elem/s", elems / linear);
+      json.add(std::string("intersect/gallop/") + s.name, s.na + s.nb, 1,
+               "elem/s", elems / gallop);
+    }
+  }
+
+  // --- first_mismatch_index -------------------------------------------
+  // The block-scan primitive under the SoA column compares: an all-equal
+  // prefix at memory bandwidth, divergence in the last block.
+  {
+    util::Rng rng = root.split();
+    const std::size_t n = 1 << 20;
+    auto a = sorted_keys(n, rng);
+    auto b = a;
+    b[n - 3] ^= 1;
+    const double t = seconds_per_call(
+        [&] { sink = util::first_mismatch_index(a.data(), b.data(), n); });
+    table.row({"first_mismatch", "1M u64",
+               util::Table::num(static_cast<double>(n) / t / 1e9, 2) +
+                   " Gelem/s"});
+    json.add("mismatch/u64", n, 1, "elem/s", static_cast<double>(n) / t);
+  }
+
+  // --- SoA divergence scans -------------------------------------------
+  {
+    util::Rng rng = root.split();
+    const std::size_t n = 100000;
+    core::NodeScalars a;
+    a.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a.dag_id[i] = rng();
+      a.metric[i] = rng.uniform();
+      a.head[i] = static_cast<topology::ProtocolId>(rng() % n);
+      a.parent[i] = static_cast<topology::ProtocolId>(rng() % n);
+      a.metric_valid[i] = 1;
+      a.head_valid[i] = static_cast<std::uint8_t>(rng() % 2);
+      a.parent_valid[i] = a.head_valid[i];
+    }
+    core::NodeScalars b = a;
+    b.head[n - 5] ^= 1;
+    const double t_first = seconds_per_call(
+        [&] { sink = core::first_divergent_row(a, b); });
+    const double t_count = seconds_per_call(
+        [&] { sink = core::count_divergent_rows(a, b); });
+    table.row({"soa_first_divergent", "100k rows",
+               util::Table::num(static_cast<double>(n) / t_first / 1e6, 1) +
+                   " Mrow/s"});
+    table.row({"soa_count_divergent", "100k rows",
+               util::Table::num(static_cast<double>(n) / t_count / 1e6, 1) +
+                   " Mrow/s"});
+    json.add("soa/first_divergent_row", n, 1, "row/s",
+             static_cast<double>(n) / t_first);
+    json.add("soa/count_divergent_rows", n, 1, "row/s",
+             static_cast<double>(n) / t_count);
+  }
+
+  // --- density ---------------------------------------------------------
+  {
+    util::Rng rng = root.split();
+    const auto inst = bench::poisson_instance(
+        4000.0, std::sqrt(8.0 / (3.14159 * 4000.0)), rng);
+    const std::size_t nodes = inst.graph.node_count();
+    const double t = seconds_per_call([&] {
+      const auto d = core::compute_densities(inst.graph);
+      sink = d.size();
+    });
+    table.row({"compute_densities", "poisson 4k deg8",
+               util::Table::num(static_cast<double>(nodes) / t / 1e6, 2) +
+                   " Mnode/s"});
+    json.add("density/compute", nodes, 1, "node/s",
+             static_cast<double>(nodes) / t);
+  }
+
+  // --- protocol step: incremental vs recompute ------------------------
+  // The tentpole's cost model in one number pair: identical worlds, one
+  // protocol maintaining e(N_p) by delta, one recomputing per R1 firing.
+  {
+    const util::Rng step_rng = root.split();
+    for (const auto maintenance : {core::DensityMaintenance::kIncremental,
+                                   core::DensityMaintenance::kRecompute}) {
+      util::Rng rng = step_rng;  // identical world + protocol state
+      const auto inst = bench::poisson_instance(
+          4000.0, std::sqrt(8.0 / (3.14159 * 4000.0)), rng);
+      core::ProtocolConfig config;
+      config.cluster.use_dag_ids = true;
+      config.cluster.fusion = true;
+      config.delta_hint =
+          std::max<std::uint64_t>(2, inst.graph.max_degree());
+      config.density_maintenance = maintenance;
+      auto protocol = core::DensityProtocol(inst.ids, config, rng.split());
+      sim::PerfectDelivery loss;
+      sim::Network network(inst.graph, protocol, loss, 1);
+      network.run(3);  // caches full, payloads still churning
+      const double t = seconds_per_call([&] { network.step(); });
+      const bool inc = maintenance == core::DensityMaintenance::kIncremental;
+      table.row({inc ? "step_incremental" : "step_recompute",
+                 "poisson 4k deg8",
+                 util::Table::num(1.0 / t, 1) + " steps/s"});
+      json.add(inc ? "step/incremental" : "step/recompute",
+               inst.graph.node_count(), 1, "steps/s", 1.0 / t);
+    }
+  }
+
+  bench::print(table);
+  json.write();
+  return 0;
+}

@@ -2,39 +2,22 @@
 
 #include <algorithm>
 
+#include "util/merge.hpp"
+
 namespace ssmwn::core {
-
-namespace {
-
-/// |sorted_a ∩ sorted_b| by linear merge.
-std::size_t intersection_size(std::span<const graph::NodeId> a,
-                              std::span<const graph::NodeId> b) noexcept {
-  std::size_t count = 0;
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
-}
-
-}  // namespace
 
 double node_density(const graph::Graph& g, graph::NodeId p) {
   const auto neighbors = g.neighbors(p);
   if (neighbors.empty()) return 0.0;
   // Each neighbor q contributes |N_q ∩ N_p| ordered pairs of adjacent
-  // neighbors; halving yields e(N_p).
+  // neighbors; halving yields e(N_p). The branchless merge/gallop kernel
+  // picks its strategy per pair of adjacency lists (skewed degrees are
+  // common at cluster borders).
   std::size_t ordered_pairs = 0;
   for (graph::NodeId q : neighbors) {
-    ordered_pairs += intersection_size(g.neighbors(q), neighbors);
+    const auto nq = g.neighbors(q);
+    ordered_pairs += util::intersect_count(nq.data(), nq.size(),
+                                           neighbors.data(), neighbors.size());
   }
   const std::size_t links = neighbors.size() + ordered_pairs / 2;
   return static_cast<double>(links) / static_cast<double>(neighbors.size());

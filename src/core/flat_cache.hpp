@@ -59,17 +59,43 @@ class FlatMap {
   }
 
   /// Inserts a default-constructed value at the sorted position if absent.
+  ///
+  /// Self-aliasing safe: `key` may be a reference into this map's own
+  /// storage (`m[m.begin()->first]`, a key field inside a stored value).
+  /// The insert shifts the tail — and may reallocate — which would leave
+  /// such a reference dangling mid-insert, so the key is copied to a
+  /// local before any storage moves.
   Value& operator[](const Key& key) {
-    auto it = lower_bound(key);
-    if (it == items_.end() || it->first != key) {
-      it = items_.insert(it, Item{key, Value{}});
+    const std::size_t pos =
+        static_cast<std::size_t>(lower_bound(key) - items_.begin());
+    if (pos < items_.size() && items_[pos].first == key) {
+      return items_[pos].second;
     }
-    return it->second;
+    const Key stable_key = key;  // `key` may alias into items_
+    items_.insert(items_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  Item{stable_key, Value{}});
+    return items_[pos].second;
   }
 
   iterator erase(iterator it) { return items_.erase(it); }
 
+  /// Erases by key; returns true if an entry was removed.
+  bool erase(const Key& key) {
+    auto it = find(key);
+    if (it == items_.end()) return false;
+    items_.erase(it);
+    return true;
+  }
+
+  /// Capacity is retained across `clear()` — after warm-up, re-filling
+  /// to at most the high-water size never touches the heap. The per-node
+  /// digest pools and the zero-allocation audit rely on this.
   void clear() noexcept { items_.clear(); }
+
+  void reserve(std::size_t n) { items_.reserve(n); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return items_.capacity();
+  }
 
  private:
   [[nodiscard]] iterator lower_bound(const Key& key) noexcept {

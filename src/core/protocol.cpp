@@ -1,30 +1,79 @@
 #include "core/protocol.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <sstream>
+#include <stdexcept>
+
+#include "util/env.hpp"
+#include "util/merge.hpp"
 
 namespace ssmwn::core {
 
 namespace {
 
-/// Binary search for `id` in a digest vector sorted by id.
-bool digest_contains(const std::vector<NeighborDigest>& digests,
-                     topology::ProtocolId id) {
-  auto it = std::lower_bound(
-      digests.begin(), digests.end(), id,
-      [](const NeighborDigest& d, topology::ProtocolId key) {
-        return d.id < key;
-      });
-  return it != digests.end() && it->id == id;
+/// Key projection for the sorted-by-id digest kernels.
+struct DigestId {
+  topology::ProtocolId operator()(const NeighborDigest& d) const noexcept {
+    return d.id;
+  }
+};
+
+/// Binary search for `id` in a digest list sorted by id.
+bool digest_contains(const DigestList& digests, topology::ProtocolId id) {
+  return util::contains_sorted(digests.data(), digests.size(), id, DigestId{});
 }
 
-bool digest_lists_equal(const std::vector<NeighborDigest>& cached,
-                        std::span<const NeighborDigest> incoming) {
-  if (cached.size() != incoming.size()) return false;
-  for (std::size_t i = 0; i < cached.size(); ++i) {
-    if (!digest_bits_equal(cached[i], incoming[i])) return false;
+using Cache = FlatMap<topology::ProtocolId, DensityProtocol::CacheEntry>;
+
+/// Pairwise believed-link count over a cache: a pair (q, r) of cached
+/// neighbors counts iff either relayed digest list names the other. The
+/// trusted reference the incremental count is maintained against — kept
+/// in the most transparent form (same shape as the pre-maintenance R1).
+std::uint64_t recompute_links(const Cache& cache) {
+  std::uint64_t links = 0;
+  for (auto a = cache.begin(); a != cache.end(); ++a) {
+    for (auto b = std::next(a); b != cache.end(); ++b) {
+      if (digest_contains(a->second.digests, b->first) ||
+          digest_contains(b->second.digests, a->first)) {
+        ++links;
+      }
+    }
   }
-  return true;
+  return links;
+}
+
+/// How many believed links the entry `(q, list)` carries: pairs (q, r)
+/// over the *other* cached neighbors r with r ∈ list or q ∈ r's list.
+/// One merge of `list` against the cache keys plus a reverse-containment
+/// probe for the unmatched keys — the delta applied when an entry is
+/// inserted (list = the incoming digests, entry already in the cache) or
+/// evicted (list = the stored digests, entry not yet erased).
+std::uint64_t entry_link_count(const Cache& cache, topology::ProtocolId q,
+                               std::span<const NeighborDigest> list) {
+  std::uint64_t links = 0;
+  std::size_t i = 0;
+  for (const auto& [key, other] : cache) {
+    if (key == q) continue;
+    while (i < list.size() && list[i].id < key) ++i;
+    const bool believed = (i < list.size() && list[i].id == key) ||
+                          digest_contains(other.digests, q);
+    links += static_cast<std::uint64_t>(believed);
+  }
+  return links;
+}
+
+/// ±1 contribution of one id flipping in/out of q's digest list: the
+/// pair (q, x) gains/loses existence only if x is another cached
+/// neighbor whose own list does not already name q (the OR keeps the
+/// pair alive regardless of q's side).
+std::uint64_t delta_if_sole_witness(const Cache& cache, topology::ProtocolId q,
+                                    topology::ProtocolId x) {
+  if (x == q) return 0;  // (q, q) is not a pair
+  const auto it = cache.find(x);
+  if (it == cache.end()) return 0;  // x not cached: no pair either way
+  return digest_contains(it->second.digests, q) ? 0 : 1;
 }
 
 }  // namespace
@@ -44,6 +93,19 @@ DensityProtocol::DensityProtocol(topology::IdAssignment uids,
     aux_[p].rng = rng.split();
     cols_.dag_id[p] = aux_[p].rng.below(name_space_);
   }
+
+  maintenance_ = config_.density_maintenance;
+  if (maintenance_ == DensityMaintenance::kIncremental &&
+      util::env_int("SSMWN_CHECK_DENSITY", 0) != 0) {
+    maintenance_ = DensityMaintenance::kChecked;
+  }
+  maintain_links_ = config_.metric == ElectionMetric::Density &&
+                    maintenance_ != DensityMaintenance::kRecompute;
+  links_among_.assign(uids_.size(), 0);
+  // Stale at birth: the first R1 firing per node computes the count from
+  // whatever the cache then holds (trivially 0 for an empty cache).
+  links_fresh_.assign(uids_.size(), 0);
+  resync_.assign(uids_.size(), 0);
 
   // The paper's program, verbatim as guarded commands. Guards that are
   // plain `true` in the paper stay `true` here; N1's effective guard is
@@ -96,13 +158,48 @@ DensityProtocol::Frame DensityProtocol::make_frame(
   return frame;
 }
 
+bool DensityProtocol::deliver_payload(graph::NodeId receiver,
+                                      const FrameHeader& header,
+                                      std::span<const Digest> digests) {
+  // Tracking needs the full compare's change bits; resync means the
+  // engine's proof says nothing about what the cache now holds.
+  if (tracking_ || resync_[receiver] != 0) return false;
+  if (header.id == uids_[receiver]) return true;  // dropped either way
+  NodeAux& aux = aux_[receiver];
+  const auto it = aux.cache.find(header.id);
+  if (it == aux.cache.end()) return false;  // evicted: reinsert via deliver
+  CacheEntry& entry = it->second;
+  if (entry.digests.size() != digests.size()) return false;
+  // Engine-proved: the stored id sequence equals the incoming one, so
+  // the believed-link count cannot move and the whole delivery is the
+  // header fields, the digest payloads, and the age reset. The copy
+  // rewrites the (identical) ids too — cheaper than skipping them.
+  entry.dag_id = header.dag_id;
+  entry.metric = header.metric;
+  entry.metric_valid = header.metric_valid;
+  entry.head = header.head;
+  entry.head_valid = header.head_valid;
+  std::copy(digests.begin(), digests.end(), entry.digests.data());
+  entry.age = 0;
+  return true;
+}
+
 void DensityProtocol::deliver(graph::NodeId receiver,
                               const FrameHeader& header,
                               std::span<const Digest> digests) {
   if (header.id == uids_[receiver]) return;  // defensive: never cache oneself
-  auto& cache = aux_[receiver].cache;
-  if (!tracking_) {
+  NodeAux& aux = aux_[receiver];
+  auto& cache = aux.cache;
+  // Apply link-count deltas only while the maintained count is trusted;
+  // after an external mutation the next R1 recomputes from scratch and
+  // deliveries until then just write content.
+  const bool maintain = maintain_links_ && links_fresh_[receiver] != 0;
+
+  if (!tracking_ && !maintain) {
+    // Classic blind overwrite — the cheapest path, taken by the
+    // kRecompute oracle and by any node whose count is stale anyway.
     CacheEntry& entry = cache[header.id];
+    entry.digests.attach(*aux.digest_pool);
     entry.dag_id = header.dag_id;
     entry.metric = header.metric;
     entry.metric_valid = header.metric_valid;
@@ -113,41 +210,123 @@ void DensityProtocol::deliver(graph::NodeId receiver,
     return;
   }
 
-  // Tracked delivery: compare before overwrite. A differing header means
-  // the receiver's *own* next frame changes too (the digest row it
-  // relays for this sender is derived from exactly these fields); a
-  // difference only in the relayed digest list feeds R1/R2 but never
-  // re-enters a frame, so it wakes the receiver without waking the
-  // receiver's neighbors.
+  // Compare-and-delta delivery. One merge walk over the cached list and
+  // the incoming one yields everything at once: whether any digest id
+  // appeared/vanished (an e(N_p) delta and a rule-input change), whether
+  // any matched id's payload moved (a rule-input change only), and — via
+  // their disjunction — whether the stored list must be rewritten at
+  // all. A differing header means the receiver's *own* next frame
+  // changes too (the digest row it relays for this sender is derived
+  // from exactly these fields); a difference only in the relayed list
+  // feeds R1/R2 but never re-enters a frame, so it wakes the receiver
+  // without waking the receiver's neighbors.
   auto it = cache.find(header.id);
   bool header_diff;
   bool digests_diff;
   CacheEntry* entry;
   if (it == cache.end()) {
     entry = &cache[header.id];
+    entry->digests.attach(*aux.digest_pool);
     header_diff = true;
     digests_diff = true;
+    if (maintain) {
+      // Structural insert: the new entry's full pair contribution,
+      // evaluated against the incoming list (what the entry will hold).
+      links_among_[receiver] += entry_link_count(cache, header.id, digests);
+    }
   } else {
     entry = &it->second;
-    header_diff = entry->dag_id != header.dag_id ||
-                  !double_bits_equal(entry->metric, header.metric) ||
-                  entry->metric_valid != header.metric_valid ||
-                  entry->head != header.head ||
-                  entry->head_valid != header.head_valid;
-    digests_diff = !digest_lists_equal(entry->digests, digests);
+    entry->digests.attach(*aux.digest_pool);
+    // header_diff feeds only the dirty-tracking wake sets; the fields are
+    // rewritten below either way, so skip the compare when not tracking.
+    header_diff = tracking_ && (entry->dag_id != header.dag_id ||
+                                !double_bits_equal(entry->metric, header.metric) ||
+                                entry->metric_valid != header.metric_valid ||
+                                entry->head != header.head ||
+                                entry->head_valid != header.head_valid);
+    const NeighborDigest* olds = entry->digests.data();
+    const std::size_t na = entry->digests.size();
+    const std::size_t nb = digests.size();
+    // One branchless pass, two accumulators: e(N_p) depends only on the
+    // *id sequence* (which neighbors the sender claims to hear), so in
+    // the common active-regime delivery — payload churn (metrics, DAG
+    // ids, head bits) over a stable neighborhood — the list is rewritten
+    // but no delta walk runs at all.
+    bool ids_diff = na != nb;
+    if (!ids_diff) {
+      std::uint64_t id_acc = 0;
+      std::uint64_t payload_acc = 0;
+      for (std::size_t k = 0; k < na; ++k) {
+        const NeighborDigest& a = olds[k];
+        const NeighborDigest& b = digests[k];
+        id_acc |= a.id ^ b.id;
+        payload_acc |= (a.dag_id ^ b.dag_id) |
+                       (std::bit_cast<std::uint64_t>(a.metric) ^
+                        std::bit_cast<std::uint64_t>(b.metric)) |
+                       static_cast<std::uint64_t>(a.metric_valid != b.metric_valid) |
+                       static_cast<std::uint64_t>(a.is_head != b.is_head);
+      }
+      ids_diff = id_acc != 0;
+      digests_diff = ids_diff || payload_acc != 0;
+    } else {
+      digests_diff = true;
+    }
+    if (maintain && ids_diff) {
+      // Delta walk over the two sorted id sequences, by *group* of equal
+      // ids: the believed-link count has set semantics (an id listed
+      // twice — possible only in a fault-planted list — still witnesses
+      // its pair once), so each distinct id that flips in or out moves
+      // the count by at most one.
+      std::size_t i = 0, j = 0;
+      while (i < na || j < nb) {
+        if (j >= nb || (i < na && olds[i].id < digests[j].id)) {
+          const topology::ProtocolId x = olds[i].id;  // vanished from list
+          links_among_[receiver] -=
+              delta_if_sole_witness(cache, header.id, x);
+          do { ++i; } while (i < na && olds[i].id == x);
+        } else if (i >= na || digests[j].id < olds[i].id) {
+          const topology::ProtocolId x = digests[j].id;  // newly listed
+          links_among_[receiver] +=
+              delta_if_sole_witness(cache, header.id, x);
+          do { ++j; } while (j < nb && digests[j].id == x);
+        } else {
+          const topology::ProtocolId x = olds[i].id;  // present in both
+          do { ++i; } while (i < na && olds[i].id == x);
+          do { ++j; } while (j < nb && digests[j].id == x);
+        }
+      }
+    }
   }
   entry->dag_id = header.dag_id;
   entry->metric = header.metric;
   entry->metric_valid = header.metric_valid;
   entry->head = header.head;
   entry->head_valid = header.head_valid;
-  entry->digests.assign(digests.begin(), digests.end());
-  entry->age = 0;
-  if (header_diff || digests_diff) {
-    pending_[receiver] = 1;
-    step_state_changed_[receiver] = 1;
+  if (digests_diff) {
+    entry->digests.assign(digests.begin(), digests.end());
   }
-  if (header_diff) step_frame_changed_[receiver] = 1;
+  entry->age = 0;
+  if (tracking_) {
+    if (header_diff || digests_diff) {
+      pending_[receiver] = 1;
+      step_state_changed_[receiver] = 1;
+    }
+    if (header_diff) step_frame_changed_[receiver] = 1;
+  }
+}
+
+bool DensityProtocol::redeliver_unchanged(graph::NodeId receiver,
+                                          const FrameHeader& header) {
+  if (resync_[receiver] != 0) return false;
+  auto& cache = aux_[receiver].cache;
+  const auto it = cache.find(header.id);
+  if (it == cache.end()) return false;
+  // The entry already holds these exact bytes (engine-proved: the row is
+  // bit-identical to the one this receiver consumed last sweep), so the
+  // only delivery side effect left is the age reset. No tracking flags:
+  // nothing rule-relevant or frame-visible changed.
+  it->second.age = 0;
+  return true;
 }
 
 void DensityProtocol::deliver(graph::NodeId receiver, const Frame& frame) {
@@ -162,15 +341,63 @@ void DensityProtocol::deliver(graph::NodeId receiver, const Frame& frame) {
   deliver(receiver, header, frame.digests);
 }
 
+namespace {
+
+/// Re-packs every live digest span of `cache` into the front of `pool`,
+/// in cache iteration order, and drops slack capacity. Two phases so no
+/// scratch memory is needed: bump fresh spans past the current cursor
+/// (the buffer retains its capacity, so steady state stays
+/// allocation-free), then slide the now-contiguous live region down to
+/// offset zero with one memmove and rebase the lists.
+void compact_digest_pool(DigestPool& pool, Cache& cache) {
+  const std::uint32_t base = pool.cursor();
+  for (auto& item : cache) {
+    DigestList& list = item.second.digests;
+    if (list.empty()) {
+      list.drop_empty_span();
+      continue;
+    }
+    const std::uint32_t size = static_cast<std::uint32_t>(list.size());
+    const std::uint32_t new_off = pool.allocate(size);
+    std::memcpy(pool.at(new_off), pool.at(list.offset()),
+                size * sizeof(NeighborDigest));
+    list.compacted_to(new_off);
+  }
+  const std::uint32_t live = pool.cursor() - base;
+  if (live != 0) {
+    std::memmove(pool.at(0), pool.at(base), live * sizeof(NeighborDigest));
+    for (auto& item : cache) {
+      if (!item.second.digests.empty()) item.second.digests.shift_down(base);
+    }
+  }
+  pool.reset_counters(live);
+}
+
+}  // namespace
+
 void DensityProtocol::on_edge_removed(graph::NodeId a, graph::NodeId b) {
   if (a >= aux_.size() || b >= aux_.size()) return;
   const auto forget = [this](graph::NodeId node, graph::NodeId gone) {
     auto& cache = aux_[node].cache;
     if (const auto it = cache.find(uids_[gone]); it != cache.end()) {
+      // A clean structural eviction: the maintained count follows by
+      // delta, no invalidation needed (contrast mutable_state, where the
+      // caller may scribble anything).
+      if (maintain_links_ && links_fresh_[node] != 0) {
+        links_among_[node] -= entry_link_count(
+            cache, it->first,
+            {it->second.digests.data(), it->second.digests.size()});
+      }
       cache.erase(it);
+      if (aux_[node].digest_pool->fragmented()) {
+        compact_digest_pool(*aux_[node].digest_pool, cache);
+      }
       // The evicted digest row vanishes from the node's next frame, so
       // this counts as an external mutation: the node and (via the
       // stepper's closed-neighborhood wake) its neighbors must step.
+      // The cache also stopped matching what perfect delivery implies,
+      // so redeliveries must run full compares until the next sweep.
+      resync_[node] = 1;
       externally_touched(node);
     }
   };
@@ -267,8 +494,17 @@ std::vector<graph::NodeId> DensityProtocol::take_external_wakes() {
 
 void DensityProtocol::end_step(graph::NodeId node) {
   auto& cache = aux_[node].cache;
+  const bool maintain = maintain_links_ && links_fresh_[node] != 0;
   for (auto it = cache.begin(); it != cache.end();) {
     if (++it->second.age > config_.cache_max_age) {
+      if (maintain) {
+        // Evictions inside one sweep are sequential: each delta is
+        // evaluated against the cache as it stands, exactly mirroring a
+        // recompute after each erase.
+        links_among_[node] -= entry_link_count(
+            cache, it->first,
+            {it->second.digests.data(), it->second.digests.size()});
+      }
       if (tracking_) {
         // Eviction changes the cache (a rule input) and removes a digest
         // row from the node's next frame.
@@ -289,6 +525,15 @@ void DensityProtocol::end_step(graph::NodeId node) {
       ++it;
     }
   }
+  // Churn (evictions above, list regrowth in deliver) leaves holes in
+  // the node's digest slab; re-pack once dead capacity outweighs live.
+  if (aux_[node].digest_pool->fragmented()) {
+    compact_digest_pool(*aux_[node].digest_pool, cache);
+  }
+  // The sweep that just completed ran full compares for this receiver
+  // (redeliver_unchanged declines while the flag is up), so its cache
+  // again matches what the engines' delivered rows imply.
+  resync_[node] = 0;
 }
 
 NodeRank DensityProtocol::self_rank(const NodeState& s) const {
@@ -344,19 +589,30 @@ void DensityProtocol::rule_n1(NodeState& s) {
     // Also re-home a corrupted name that escaped the name space.
     if (s.dag_id < name_space_) return;
   }
-  // Draw uniformly from γ minus the cached neighbor names.
-  std::vector<std::uint64_t> taken;
-  taken.reserve(s.cache.size());
-  for (const auto& [id, entry] : s.cache) {
-    if (entry.dag_id < name_space_) taken.push_back(entry.dag_id);
+  // Draw uniformly from γ minus the cached neighbor names. Renaming
+  // happens throughout recovery (exactly when the zero-allocation audit
+  // watches the active regime), so the scratch list lives on the stack
+  // for any radio-scale degree; the heap fallback covers pathological
+  // fan-in only.
+  constexpr std::size_t kStackNames = 128;
+  std::uint64_t stack_names[kStackNames];
+  std::vector<std::uint64_t> heap_names;
+  std::uint64_t* taken = stack_names;
+  if (s.cache.size() > kStackNames) {
+    heap_names.resize(s.cache.size());
+    taken = heap_names.data();
   }
-  std::sort(taken.begin(), taken.end());
-  taken.erase(std::unique(taken.begin(), taken.end()), taken.end());
-  if (taken.size() >= name_space_) return;  // no free name; wait for aging
-  const std::uint64_t free_count = name_space_ - taken.size();
+  std::size_t count = 0;
+  for (const auto& [id, entry] : s.cache) {
+    if (entry.dag_id < name_space_) taken[count++] = entry.dag_id;
+  }
+  std::sort(taken, taken + count);
+  count = static_cast<std::size_t>(std::unique(taken, taken + count) - taken);
+  if (count >= name_space_) return;  // no free name; wait for aging
+  const std::uint64_t free_count = name_space_ - count;
   std::uint64_t candidate = s.rng.below(free_count);
-  for (std::uint64_t used : taken) {
-    if (used <= candidate) ++candidate;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (taken[i] <= candidate) ++candidate;
   }
   s.dag_id = candidate;
 }
@@ -370,22 +626,47 @@ void DensityProtocol::rule_r1(NodeState& s) {
   }
   // d_p = (|N_p| + e(N_p)) / |N_p| over the cached neighborhood; links
   // among neighbors are reconstructed from the relayed digests (an edge
-  // q—r is believed iff either endpoint lists the other).
+  // q—r is believed iff either endpoint lists the other). e(N_p) comes
+  // from the maintained count when it is fresh — the O(deg²) pairwise
+  // recompute runs only as the oracle, as the self-check, or once after
+  // an external mutation invalidated the count.
   if (degree == 0) {
+    if (maintain_links_) {
+      links_among_[s.node] = 0;
+      links_fresh_[s.node] = 1;
+    }
     s.metric = 0.0;
     s.metric_valid = true;
     return;
   }
-  std::size_t links = degree;
-  for (auto a = s.cache.begin(); a != s.cache.end(); ++a) {
-    auto b = a;
-    for (++b; b != s.cache.end(); ++b) {
-      if (digest_contains(a->second.digests, b->first) ||
-          digest_contains(b->second.digests, a->first)) {
-        ++links;
+  std::uint64_t among = 0;
+  switch (maintenance_) {
+    case DensityMaintenance::kRecompute:
+      among = recompute_links(s.cache);
+      break;
+    case DensityMaintenance::kIncremental:
+      if (links_fresh_[s.node] == 0) {
+        links_among_[s.node] = recompute_links(s.cache);
+        links_fresh_[s.node] = 1;
       }
+      among = links_among_[s.node];
+      break;
+    case DensityMaintenance::kChecked: {
+      const std::uint64_t full = recompute_links(s.cache);
+      if (links_fresh_[s.node] != 0 && links_among_[s.node] != full) {
+        throw std::logic_error(
+            "density maintenance invariant violated at node " +
+            std::to_string(s.node) + ": maintained e(N_p)=" +
+            std::to_string(links_among_[s.node]) + ", recomputed " +
+            std::to_string(full));
+      }
+      links_among_[s.node] = full;
+      links_fresh_[s.node] = 1;
+      among = full;
+      break;
     }
   }
+  const std::uint64_t links = degree + among;
   s.metric = static_cast<double>(links) / static_cast<double>(degree);
   s.metric_valid = true;
 }
@@ -505,6 +786,13 @@ namespace {
 
 void scramble_state(DensityProtocol::NodeState s, std::uint64_t name_space,
                     std::size_t node_count, util::Rng& rng) {
+  // Scribble the maintained link count too — deterministically (an LCG
+  // step of the old value) rather than from `rng`, so the corruption
+  // stream feeding the shared variables stays byte-identical to the
+  // pre-maintenance protocol. The caller has already invalidated the
+  // count, so recovery must not depend on what is written here.
+  s.links_among = s.links_among * 6364136223846793005ULL +
+                  1442695040888963407ULL;
   s.dag_id = rng.below(name_space * 2);  // may even escape the name space
   s.metric = rng.uniform(0.0, 8.0);
   s.metric_valid = rng.chance(0.75);
@@ -533,6 +821,8 @@ void scramble_state(DensityProtocol::NodeState s, std::uint64_t name_space,
 
 void DensityProtocol::corrupt_all(util::Rng& rng) {
   for (graph::NodeId p = 0; p < aux_.size(); ++p) {
+    links_fresh_[p] = 0;
+    resync_[p] = 1;
     scramble_state(view(p), name_space_, aux_.size(), rng);
     externally_touched(p);
   }
@@ -543,6 +833,8 @@ std::size_t DensityProtocol::corrupt_fraction(util::Rng& rng,
   std::size_t hit = 0;
   for (graph::NodeId p = 0; p < aux_.size(); ++p) {
     if (rng.chance(fraction)) {
+      links_fresh_[p] = 0;
+      resync_[p] = 1;
       scramble_state(view(p), name_space_, aux_.size(), rng);
       externally_touched(p);
       ++hit;
@@ -552,7 +844,10 @@ std::size_t DensityProtocol::corrupt_fraction(util::Rng& rng,
 }
 
 void DensityProtocol::reset_node(graph::NodeId p) {
+  links_fresh_[p] = 0;
+  resync_[p] = 1;
   NodeState s = view(p);
+  s.links_among = 0;
   s.dag_id = 0;
   s.metric = 0.0;
   s.metric_valid = 0;
@@ -625,7 +920,9 @@ std::optional<graph::NodeId> first_divergent_node(const DensityProtocol& a,
     if (p == scalar_first) return p;
     if (!cold_state_equal(a, b, p)) return p;
   }
-  if (scalar_first < a.node_count()) return graph::NodeId{scalar_first};
+  if (scalar_first < a.node_count()) {
+    return static_cast<graph::NodeId>(scalar_first);
+  }
   return std::nullopt;
 }
 

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -47,6 +48,7 @@
 #include "core/flat_cache.hpp"
 #include "core/options.hpp"
 #include "core/rank.hpp"
+#include "core/slab_pool.hpp"
 #include "core/soa_state.hpp"
 #include "graph/graph.hpp"
 #include "stabilize/rules.hpp"
@@ -109,6 +111,29 @@ enum class ElectionMetric {
   Degree,
 };
 
+/// Per-node digest storage: one slab pool per node, spans handed out to
+/// that node's cache entries (see slab_pool.hpp).
+using DigestPool = SlabPool<NeighborDigest>;
+using DigestList = PooledList<NeighborDigest>;
+
+/// How rule R1 obtains e(N_p), the believed-link count among cached
+/// neighbors. The three modes compute bit-identical metrics; they differ
+/// only in cost and checking.
+enum class DensityMaintenance {
+  /// Maintained per-node count, updated by delta on every cache
+  /// mutation; R1 is O(1). Falls back to one full recompute after any
+  /// external mutation (fault injection, `mutable_state`). The default.
+  kIncremental,
+  /// The pre-maintenance cost model: every R1 firing recomputes the
+  /// pairwise count from the digest lists. The debug oracle the
+  /// differential gate runs the incremental mode against.
+  kRecompute,
+  /// Incremental *and* recompute every firing, throwing std::logic_error
+  /// on any mismatch — the self-checking mode. `SSMWN_CHECK_DENSITY=1`
+  /// upgrades kIncremental to this at construction.
+  kChecked,
+};
+
 struct ProtocolConfig {
   ClusterOptions cluster;
 
@@ -125,6 +150,10 @@ struct ProtocolConfig {
   /// Steps without hearing a neighbor before its cache entry is evicted;
   /// tolerates frame loss (τ < 1) while still tracking topology changes.
   std::uint32_t cache_max_age = 8;
+
+  /// e(N_p) cost model for R1 (Density metric only; bit-identical
+  /// results in every mode).
+  DensityMaintenance density_maintenance = DensityMaintenance::kIncremental;
 };
 
 class DensityProtocol {
@@ -135,7 +164,9 @@ class DensityProtocol {
     bool metric_valid = false;
     topology::ProtocolId head = 0;
     bool head_valid = false;
-    std::vector<NeighborDigest> digests;  // sorted by id
+    /// Sorted by id; a span into the owning node's digest pool. Entries
+    /// are move-only as a consequence (see slab_pool.hpp).
+    DigestList digests;
     std::uint32_t age = 0;
   };
 
@@ -143,6 +174,11 @@ class DensityProtocol {
   /// scalars. Kept array-of-structs — the cache dominates and is
   /// variable-sized anyway.
   struct NodeAux {
+    /// Slab storage for every digest list in this node's cache. Behind a
+    /// unique_ptr so its address is stable when NodeAux itself moves
+    /// (the cache entries hold pointers to it). Declared before the
+    /// cache: entry destructors release their spans into it.
+    std::unique_ptr<DigestPool> digest_pool = std::make_unique<DigestPool>();
     /// Sorted by id — same iteration order as the std::map it replaced,
     /// but contiguous, so the per-step rule sweeps stream memory.
     FlatMap<topology::ProtocolId, CacheEntry> cache;
@@ -172,6 +208,15 @@ class DensityProtocol {
     util::Rng& rng;
     double& last_heard_s;
     std::uint64_t& deliveries;
+    /// Maintained e(N_p). Writable so fault injectors can corrupt it;
+    /// `mutable_state()` already marked the count stale, so whatever is
+    /// written here is recomputed away at the node's next R1 firing.
+    std::uint64_t& links_among;
+    /// The node's digest slab; planting cache entries by hand requires
+    /// `entry.digests.attach(s.digest_pool)` before writing the list.
+    DigestPool& digest_pool;
+    /// Graph index of this node (uids map to protocol ids, not indices).
+    graph::NodeId node;
   };
 
   /// Read-only counterpart of NodeState, returned by `state()`.
@@ -188,6 +233,9 @@ class DensityProtocol {
     const util::Rng& rng;
     const double& last_heard_s;
     const std::uint64_t& deliveries;
+    const std::uint64_t& links_among;
+    const DigestPool& digest_pool;
+    graph::NodeId node;
   };
 
   /// `uids[p]` is node p's globally-unique protocol identifier; `rng`
@@ -220,6 +268,48 @@ class DensityProtocol {
   /// duration of the call (the cache copies what it keeps).
   void deliver(graph::NodeId receiver, const FrameHeader& header,
                std::span<const Digest> digests);
+
+  // --- redelivery concept (sim::RedeliveryProtocol) --------------------
+  /// Fast path for a frame the engine proved bit-identical to the one
+  /// this receiver already consumed: only the delivery's bookkeeping
+  /// side effect remains (the cache entry's age resets). Returns false —
+  /// demanding the full compare path — when the entry is missing or the
+  /// receiver's cache was externally mutated since the last full sweep
+  /// (the engine's proof says nothing about state planted by a fault
+  /// injector).
+  bool redeliver_unchanged(graph::NodeId receiver, const FrameHeader& header);
+  /// Fast path for a frame whose *id sequence* the engine proved
+  /// unchanged since this receiver last consumed it (payloads — DAG ids,
+  /// metrics, head bits — may differ): e(N_p) depends only on which ids
+  /// each digest list names, so the delta walk and the compare both
+  /// vanish and the delivery collapses to a straight payload overwrite.
+  /// Returns false — demanding the full compare path — when the entry is
+  /// missing, its stored list disagrees with the engine's proof, the
+  /// receiver was externally mutated since the last full sweep, or
+  /// activity tracking needs the compare's change bits.
+  bool deliver_payload(graph::NodeId receiver, const FrameHeader& header,
+                       std::span<const Digest> digests);
+  /// Id-projection equality for the engine-side row compare backing
+  /// `deliver_payload`.
+  [[nodiscard]] static bool digest_id_equal(const Digest& a,
+                                            const Digest& b) noexcept {
+    return a.id == b.id;
+  }
+  /// Bitwise frame-header equality, the engine side of the redelivery
+  /// contract (field-wise — padding bytes never participate).
+  [[nodiscard]] static bool header_bits_equal(
+      const FrameHeader& a, const FrameHeader& b) noexcept {
+    return a.id == b.id && a.dag_id == b.dag_id &&
+           double_bits_equal(a.metric, b.metric) &&
+           a.metric_valid == b.metric_valid && a.head == b.head &&
+           a.head_valid == b.head_valid;
+  }
+  /// Digest counterpart; forwards to the namespace-scope predicate the
+  /// change detector and differential harness already use.
+  [[nodiscard]] static bool digest_bits_equal(const Digest& a,
+                                              const Digest& b) noexcept {
+    return core::digest_bits_equal(a, b);
+  }
 
   // --- dynamic-topology concept (sim::TopologyAwareProtocol) -----------
   /// Link-severed notification from a live topology change: each
@@ -292,10 +382,31 @@ class DensityProtocol {
   /// about to change).
   [[nodiscard]] NodeState mutable_state(graph::NodeId p) {
     externally_touched(p);
+    // Any field — the cache and digest lists included — may be about to
+    // change, so the maintained link count can no longer be trusted; the
+    // node's next R1 firing recomputes it from scratch. This is the
+    // self-stabilization story for the maintained count itself: external
+    // writes cannot plant a stale-but-trusted value.
+    links_fresh_[p] = 0;
+    // Same story for the engines' redelivery fast path: the cache may be
+    // about to stop matching what perfect delivery implies, so the next
+    // sweep must run full compares for this receiver (cleared by that
+    // sweep's end_step).
+    resync_[p] = 1;
     return view(p);
   }
   [[nodiscard]] const ProtocolConfig& config() const noexcept {
     return config_;
+  }
+  /// The resolved e(N_p) cost model (config, possibly upgraded to
+  /// kChecked by SSMWN_CHECK_DENSITY at construction).
+  [[nodiscard]] DensityMaintenance density_maintenance() const noexcept {
+    return maintenance_;
+  }
+  /// True iff node p's maintained link count currently carries the
+  /// invariant (== pairwise recompute over its cache). Test/debug hook.
+  [[nodiscard]] bool links_count_fresh(graph::NodeId p) const noexcept {
+    return links_fresh_[p] != 0;
   }
   [[nodiscard]] std::uint64_t name_space() const noexcept {
     return name_space_;
@@ -339,7 +450,10 @@ class DensityProtocol {
                      aux_[p].cache,
                      aux_[p].rng,
                      aux_[p].last_heard_s,
-                     aux_[p].deliveries};
+                     aux_[p].deliveries,
+                     links_among_[p],
+                     *aux_[p].digest_pool,
+                     p};
   }
   [[nodiscard]] ConstNodeState const_view(graph::NodeId p) const {
     return ConstNodeState{uids_[p],
@@ -353,7 +467,10 @@ class DensityProtocol {
                           aux_[p].cache,
                           aux_[p].rng,
                           aux_[p].last_heard_s,
-                          aux_[p].deliveries};
+                          aux_[p].deliveries,
+                          links_among_[p],
+                          *aux_[p].digest_pool,
+                          p};
   }
 
   [[nodiscard]] NodeRank self_rank(const NodeState& s) const;
@@ -377,6 +494,28 @@ class DensityProtocol {
   NodeScalars cols_;
   std::vector<NodeAux> aux_;
   stabilize::RuleEngine<NodeState> engine_;
+
+  // --- incremental e(N_p) maintenance ---------------------------------
+  /// Resolved cost model (config_.density_maintenance, possibly upgraded
+  /// to kChecked by the SSMWN_CHECK_DENSITY env knob).
+  DensityMaintenance maintenance_ = DensityMaintenance::kIncremental;
+  /// Deltas are applied iff this is set: Density metric and a
+  /// maintaining mode (kIncremental/kChecked).
+  bool maintain_links_ = true;
+  /// Maintained believed-link count e(N_p) per node. Invariant: when
+  /// links_fresh_[p] is set, links_among_[p] equals the pairwise
+  /// recompute over p's current cache (a pair q,r counts iff either
+  /// digest list names the other). Not protocol state — a memoization —
+  /// so the differential harness does not compare it.
+  std::vector<std::uint64_t> links_among_;
+  /// Cleared by any external mutation (mutable_state, corrupt_*,
+  /// reset_node); set again by the first R1 recompute afterwards. Kept
+  /// internal so fault injectors cannot forge trust in a planted count.
+  std::vector<std::uint8_t> links_fresh_;
+  /// Set by any external mutation; while set, `redeliver_unchanged`
+  /// declines so the next sweep's full compares resync this receiver's
+  /// cache. Cleared by `end_step` (which runs after that sweep).
+  std::vector<std::uint8_t> resync_;
 
   // --- quiescence machinery (all empty / untouched while tracking_ is
   // off, so the classic engines pay nothing) ---------------------------

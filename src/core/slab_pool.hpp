@@ -1,0 +1,224 @@
+// Per-node slab storage for variable-length trivially-copyable lists.
+//
+// The protocol keeps one digest list per cached neighbor. As per-entry
+// std::vectors those lists are the worst case for the hot loops: every
+// R1 intersection and every frame build chases a heap pointer per
+// neighbor, and churn (delivery, eviction) allocates. SlabPool replaces
+// them with one contiguous per-node buffer; PooledList is the span-like
+// façade a list presents — (offset, size, capacity) into its node's
+// pool, with enough of the std::vector surface (clear / reserve /
+// push_back / resize / assign / operator[] / iterators) that the
+// protocol, the fault injector and the tests keep reading naturally.
+//
+// Allocation is a bump pointer; freeing only counts the dead capacity.
+// When everything is dead the pool resets for free; when dead capacity
+// outweighs live the owner runs `compact` (protocol.cpp), which re-packs
+// live spans in iteration order and drops slack — so steady state does
+// no heap allocation at all and the buffer stays hot and dense. Offsets
+// (not pointers) make the underlying buffer free to grow or move.
+//
+// Lists are move-only: a move steals the span (FlatMap insert/erase
+// shifts and vector growth move entries within the same node, where the
+// span stays valid); a copy could not know which pool the destination
+// lives in, so it is deleted. A default-constructed list is *detached*
+// (no pool): it is empty and stays empty until `attach` — the state a
+// standalone CacheEntry is born in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace ssmwn::core {
+
+template <typename T>
+class SlabPool {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "slab compaction moves bytes with memcpy/memmove");
+
+ public:
+  /// Bump-allocates `cap` slots and returns the span's offset. Grows the
+  /// backing buffer geometrically; existing offsets stay valid.
+  [[nodiscard]] std::uint32_t allocate(std::uint32_t cap) {
+    const std::size_t need = static_cast<std::size_t>(cursor_) + cap;
+    if (buf_.size() < need) {
+      buf_.resize(std::max<std::size_t>(std::max(buf_.size() * 2, need), 16));
+    }
+    const std::uint32_t off = cursor_;
+    cursor_ += cap;
+    return off;
+  }
+
+  /// Returns a span's capacity to the dead count. When every span is
+  /// dead the pool rewinds for free; otherwise the holes wait for the
+  /// owner's compaction pass.
+  void release(std::uint32_t cap) noexcept {
+    dead_ += cap;
+    if (dead_ == cursor_) {
+      cursor_ = 0;
+      dead_ = 0;
+    }
+  }
+
+  [[nodiscard]] T* at(std::uint32_t off) noexcept { return buf_.data() + off; }
+  [[nodiscard]] const T* at(std::uint32_t off) const noexcept {
+    return buf_.data() + off;
+  }
+
+  [[nodiscard]] std::uint32_t cursor() const noexcept { return cursor_; }
+  [[nodiscard]] std::uint32_t dead() const noexcept { return dead_; }
+  [[nodiscard]] std::size_t buffer_capacity() const noexcept {
+    return buf_.size();
+  }
+
+  /// True when dead capacity outweighs live — the owner should re-pack.
+  /// The floor keeps tiny pools from compacting over a handful of slots.
+  [[nodiscard]] bool fragmented() const noexcept {
+    return dead_ * 2 > cursor_ && dead_ >= 64;
+  }
+
+  /// Compaction epilogue: the owner has re-packed all live spans into
+  /// [0, live) and every list already points at its new offset.
+  void reset_counters(std::uint32_t live) noexcept {
+    cursor_ = live;
+    dead_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::uint32_t cursor_ = 0;  ///< bump pointer (live + dead capacity)
+  std::uint32_t dead_ = 0;    ///< released capacity below the cursor
+};
+
+template <typename T>
+class PooledList {
+ public:
+  PooledList() = default;
+
+  PooledList(PooledList&& other) noexcept
+      : pool_(other.pool_), off_(other.off_), size_(other.size_),
+        cap_(other.cap_) {
+    other.pool_ = nullptr;
+    other.off_ = other.size_ = other.cap_ = 0;
+  }
+
+  PooledList& operator=(PooledList&& other) noexcept {
+    if (this != &other) {
+      release_span();
+      pool_ = other.pool_;
+      off_ = other.off_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.pool_ = nullptr;
+      other.off_ = other.size_ = other.cap_ = 0;
+    }
+    return *this;
+  }
+
+  // A copy cannot know the destination's pool; entries travel by move.
+  PooledList(const PooledList&) = delete;
+  PooledList& operator=(const PooledList&) = delete;
+
+  ~PooledList() { release_span(); }
+
+  /// Adopts `pool` if the list is still detached. Idempotent; storage-
+  /// requiring operations (reserve/push_back/assign/resize-grow) must be
+  /// preceded by an attach.
+  void attach(SlabPool<T>& pool) noexcept {
+    if (pool_ == nullptr) pool_ = &pool;
+  }
+  [[nodiscard]] bool attached() const noexcept { return pool_ != nullptr; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T* data() noexcept {
+    return pool_ ? pool_->at(off_) : nullptr;
+  }
+  [[nodiscard]] const T* data() const noexcept {
+    return pool_ ? pool_->at(off_) : nullptr;
+  }
+  [[nodiscard]] T* begin() noexcept { return data(); }
+  [[nodiscard]] T* end() noexcept { return data() + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data(); }
+  [[nodiscard]] const T* end() const noexcept { return data() + size_; }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data()[i];
+  }
+
+  void clear() noexcept { size_ = 0; }  // capacity retained
+
+  void reserve(std::size_t cap) {
+    if (cap <= cap_) return;
+    const std::uint32_t new_cap = static_cast<std::uint32_t>(
+        std::max<std::size_t>(std::max<std::size_t>(cap, cap_ * 2), 4));
+    const std::uint32_t new_off = pool_->allocate(new_cap);
+    if (size_ != 0) {
+      std::memcpy(pool_->at(new_off), pool_->at(off_), size_ * sizeof(T));
+    }
+    pool_->release(cap_);
+    off_ = new_off;
+    cap_ = new_cap;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == cap_) reserve(size_ + 1);
+    pool_->at(off_)[size_++] = value;
+  }
+
+  /// Shrinks, or grows with value-initialized elements.
+  void resize(std::size_t n) {
+    if (n > size_) {
+      reserve(n);
+      for (std::size_t i = size_; i < n; ++i) pool_->at(off_)[i] = T{};
+    }
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    const std::size_t n = static_cast<std::size_t>(last - first);
+    if (n > cap_) {
+      // Content is replaced wholesale: skip the reserve() copy of the
+      // old elements by dropping the span before regrowing.
+      pool_->release(cap_);
+      cap_ = 0;
+      size_ = 0;
+      off_ = pool_->allocate(static_cast<std::uint32_t>(std::max<std::size_t>(n, 4)));
+      cap_ = static_cast<std::uint32_t>(std::max<std::size_t>(n, 4));
+    }
+    T* dst = pool_->at(off_);
+    for (std::size_t i = 0; i < n; ++i) dst[i] = first[i];
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  // --- compaction interface (protocol-side re-pack only) --------------
+  // The compaction pass moves the bytes itself and resets the pool's
+  // counters wholesale, so these mutators bypass release accounting.
+  [[nodiscard]] std::uint32_t offset() const noexcept { return off_; }
+  void compacted_to(std::uint32_t new_off) noexcept {
+    off_ = new_off;
+    cap_ = size_;  // compaction drops slack
+  }
+  void drop_empty_span() noexcept {
+    off_ = 0;
+    cap_ = 0;
+  }
+  void shift_down(std::uint32_t base) noexcept { off_ -= base; }
+
+ private:
+  void release_span() noexcept {
+    if (pool_ != nullptr && cap_ != 0) pool_->release(cap_);
+    off_ = size_ = cap_ = 0;
+  }
+
+  SlabPool<T>* pool_ = nullptr;
+  std::uint32_t off_ = 0;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = 0;
+};
+
+}  // namespace ssmwn::core

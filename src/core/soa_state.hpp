@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "topology/ids.hpp"
+#include "util/merge.hpp"
 
 namespace ssmwn::core {
 
@@ -102,8 +103,10 @@ struct ScalarRow {
 namespace detail {
 
 /// First index where two same-length columns disagree, or `n` if none.
-/// Plain forward loop over contiguous same-typed data — the form the
-/// autovectorizer handles.
+/// Delegates to the blocked branch-free scan in util/merge.hpp — the
+/// all-equal prefix (the common case in a divergence search) runs as a
+/// vectorized OR reduction. Doubles compare as bit patterns (the
+/// harness contract is bitwise, not IEEE ==).
 template <typename T>
 [[nodiscard]] std::size_t first_column_mismatch(const std::vector<T>& a,
                                                 const std::vector<T>& b) {
@@ -111,15 +114,9 @@ template <typename T>
   if constexpr (std::is_same_v<T, double>) {
     const auto* pa = reinterpret_cast<const std::uint64_t*>(a.data());
     const auto* pb = reinterpret_cast<const std::uint64_t*>(b.data());
-    for (std::size_t i = 0; i < n; ++i) {
-      if (pa[i] != pb[i]) return i;
-    }
-    return n;
+    return util::first_mismatch_index(pa, pb, n);
   } else {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (a[i] != b[i]) return i;
-    }
-    return n;
+    return util::first_mismatch_index(a.data(), b.data(), n);
   }
 }
 

@@ -90,6 +90,7 @@ class Network {
     if (stepping_ == Stepping::kDirty) {
       tracker_.reset(g.node_count(), /*all_active=*/true);
     }
+    invalidate_row_hints();  // adjacency defines who consumed which row
   }
 
   /// Selects the stepper. Dirty-region stepping requires a protocol with
@@ -103,6 +104,7 @@ class Network {
   /// disarms the detector, restoring the classic byte-for-byte paths.
   void set_stepping(Stepping mode) {
     if (mode == stepping_) return;
+    invalidate_row_hints();
     if constexpr (ArenaProtocol<Protocol> && QuiescentProtocol<Protocol>) {
       if (mode == Stepping::kDirty) {
         if (!loss_->always_delivers()) {
@@ -168,7 +170,10 @@ class Network {
   /// Forces the pre-arena engine (per-step owning frames) even when the
   /// protocol supports the arena extension. Exists so benchmarks can
   /// compare against the seed behavior; never faster.
-  void set_legacy_engine(bool on) noexcept { legacy_engine_ = on; }
+  void set_legacy_engine(bool on) noexcept {
+    legacy_engine_ = on;
+    invalidate_row_hints();
+  }
   [[nodiscard]] bool legacy_engine() const noexcept { return legacy_engine_; }
 
   [[nodiscard]] std::size_t steps_run() const noexcept { return steps_; }
@@ -188,6 +193,7 @@ class Network {
   /// stale neighbor caches die now rather than by aging. Call between
   /// steps.
   void apply_topology_delta(const graph::EdgeDelta& delta) {
+    invalidate_row_hints();
     if constexpr (TopologyAwareProtocol<Protocol>) {
       for (const auto& [a, b] : delta.removed) {
         protocol_->on_edge_removed(a, b);
@@ -255,9 +261,19 @@ class Network {
         &body);
   }
 
+  /// Forgets the previous step's frame rows. Called whenever the "every
+  /// listener consumed exactly these rows" induction breaks: graph
+  /// swaps or patches, stepping-mode or engine switches, or a stepper
+  /// (legacy, dirty) that doesn't maintain the double buffer.
+  void invalidate_row_hints() noexcept {
+    prev_rows_built_ = false;
+    row_hints_valid_ = false;
+  }
+
   void step_legacy() {
     const graph::Graph& g = *graph_;
     const std::size_t n = g.node_count();
+    invalidate_row_hints();  // owning-frame path, no row double buffer
 
     // Broadcast phase: snapshot every node's frame first (synchronous
     // semantics), then deliver.
@@ -310,6 +326,35 @@ class Network {
                     arena.offsets[p + 1] - arena.offsets[p]));
     });
 
+    // Phase 1b (parallel by sender): grade each row against last
+    // step's. One streaming pass over two sequential buffers here saves
+    // a gathered per-edge compare in phase 3 — each row is compared
+    // once instead of once per listener. Two grades, same bitwise field
+    // equality contract as the protocol's own change detection:
+    // kRowIdsEqual (the id sequence held; payloads may churn — the
+    // common active regime) and additionally kRowBitsEqual (the whole
+    // row, header included, is bit-identical — the quiescent regime).
+    if constexpr (RedeliveryProtocol<Protocol>) {
+      row_unchanged_.assign(n, 0);
+      if (prev_rows_built_ && prev_arena_.headers.size() == n) {
+        const auto& prev = prev_arena_;
+        auto* unchanged = row_unchanged_.data();
+        for_nodes(n, [&arena, &prev, unchanged](std::size_t p) {
+          const std::size_t len = arena.offsets[p + 1] - arena.offsets[p];
+          if (prev.offsets[p + 1] - prev.offsets[p] != len) return;
+          const auto* a = arena.pool.data() + arena.offsets[p];
+          const auto* b = prev.pool.data() + prev.offsets[p];
+          bool bits =
+              Protocol::header_bits_equal(arena.headers[p], prev.headers[p]);
+          for (std::size_t k = 0; k < len; ++k) {
+            if (!Protocol::digest_id_equal(a[k], b[k])) return;
+            bits = bits && Protocol::digest_bits_equal(a[k], b[k]);
+          }
+          unchanged[p] = kRowIdsEqual | (bits ? kRowBitsEqual : 0);
+        });
+      }
+    }
+
     // Phase 2 (serial unless τ = 1): per-edge delivery decisions, polled
     // in the classic sender-major order so stateful loss models draw the
     // same RNG sequence as the legacy engine. The decision for p → q is
@@ -333,12 +378,34 @@ class Network {
 
     // Phase 3 (parallel by receiver): each node pulls the heard frames
     // from its sorted neighbor row — the same ascending-sender order the
-    // legacy sender-major loops produce.
-    for_nodes(n, [protocol, &arena, offsets, flat, hear_all,
+    // legacy sender-major loops produce. Rows graded unchanged in phase
+    // 1b (and heard by everyone last step — perfect medium) collapse to
+    // the protocol's fast paths: bit-equal rows to an age reset, rows
+    // with a held id sequence to a straight payload overwrite. Either
+    // skip is bit-identical by induction on the rows a receiver has
+    // consumed; the protocol declines both for receivers whose cache was
+    // externally mutated since the last sweep.
+    const bool hints = row_hints_valid_ && hear_all;
+    for_nodes(n, [protocol, &arena, offsets, flat, hear_all, hints,
                   this](std::size_t q) {
       for (std::size_t e = offsets[q]; e < offsets[q + 1]; ++e) {
         if (!hear_all && !incoming_[e]) continue;
         const graph::NodeId p = flat[e];
+        if constexpr (RedeliveryProtocol<Protocol>) {
+          if (hints && row_unchanged_[p]) {
+            if ((row_unchanged_[p] & kRowBitsEqual) &&
+                protocol->redeliver_unchanged(static_cast<graph::NodeId>(q),
+                                              arena.headers[p])) {
+              continue;
+            }
+            if (protocol->deliver_payload(
+                    static_cast<graph::NodeId>(q), arena.headers[p],
+                    std::span(arena.pool.data() + arena.offsets[p],
+                              arena.offsets[p + 1] - arena.offsets[p]))) {
+              continue;
+            }
+          }
+        }
         protocol->deliver(
             static_cast<graph::NodeId>(q), arena.headers[p],
             std::span(arena.pool.data() + arena.offsets[p],
@@ -353,6 +420,17 @@ class Network {
     for_nodes(n, [protocol](std::size_t p) {
       protocol->end_step(static_cast<graph::NodeId>(p));
     });
+
+    // This step's rows become the redelivery reference: buffers swap
+    // (pointer swap, no copy), and hints arm only when this sweep
+    // actually put the rows in every listener's cache (loss-free
+    // medium). Anything that breaks that guarantee — graph changes,
+    // engine or stepping switches — calls invalidate_row_hints().
+    if constexpr (RedeliveryProtocol<Protocol>) {
+      std::swap(arena_, prev_arena_);
+      prev_rows_built_ = true;
+      row_hints_valid_ = hear_all;
+    }
   }
 
   /// Wakes `p` and its (current-graph) neighbors for the next step.
@@ -374,6 +452,7 @@ class Network {
     const std::size_t n = g.node_count();
     auto& arena = arena_;
     auto* protocol = protocol_;
+    invalidate_row_hints();  // compact pools clobber the row buffers
 
     // Nodes mutated outside the step loop (fault injection, severed
     // links) wake their closed neighborhood: under full stepping their
@@ -469,7 +548,11 @@ class Network {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<typename Protocol::Frame> frames_;       // legacy engine
   detail::ArenaStorage<Protocol> arena_;               // arena engine
+  detail::ArenaStorage<Protocol> prev_arena_;          // last step's rows
   std::vector<unsigned char> incoming_;                // per-edge decisions
+  std::vector<unsigned char> row_unchanged_;           // per-sender hint bits
+  bool prev_rows_built_ = false;   // prev_arena_ holds last step's rows
+  bool row_hints_valid_ = false;   // ...and last step delivered them all
   ActivityTracker tracker_;                            // dirty stepping
   std::vector<std::uint8_t> sender_mark_;
   std::vector<std::size_t> sender_slot_;

@@ -51,6 +51,39 @@ concept ArenaProtocol =
       p.deliver(node, header, in);
     };
 
+/// Optional redelivery extension: when an engine can prove a sender's
+/// frame is bit-identical to the one every listener already consumed
+/// (double-buffered arena rows + a loss-free medium), it may offer the
+/// delivery as `redeliver_unchanged(receiver, header)` instead; when
+/// only the digest *payloads* changed but the id sequence held, as
+/// `deliver_payload(receiver, header, digests)` — the common active
+/// regime, where the protocol can skip its compare/delta machinery and
+/// overwrite in place. Either call performs the delivery's remaining
+/// side effects and returns true, or returns false to demand the full
+/// path — both must decline when the receiver's cache was mutated from
+/// outside the step loop since the last full sweep. The row compares
+/// use the protocol's own equality predicates so engine and protocol
+/// agree on what "unchanged" means (padding bytes never participate).
+/// Row grades the engines' phase-1b compare produces (a bitmask —
+/// bit-equality implies id-equality, so valid values are 0, kRowIdsEqual,
+/// and kRowIdsEqual | kRowBitsEqual).
+inline constexpr unsigned char kRowIdsEqual = 1;   // id sequence held
+inline constexpr unsigned char kRowBitsEqual = 2;  // whole row bit-equal
+
+template <typename P>
+concept RedeliveryProtocol =
+    requires(P& p, graph::NodeId receiver,
+             const typename P::FrameHeader& header,
+             std::span<const typename P::Digest> in,
+             const typename P::Digest& digest) {
+      { p.redeliver_unchanged(receiver, header) } ->
+          std::convertible_to<bool>;
+      { p.deliver_payload(receiver, header, in) } -> std::convertible_to<bool>;
+      { P::header_bits_equal(header, header) } -> std::convertible_to<bool>;
+      { P::digest_bits_equal(digest, digest) } -> std::convertible_to<bool>;
+      { P::digest_id_equal(digest, digest) } -> std::convertible_to<bool>;
+    };
+
 /// Optional async extension: the protocol is told the virtual time of
 /// every delivery (seconds). Synchronous engines never call it; the
 /// event-driven engine calls it immediately before `deliver`.

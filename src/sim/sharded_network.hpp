@@ -126,6 +126,7 @@ class ShardedNetwork {
     }
     graph_ = &g;
     boundaries_stale_ = true;
+    invalidate_row_hints();
     if (stepping_ == Stepping::kDirty) {
       for (Shard& sh : shards_) {
         sh.tracker.reset(sh.end - sh.begin, /*all_active=*/true);
@@ -137,6 +138,7 @@ class ShardedNetwork {
   /// quiescence extension and a loss-free medium; throws otherwise.
   void set_stepping(Stepping mode) {
     if (mode == stepping_) return;
+    invalidate_row_hints();
     if constexpr (QuiescentProtocol<Protocol>) {
       if (mode == Stepping::kDirty) {
         if (!loss_->always_delivers()) {
@@ -216,6 +218,7 @@ class ShardedNetwork {
   /// marks the static boundary-sender lists stale (a patched edge may
   /// create or destroy a boundary crossing).
   void apply_topology_delta(const graph::EdgeDelta& delta) {
+    invalidate_row_hints();
     if constexpr (TopologyAwareProtocol<Protocol>) {
       for (const auto& [a, b] : delta.removed) {
         protocol_->on_edge_removed(a, b);
@@ -273,6 +276,13 @@ class ShardedNetwork {
     std::vector<typename Protocol::FrameHeader> headers;
     std::vector<typename Protocol::Digest> pool;
     std::vector<std::size_t> offsets;
+    // Last full step's arena (redelivery protocols only): swapped with
+    // the live buffers at the top of phase 1, so the freshly built rows
+    // can be bit-compared against what every listener consumed last
+    // step. Meaningful only while the engine-level validity flags hold.
+    std::vector<typename Protocol::FrameHeader> prev_headers;
+    std::vector<typename Protocol::Digest> prev_pool;
+    std::vector<std::size_t> prev_offsets;
     // Full stepping: for each destination shard, the owned nodes with at
     // least one neighbor there (ascending). Rebuilt after topology
     // changes; copied into the frame mailboxes every step.
@@ -322,16 +332,28 @@ class ShardedNetwork {
   }
 
   static void deliver_from(Protocol& protocol, graph::NodeId q,
-                           const FrameMailbox& mb, graph::NodeId sender) {
+                           const FrameMailbox& mb, graph::NodeId sender,
+                           unsigned char grade = 0) {
     const auto it =
         std::lower_bound(mb.senders.begin(), mb.senders.end(), sender);
     // A miss here means the graph changed without set_graph /
     // apply_topology_delta — the boundary lists no longer cover it.
     assert(it != mb.senders.end() && *it == sender);
     const auto k = static_cast<std::size_t>(it - mb.senders.begin());
-    protocol.deliver(q, mb.headers[k],
-                     std::span(mb.pool.data() + mb.offsets[k],
-                               mb.offsets[k + 1] - mb.offsets[k]));
+    const auto digests = std::span(mb.pool.data() + mb.offsets[k],
+                                   mb.offsets[k + 1] - mb.offsets[k]);
+    if constexpr (RedeliveryProtocol<Protocol>) {
+      // The mailbox row is a byte copy of the sender shard's arena row,
+      // so the sender-side grade covers it too.
+      if (grade != 0) {
+        if ((grade & kRowBitsEqual) &&
+            protocol.redeliver_unchanged(q, mb.headers[k])) {
+          return;
+        }
+        if (protocol.deliver_payload(q, mb.headers[k], digests)) return;
+      }
+    }
+    protocol.deliver(q, mb.headers[k], digests);
   }
 
   /// Recomputes the static boundary-sender lists (full stepping) after
@@ -369,10 +391,21 @@ class ShardedNetwork {
     // Phase 1 (parallel by source shard): snapshot all owned frames
     // into the shard arena, then flush every boundary frame into the
     // (src, dst) mailboxes — fixed admission order because the
-    // boundary lists are ascending.
+    // boundary lists are ascending. Redelivery protocols double-buffer
+    // the arena: last step's rows move to prev_* before the build, then
+    // each fresh row is bit-compared against its predecessor so phase 3
+    // can skip the full delivery of provably unchanged frames.
+    if constexpr (RedeliveryProtocol<Protocol>) {
+      row_unchanged_.resize(n);
+    }
     for_shards([this, protocol, S](std::size_t s) {
       Shard& sh = shards_[s];
       const std::size_t local_n = sh.end - sh.begin;
+      if constexpr (RedeliveryProtocol<Protocol>) {
+        std::swap(sh.headers, sh.prev_headers);
+        std::swap(sh.pool, sh.prev_pool);
+        std::swap(sh.offsets, sh.prev_offsets);
+      }
       sh.offsets.resize(local_n + 1);
       sh.offsets[0] = 0;
       for (std::size_t i = 0; i < local_n; ++i) {
@@ -387,6 +420,31 @@ class ShardedNetwork {
             static_cast<graph::NodeId>(sh.begin + i), sh.headers[i],
             std::span(sh.pool.data() + sh.offsets[i],
                       sh.offsets[i + 1] - sh.offsets[i]));
+      }
+      if constexpr (RedeliveryProtocol<Protocol>) {
+        // Each shard writes only its owned slice of the global bitmap.
+        // Same two grades as sim::Network's phase 1b: id sequence held
+        // (payload overwrite suffices) and whole row bit-equal (age
+        // reset suffices).
+        const bool cmp =
+            prev_rows_built_ && sh.prev_offsets.size() == local_n + 1;
+        for (std::size_t i = 0; i < local_n; ++i) {
+          unsigned char grade = 0;
+          const std::size_t len = sh.offsets[i + 1] - sh.offsets[i];
+          if (cmp && sh.prev_offsets[i + 1] - sh.prev_offsets[i] == len) {
+            const auto* a = sh.pool.data() + sh.offsets[i];
+            const auto* b = sh.prev_pool.data() + sh.prev_offsets[i];
+            bool ids = true;
+            bool bits = Protocol::header_bits_equal(sh.headers[i],
+                                                    sh.prev_headers[i]);
+            for (std::size_t k = 0; k < len && ids; ++k) {
+              ids = Protocol::digest_id_equal(a[k], b[k]);
+              bits = bits && Protocol::digest_bits_equal(a[k], b[k]);
+            }
+            if (ids) grade = kRowIdsEqual | (bits ? kRowBitsEqual : 0);
+          }
+          row_unchanged_[sh.begin + i] = grade;
+        }
       }
       for (std::size_t t = 0; t < S; ++t) {
         if (t == s) continue;
@@ -426,7 +484,13 @@ class ShardedNetwork {
     // Phase 3 (parallel by destination shard): each owned receiver
     // pulls its heard frames in ascending-sender order — local senders
     // from the shard arena, remote senders from the (src, dst) mailbox.
-    for_shards([this, protocol, offsets, flat, hear_all, S](std::size_t t) {
+    // With valid row hints (previous step built rows AND was loss-free,
+    // so every listener consumed exactly those rows), an unchanged
+    // sender's delivery collapses to the protocol's redelivery
+    // bookkeeping — the receiver's cache entry already holds the bytes.
+    const bool hints = row_hints_valid_ && hear_all;
+    for_shards([this, protocol, offsets, flat, hear_all, hints,
+                S](std::size_t t) {
       Shard& sh = shards_[t];
       for (std::size_t q = sh.begin; q < sh.end; ++q) {
         for (std::size_t e = offsets[q]; e < offsets[q + 1]; ++e) {
@@ -434,13 +498,29 @@ class ShardedNetwork {
           const graph::NodeId p = flat[e];
           if (p >= sh.begin && p < sh.end) {
             const std::size_t slot = static_cast<std::size_t>(p) - sh.begin;
-            protocol->deliver(
-                static_cast<graph::NodeId>(q), sh.headers[slot],
+            const auto digests =
                 std::span(sh.pool.data() + sh.offsets[slot],
-                          sh.offsets[slot + 1] - sh.offsets[slot]));
+                          sh.offsets[slot + 1] - sh.offsets[slot]);
+            if constexpr (RedeliveryProtocol<Protocol>) {
+              if (hints && row_unchanged_[p]) {
+                if ((row_unchanged_[p] & kRowBitsEqual) &&
+                    protocol->redeliver_unchanged(
+                        static_cast<graph::NodeId>(q), sh.headers[slot])) {
+                  continue;
+                }
+                if (protocol->deliver_payload(static_cast<graph::NodeId>(q),
+                                              sh.headers[slot], digests)) {
+                  continue;
+                }
+              }
+            }
+            protocol->deliver(static_cast<graph::NodeId>(q), sh.headers[slot],
+                              digests);
           } else {
             deliver_from(*protocol, static_cast<graph::NodeId>(q),
-                         frame_mb_[shard_of(p) * S + t], p);
+                         frame_mb_[shard_of(p) * S + t], p,
+                         hints ? row_unchanged_[p]
+                               : static_cast<unsigned char>(0));
           }
         }
       }
@@ -457,6 +537,21 @@ class ShardedNetwork {
         protocol->end_step(static_cast<graph::NodeId>(p));
       }
     });
+
+    if constexpr (RedeliveryProtocol<Protocol>) {
+      prev_rows_built_ = true;
+      // Hints are trustworthy next step only if *this* step delivered
+      // every row to every listener (loss would leave some caches
+      // behind the rows the compare runs against).
+      row_hints_valid_ = hear_all;
+    }
+  }
+
+  /// Drops the double-buffered row state (redelivery protocols): the
+  /// next full step runs every delivery through the full compare path.
+  void invalidate_row_hints() noexcept {
+    prev_rows_built_ = false;
+    row_hints_valid_ = false;
   }
 
   /// Wakes `p` and its neighbors across whichever shards own them.
@@ -479,6 +574,9 @@ class ShardedNetwork {
   /// drained before the next begin_step — the same one-step latency the
   /// double-buffered wake set already has.
   void step_dirty() {
+    // Dirty mode reuses the shard arenas in compact (sender-list) form,
+    // clobbering the per-node rows the redelivery compare needs.
+    invalidate_row_hints();
     const graph::Graph& g = *graph_;
     const std::size_t n = g.node_count();
     const std::size_t S = shard_count();
@@ -676,6 +774,13 @@ class ShardedNetwork {
   bool boundaries_stale_ = true;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<unsigned char> incoming_;  // per-edge decisions (lossy full)
+  // Redelivery (full stepping): global per-node bitmap of "this step's
+  // row is bit-identical to last step's", each shard writing only its
+  // owned slice; the flags gate whether prev_* rows exist and whether
+  // every listener actually consumed them (loss-free previous step).
+  std::vector<unsigned char> row_unchanged_;
+  bool prev_rows_built_ = false;
+  bool row_hints_valid_ = false;
   ActivityTracker stats_;                // aggregate counters only
   // Mailboxes, all indexed [writer_shard * S + reader_shard] so every
   // parallel phase writes only its own row. frame_mb_ and wake_mb_ are

@@ -73,9 +73,18 @@ void plant_true_neighbors(DensityProtocol& protocol, const graph::Graph& g,
                           CorruptionStats& stats, EntryFn&& mutate_entry,
                           DigestFn&& mutate_digest) {
   auto state = protocol.mutable_state(node);
+  // Corrupt the maintained e(N_p) alongside the cache it summarizes.
+  // Deterministic (an LCG step, no rng draw) so the corruption streams
+  // feeding the shared variables stay byte-identical across protocol
+  // versions; mutable_state() already marked the count stale, so the
+  // node's next R1 firing recomputes it regardless of this value.
+  state.links_among =
+      state.links_among * 6364136223846793005ULL + 1442695040888963407ULL;
   state.cache.clear();
   for (const NodeId q : g.neighbors(node)) {
     DensityProtocol::CacheEntry& entry = state.cache[ids[q]];
+    entry.digests.attach(state.digest_pool);  // hand-planted lists live
+                                              // in the node's slab too
     mutate_entry(q, entry);
     entry.digests.clear();
     entry.digests.reserve(g.degree(q));
@@ -133,6 +142,11 @@ void corrupt_cluster_id_noise(DensityProtocol& protocol,
     s.head_valid = rng.chance(0.9);
     s.parent = noisy_id(ids, rng);
     s.parent_valid = rng.chance(0.9);
+    // Same deterministic scribble plant_true_neighbors applies: the
+    // maintained e(N_p) is adversary-writable state like everything
+    // else reachable through mutable_state().
+    s.links_among =
+        s.links_among * 6364136223846793005ULL + 1442695040888963407ULL;
     ++stats.nodes_touched;
   }
 }

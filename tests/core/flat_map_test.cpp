@@ -1,0 +1,168 @@
+// FlatMap differential hardening: the sorted flat-vector cache must be
+// observably identical to std::map under any interleaving of the
+// operations the protocol performs, retain capacity across clear() (the
+// zero-allocation audit depends on it), and survive self-aliasing
+// inserts where the key is a reference into the map's own storage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/flat_cache.hpp"
+#include "util/rng.hpp"
+
+namespace ssmwn {
+namespace {
+
+using Map = core::FlatMap<std::uint32_t, std::uint64_t>;
+using Reference = std::map<std::uint32_t, std::uint64_t>;
+
+/// Both containers must expose the same entries in the same (ascending)
+/// iteration order — the protocol's frame building walks the cache in
+/// order, so order is part of the bit-equivalence contract.
+void expect_identical(const Map& map, const Reference& ref,
+                      const std::string& context) {
+  ASSERT_EQ(map.size(), ref.size()) << context;
+  auto it = map.begin();
+  for (const auto& [key, value] : ref) {
+    ASSERT_NE(it, map.end()) << context;
+    EXPECT_EQ(it->first, key) << context;
+    EXPECT_EQ(it->second, value) << context;
+    ++it;
+  }
+  EXPECT_EQ(it, map.end()) << context;
+}
+
+TEST(FlatMap, RandomizedDifferentialVsStdMap) {
+  util::Rng rng(20050612);
+  for (int round = 0; round < 20; ++round) {
+    Map map;
+    Reference ref;
+    const std::uint32_t key_space = 1 + static_cast<std::uint32_t>(
+                                            rng.below(64));
+    for (int op = 0; op < 400; ++op) {
+      const auto key = static_cast<std::uint32_t>(rng.below(key_space));
+      const std::string context = "round " + std::to_string(round) +
+                                  " op " + std::to_string(op) + " key " +
+                                  std::to_string(key);
+      switch (rng.below(6)) {
+        case 0:
+        case 1: {  // insert-or-update through operator[]
+          const std::uint64_t value = rng();
+          map[key] = value;
+          ref[key] = value;
+          break;
+        }
+        case 2: {  // erase by key
+          EXPECT_EQ(map.erase(key), ref.erase(key) > 0) << context;
+          break;
+        }
+        case 3: {  // erase by iterator
+          auto it = map.find(key);
+          auto rit = ref.find(key);
+          ASSERT_EQ(it == map.end(), rit == ref.end()) << context;
+          if (it != map.end()) {
+            map.erase(it);
+            ref.erase(rit);
+          }
+          break;
+        }
+        case 4: {  // lookup
+          auto it = map.find(key);
+          auto rit = ref.find(key);
+          ASSERT_EQ(it == map.end(), rit == ref.end()) << context;
+          if (it != map.end()) EXPECT_EQ(it->second, rit->second) << context;
+          EXPECT_EQ(map.contains(key), ref.count(key) > 0) << context;
+          break;
+        }
+        default: {  // full iteration-order check
+          expect_identical(map, ref, context);
+          break;
+        }
+      }
+    }
+    expect_identical(map, ref, "round " + std::to_string(round) + " final");
+  }
+}
+
+TEST(FlatMap, ClearRetainsCapacity) {
+  Map map;
+  map.reserve(32);
+  const std::size_t reserved = map.capacity();
+  EXPECT_GE(reserved, 32u);
+  for (std::uint32_t k = 0; k < 32; ++k) map[k] = k;
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.capacity(), reserved);
+  // Refilling to the high-water size must not grow the allocation.
+  for (std::uint32_t k = 0; k < 32; ++k) map[k] = k * 2;
+  EXPECT_EQ(map.capacity(), reserved);
+  EXPECT_EQ(map.size(), 32u);
+}
+
+TEST(FlatMap, ReserveDoesNotDisturbContents) {
+  Map map;
+  for (std::uint32_t k = 0; k < 10; ++k) map[k * 3] = k;
+  map.reserve(100);
+  EXPECT_GE(map.capacity(), 100u);
+  for (std::uint32_t k = 0; k < 10; ++k) {
+    auto it = map.find(k * 3);
+    ASSERT_NE(it, map.end());
+    EXPECT_EQ(it->second, k);
+  }
+}
+
+// operator[] with a key that lives inside the map's own storage: the
+// insert shifts the tail (and may reallocate), which would invalidate
+// the reference mid-insert unless the key is copied out first.
+TEST(FlatMap, InsertWithSelfAliasingKey) {
+  // Values hold keys, so a stored value can name the next key to insert.
+  core::FlatMap<std::uint32_t, std::uint32_t> map;
+  map[10] = 5;   // value 5 is itself a key we will insert
+  map[20] = 15;
+  map[30] = 25;
+  for (std::uint32_t probe : {10u, 20u, 30u}) {
+    auto it = map.find(probe);
+    ASSERT_NE(it, map.end());
+    const std::uint32_t& aliased = it->second;  // reference into storage
+    map[aliased] = probe;  // inserts before `probe`, shifting its entry
+  }
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> expected = {
+      {5, 10}, {10, 5}, {15, 20}, {20, 15}, {25, 30}, {30, 25}};
+  ASSERT_EQ(map.size(), expected.size());
+  auto it = map.begin();
+  for (const auto& [key, value] : expected) {
+    EXPECT_EQ(it->first, key);
+    EXPECT_EQ(it->second, value);
+    ++it;
+  }
+}
+
+// The same hazard from the key side: inserting m.begin()->first when the
+// entry will shift.
+TEST(FlatMap, InsertWithKeyAliasingExistingKey) {
+  core::FlatMap<std::uint32_t, std::uint32_t> map;
+  for (std::uint32_t k = 4; k < 64; k += 4) map[k] = k;
+  // Insert keys derived from references into storage; each lands below
+  // the referenced entry and shifts it.
+  for (int i = 0; i < 8; ++i) {
+    const std::uint32_t& front = map.begin()->first;
+    map[front - 1] = front;
+  }
+  // Whatever keys landed, order and lookup must still agree.
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const auto& item : map) {
+    if (!first) EXPECT_LT(prev, item.first);
+    prev = item.first;
+    first = false;
+    auto it = map.find(item.first);
+    ASSERT_NE(it, map.end());
+    EXPECT_EQ(it->second, item.second);
+  }
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -45,8 +45,7 @@ core::DensityProtocol make_protocol(const Fixture& f, std::uint64_t seed) {
   return core::DensityProtocol(f.ids, config, util::Rng(seed));
 }
 
-bool digests_equal(const std::vector<core::NeighborDigest>& a,
-                   const std::vector<core::NeighborDigest>& b) {
+bool digests_equal(const core::DigestList& a, const core::DigestList& b) {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i].id != b[i].id || a[i].dag_id != b[i].dag_id ||

@@ -6,6 +6,7 @@
 // Self-contained timing (no external benchmark framework); emits
 // BENCH_micro.json via bench_support::JsonReport so the numbers join
 // the tracked baseline trajectory in bench/baselines/.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include "bench_support.hpp"
 #include "core/density.hpp"
 #include "core/protocol.hpp"
+#include "core/rank.hpp"
 #include "core/soa_state.hpp"
 #include "sim/network.hpp"
 #include "util/merge.hpp"
@@ -154,6 +156,127 @@ int main() {
              static_cast<double>(n) / t_first);
     json.add("soa/count_divergent_rows", n, 1, "row/s",
              static_cast<double>(n) / t_count);
+  }
+
+  // --- rank election: packed keys vs field-by-field scan ---------------
+  // The R2 election kernel at cache/neighborhood sizes. The scalar
+  // baseline is the original three-field ≺ comparison chain; the packed
+  // kernel is the branchless argmax over a prepacked key column — the
+  // steady-state shape, where keys are maintained incrementally on
+  // cache writes (docs/ARCHITECTURE.md §9).
+  {
+    // Independent stream: drawing root.split() here would shift every
+    // later section's instances and orphan their tracked rate series.
+    util::Rng rng(util::bench_seed() ^ 0x72616e6b);  // "rank"
+    for (const std::size_t n : {std::size_t{16}, std::size_t{256},
+                                std::size_t{4096}}) {
+      std::vector<core::NodeRank> ranks(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Coarse metric grid: ties are common, so the deeper fields of
+        // the comparison chain actually execute in the scalar scan.
+        ranks[i].metric = static_cast<double>(rng.index(64)) / 8.0;
+        ranks[i].incumbent = rng.chance(0.1);
+        ranks[i].tie_id = rng.below(1 << 20);
+        ranks[i].uid = i;
+      }
+      const core::RankKeyColumn keys = core::pack_rank_column(ranks, true);
+      const double scalar = seconds_per_call([&] {
+        // Transliterated original comparison chain (incumbency on).
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < n; ++i) {
+          const core::NodeRank& p = ranks[best];
+          const core::NodeRank& q = ranks[i];
+          bool prec;
+          if (p.metric != q.metric) {
+            prec = p.metric < q.metric;
+          } else if (p.incumbent != q.incumbent) {
+            prec = q.incumbent;
+          } else if (p.tie_id != q.tie_id) {
+            prec = q.tie_id < p.tie_id;
+          } else {
+            prec = q.uid < p.uid;
+          }
+          if (prec) best = i;
+        }
+        sink = best;
+      });
+      const double packed = seconds_per_call(
+          [&] { sink = core::max_rank_key_index(keys); });
+      const std::string shape = std::to_string(n);
+      table.row({"election_scalar", shape,
+                 util::Table::num(static_cast<double>(n) / scalar / 1e6, 1) +
+                     " Melem/s"});
+      table.row({"election_packed", shape,
+                 util::Table::num(static_cast<double>(n) / packed / 1e6, 1) +
+                     " Melem/s"});
+      json.add("rank/election_scalar/" + shape, n, 1, "elem/s",
+               static_cast<double>(n) / scalar);
+      json.add("rank/election_packed/" + shape, n, 1, "elem/s",
+               static_cast<double>(n) / packed);
+    }
+  }
+
+  // --- delta frames: encode + sparse patch vs full-row rewrite ---------
+  // One sender row in the late-recovery regime: `len` digests, `changed`
+  // of them moved since last step. Encode is the engine's per-row
+  // extract pass; apply is the receiver's gallop patch; full_copy is
+  // what deliver_payload does instead — the cost the delta path avoids
+  // once per listener while encode is paid once per sender.
+  {
+    // Independent stream, same reason as the election section above.
+    util::Rng rng(util::bench_seed() ^ 0x64656c7461);  // "delta"
+    struct Shape {
+      const char* name;
+      std::size_t len, changed;
+    };
+    const Shape shapes[] = {{"8x2", 8, 2}, {"64x8", 64, 8},
+                            {"256x16", 256, 16}};
+    const auto digest_id = [](const core::NeighborDigest& d) { return d.id; };
+    for (const auto& s : shapes) {
+      std::vector<core::NeighborDigest> base(s.len);
+      std::uint64_t id = 0;
+      for (auto& d : base) {
+        id += 1 + rng.below(8);
+        d.id = id;
+        d.dag_id = rng();
+        d.metric = rng.uniform();
+        d.metric_valid = true;
+        d.is_head = rng.chance(0.1);
+      }
+      auto next = base;
+      for (std::size_t k = 0; k < s.changed; ++k) {
+        next[(k * s.len) / s.changed].dag_id ^= 0x9e3779b97f4a7c15ULL;
+      }
+      std::vector<core::NeighborDigest> delta(s.changed);
+      const double encode = seconds_per_call([&] {
+        std::size_t m = 0;
+        for (std::size_t k = 0; k < s.len; ++k) {
+          if (!core::digest_bits_equal(base[k], next[k])) delta[m++] = next[k];
+        }
+        sink = m;
+      });
+      auto dest = base;
+      const double apply = seconds_per_call([&] {
+        sink = util::patch_sorted(dest.data(), dest.size(), delta.data(),
+                                  delta.size(), digest_id);
+      });
+      const double full = seconds_per_call([&] {
+        std::copy(next.begin(), next.end(), dest.begin());
+        sink = dest.size();
+      });
+      table.row({"delta_encode", s.name,
+                 util::Table::num(1.0 / encode / 1e6, 1) + " Mrow/s"});
+      table.row({"delta_apply", s.name,
+                 util::Table::num(1.0 / apply / 1e6, 1) + " Mrow/s"});
+      table.row({"full_copy", s.name,
+                 util::Table::num(1.0 / full / 1e6, 1) + " Mrow/s"});
+      json.add(std::string("delta/encode/") + s.name, s.len, 1, "row/s",
+               1.0 / encode);
+      json.add(std::string("delta/apply/") + s.name, s.len, 1, "row/s",
+               1.0 / apply);
+      json.add(std::string("delta/full_copy/") + s.name, s.len, 1, "row/s",
+               1.0 / full);
+    }
   }
 
   // --- density ---------------------------------------------------------

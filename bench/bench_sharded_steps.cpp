@@ -77,37 +77,74 @@ ShardedInstance shard_instance(const bench::Instance& inst, double radius,
   return out;
 }
 
-/// The gate: 20 lockstep steps on a mid-size world must stay
+/// The gate: lockstep steps on a mid-size world must stay
 /// bit-identical (state and message counters) or the bench aborts —
-/// a fast sharded engine that drifts is a bug, not a result.
+/// a fast sharded engine that drifts is a bug, not a result. Three
+/// engines run side by side: the legacy flat engine (no fast paths) as
+/// the reference, the arena flat engine, and the sharded engine. After
+/// 20 clean steps a mass fault is injected into all three so the
+/// recovery window exercises the redelivery fast paths — including the
+/// delta-encoded frames, whose grading counters must also agree across
+/// the two delta-capable engines and must actually fire.
 bool equivalence_gate(util::Rng& rng, std::size_t shards, unsigned threads) {
   const auto inst = bench::poisson_instance(2000.0, 0.035, rng);
   const auto sharded_inst = shard_instance(inst, 0.035, shards);
   auto reference = make_protocol(sharded_inst.instance, rng);
+  auto arena = make_protocol(sharded_inst.instance, rng);
   auto candidate = make_protocol(sharded_inst.instance, rng);
-  sim::PerfectDelivery loss_a, loss_b;
+  sim::PerfectDelivery loss_a, loss_b, loss_c;
   sim::Network net_ref(sharded_inst.instance.graph, reference, loss_a, 1);
+  net_ref.set_legacy_engine(true);
+  sim::Network net_arena(sharded_inst.instance.graph, arena, loss_b, 1);
   sim::ShardedNetwork net_shard(sharded_inst.instance.graph, candidate,
-                                loss_b, sharded_inst.bounds, threads);
-  for (std::size_t s = 0; s < 20; ++s) {
-    net_ref.step();
-    net_shard.step();
-    if (const auto div = core::first_divergent_node(reference, candidate)) {
+                                loss_c, sharded_inst.bounds, threads);
+  const auto check = [&](std::size_t s, const core::DensityProtocol& other,
+                         const char* label) -> bool {
+    if (const auto div = core::first_divergent_node(reference, other)) {
       std::fprintf(stderr,
-                   "EQUIVALENCE FAILURE at step %zu, node %u:\n%s",
-                   s, static_cast<unsigned>(*div),
-                   core::describe_divergence(reference, candidate, *div)
-                       .c_str());
+                   "EQUIVALENCE FAILURE (%s) at step %zu, node %u:\n%s",
+                   label, s, static_cast<unsigned>(*div),
+                   core::describe_divergence(reference, other, *div).c_str());
+      return false;
+    }
+    return true;
+  };
+  for (std::size_t s = 0; s < 35; ++s) {
+    if (s == 20) {
+      // One mass fault, identically seeded for all three protocols, so
+      // the remaining steps replay the recovery regime where the
+      // payload/delta fast paths carry the traffic.
+      util::Rng f1(20050612), f2(20050612), f3(20050612);
+      reference.corrupt_fraction(f1, 0.2);
+      arena.corrupt_fraction(f2, 0.2);
+      candidate.corrupt_fraction(f3, 0.2);
+    }
+    net_ref.step();
+    net_arena.step();
+    net_shard.step();
+    if (!check(s, arena, "arena flat") || !check(s, candidate, "sharded")) {
       return false;
     }
   }
-  if (net_ref.messages_delivered() != net_shard.messages_delivered()) {
+  if (net_ref.messages_delivered() != net_arena.messages_delivered() ||
+      net_ref.messages_delivered() != net_shard.messages_delivered()) {
     std::fprintf(stderr, "EQUIVALENCE FAILURE: message counters diverged\n");
     return false;
   }
+  if (net_arena.delta_rows_graded() == 0 ||
+      net_arena.delta_rows_graded() != net_shard.delta_rows_graded()) {
+    std::fprintf(stderr,
+                 "EQUIVALENCE FAILURE: delta-frame grading diverged "
+                 "(arena %llu, sharded %llu; both must be nonzero)\n",
+                 static_cast<unsigned long long>(net_arena.delta_rows_graded()),
+                 static_cast<unsigned long long>(net_shard.delta_rows_graded()));
+    return false;
+  }
   std::printf("equivalence gate: PASS (n=%zu, %zu shards, %u threads, "
-              "20 steps bit-identical)\n\n",
-              sharded_inst.instance.graph.node_count(), shards, threads);
+              "35 steps bit-identical across legacy/arena/sharded, "
+              "%llu delta-graded rows agree)\n\n",
+              sharded_inst.instance.graph.node_count(), shards, threads,
+              static_cast<unsigned long long>(net_arena.delta_rows_graded()));
   return true;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/density.hpp"
+#include "core/soa_state.hpp"
 #include "graph/algorithms.hpp"
 
 namespace ssmwn::core {
@@ -54,14 +55,16 @@ ClusteringResult cluster_by_metric(const graph::Graph& g,
   result.metric.assign(metric.begin(), metric.end());
   result.rank =
       build_ranks(g, uids, metric, options, dag_ids, previous_heads);
-  const auto& rank = result.rank;
   const bool inc = options.incumbency;
+  // Pack every rank once; all the ≺ comparisons below become single
+  // integer compares on the columnar keys (docs/ARCHITECTURE.md §9).
+  const RankKeyColumn key = pack_rank_column(result.rank, inc);
 
   // A node is a local maximum iff it ≺-dominates its whole neighborhood.
   std::vector<char> local_max(n, 1);
   for (graph::NodeId p = 0; p < n; ++p) {
     for (graph::NodeId q : g.neighbors(p)) {
-      if (precedes(rank[p], rank[q], inc)) {
+      if (packed_precedes(key[p], key[q])) {
         local_max[p] = 0;
         break;
       }
@@ -84,12 +87,12 @@ ClusteringResult cluster_by_metric(const graph::Graph& g,
     }
     std::sort(order.begin(), order.end(),
               [&](graph::NodeId a, graph::NodeId b) {
-                return precedes(rank[b], rank[a], inc);  // decreasing
+                return packed_precedes(key[b], key[a]);  // decreasing
               });
     for (graph::NodeId p : order) {
       bool blocked = false;
       for (graph::NodeId q : graph::two_hop_neighborhood(g, p)) {
-        if (result.is_head[q] && precedes(rank[p], rank[q], inc)) {
+        if (result.is_head[q] && packed_precedes(key[p], key[q])) {
           blocked = true;
           break;
         }
@@ -110,7 +113,7 @@ ClusteringResult cluster_by_metric(const graph::Graph& g,
       // is non-empty here.
       graph::NodeId best = g.neighbors(p).front();
       for (graph::NodeId q : g.neighbors(p)) {
-        if (precedes(rank[best], rank[q], inc)) best = q;
+        if (packed_precedes(key[best], key[q])) best = q;
       }
       result.parent[p] = best;
       continue;
@@ -119,9 +122,9 @@ ClusteringResult cluster_by_metric(const graph::Graph& g,
     // through the ≺-best common neighbor.
     graph::NodeId dominating = graph::kInvalidNode;
     for (graph::NodeId q : graph::two_hop_neighborhood(g, p)) {
-      if (!result.is_head[q] || !precedes(rank[p], rank[q], inc)) continue;
+      if (!result.is_head[q] || !packed_precedes(key[p], key[q])) continue;
       if (dominating == graph::kInvalidNode ||
-          precedes(rank[dominating], rank[q], inc)) {
+          packed_precedes(key[dominating], key[q])) {
         dominating = q;
       }
     }
@@ -132,7 +135,7 @@ ClusteringResult cluster_by_metric(const graph::Graph& g,
     for (graph::NodeId x : g.neighbors(p)) {
       if (!g.adjacent(x, dominating)) continue;
       if (witness == graph::kInvalidNode ||
-          precedes(rank[witness], rank[x], inc)) {
+          packed_precedes(key[witness], key[x])) {
         witness = x;
       }
     }

@@ -106,6 +106,8 @@ DensityProtocol::DensityProtocol(topology::IdAssignment uids,
   // whatever the cache then holds (trivially 0 for an empty cache).
   links_fresh_.assign(uids_.size(), 0);
   resync_.assign(uids_.size(), 0);
+  // Rank keys are trivially fresh at birth: every cache is empty.
+  ranks_fresh_.assign(uids_.size(), 1);
 
   // The paper's program, verbatim as guarded commands. Guards that are
   // plain `true` in the paper stay `true` here; N1's effective guard is
@@ -181,6 +183,41 @@ bool DensityProtocol::deliver_payload(graph::NodeId receiver,
   entry.head_valid = header.head_valid;
   std::copy(digests.begin(), digests.end(), entry.digests.data());
   entry.age = 0;
+  entry.rank_key = entry_key(header.id, entry);
+  return true;
+}
+
+bool DensityProtocol::deliver_delta(graph::NodeId receiver,
+                                    const FrameHeader& header,
+                                    std::size_t row_size,
+                                    std::span<const Digest> changed) {
+  // Same decline conditions as deliver_payload — the engine's id-sequence
+  // proof is the precondition for both, and tracking needs the full
+  // compare's change bits.
+  if (tracking_ || resync_[receiver] != 0) return false;
+  if (header.id == uids_[receiver]) return true;  // dropped either way
+  NodeAux& aux = aux_[receiver];
+  const auto it = aux.cache.find(header.id);
+  if (it == aux.cache.end()) return false;  // evicted: reinsert via deliver
+  CacheEntry& entry = it->second;
+  if (entry.digests.size() != row_size) return false;
+  // Patch only the changed digests in place; the galloping walk declines
+  // (partial patches are unobservable — see the header contract) if any
+  // changed id is missing from the stored list, which would mean the
+  // stored id sequence is not the one the engine proved.
+  if (!util::patch_sorted(entry.digests.data(), entry.digests.size(),
+                          changed.data(), changed.size(), DigestId{})) {
+    return false;
+  }
+  // Ids held, so e(N_p) and the link structure cannot have moved — only
+  // the header fields, the age, and the memoized rank key remain.
+  entry.dag_id = header.dag_id;
+  entry.metric = header.metric;
+  entry.metric_valid = header.metric_valid;
+  entry.head = header.head;
+  entry.head_valid = header.head_valid;
+  entry.age = 0;
+  entry.rank_key = entry_key(header.id, entry);
   return true;
 }
 
@@ -207,6 +244,7 @@ void DensityProtocol::deliver(graph::NodeId receiver,
     entry.head_valid = header.head_valid;
     entry.digests.assign(digests.begin(), digests.end());
     entry.age = 0;
+    entry.rank_key = entry_key(header.id, entry);
     return;
   }
 
@@ -306,6 +344,7 @@ void DensityProtocol::deliver(graph::NodeId receiver,
     entry->digests.assign(digests.begin(), digests.end());
   }
   entry->age = 0;
+  entry->rank_key = entry_key(header.id, *entry);
   if (tracking_) {
     if (header_diff || digests_diff) {
       pending_[receiver] = 1;
@@ -674,30 +713,50 @@ void DensityProtocol::rule_r1(NodeState& s) {
 void DensityProtocol::rule_r2(NodeState& s) {
   if (!s.metric_valid) return;  // R1 always runs first in the sweep
   const bool inc = config_.cluster.incumbency;
-  const NodeRank me = self_rank(s);
+  if (ranks_fresh_[s.node] == 0) {
+    // An external mutation may have scribbled any entry since the last
+    // repack; the memoized keys are a pure function of the entries, so
+    // one pass restores the invariant before the election trusts them.
+    for (auto& item : s.cache) {
+      item.second.rank_key = entry_key(item.first, item.second);
+    }
+    ranks_fresh_[s.node] = 1;
+  }
+  const PackedRank me = pack_rank(self_rank(s), inc);
 
-  // Local ≺-maximum test against every cached neighbor with a usable
-  // density.
-  bool local_max = true;
+  // One ≺-arg-max over the memoized key column replaces both the
+  // local-max scan and the join-best scan: invalid entries carry the
+  // below-everything sentinel, so they lose without a validity branch,
+  // and keys of valid entries are distinct (unique uid sub-keys), so the
+  // winner is unique and order-insensitive. p is a local maximum iff the
+  // winner does not dominate it; otherwise the winner IS max≺ N_p, the
+  // neighbor to join.
+  const CacheEntry* best = nullptr;
+  topology::ProtocolId best_id = 0;
+  PackedRank best_key{};  // sentinel
   for (const auto& [id, entry] : s.cache) {
-    if (!entry.metric_valid) continue;
-    if (precedes(me, entry_rank(id, entry), inc)) {
-      local_max = false;
-      break;
+    if (packed_precedes(best_key, entry.rank_key)) {
+      best_key = entry.rank_key;
+      best = &entry;
+      best_id = id;
     }
   }
 
-  if (local_max) {
-    // Fusion: search the relayed digests for a dominating cluster-head in
-    // N²_p. (1-hop heads cannot dominate here, or local_max were false.)
+  if (!packed_precedes(me, best_key)) {
+    // Local maximum (an empty or all-invalid cache lands here too: the
+    // sentinel never dominates a valid self-rank). Fusion: search the
+    // relayed digests for a dominating cluster-head in N²_p. (1-hop
+    // heads cannot dominate here, or the winner above would.)
     const NeighborDigest* blocking = nullptr;
     if (config_.cluster.fusion) {
+      PackedRank blocking_key{};  // sentinel
       for (const auto& [id, entry] : s.cache) {
         for (const NeighborDigest& d : entry.digests) {
           if (!d.is_head || !d.metric_valid || d.id == s.uid) continue;
-          if (!precedes(me, digest_rank(d), inc)) continue;
-          if (blocking == nullptr ||
-              precedes(digest_rank(*blocking), digest_rank(d), inc)) {
+          const PackedRank key = pack_rank(digest_rank(d), inc);
+          if (!packed_precedes(me, key)) continue;
+          if (packed_precedes(blocking_key, key)) {
+            blocking_key = key;
             blocking = &d;
           }
         }
@@ -712,17 +771,19 @@ void DensityProtocol::rule_r2(NodeState& s) {
       return;
     }
     // Demoted: fuse into the dominating head's cluster through the
-    // ≺-best neighbor that can hear it.
+    // ≺-best neighbor that can hear it. The key compare runs first —
+    // entries that cannot beat the incumbent witness skip the
+    // binary-search containment probe entirely, and invalid entries
+    // (sentinel keys) never win a compare, so no validity test is
+    // needed either.
     const topology::ProtocolId dominating = blocking->id;
     const CacheEntry* witness = nullptr;
     topology::ProtocolId witness_id = 0;
+    PackedRank witness_key{};  // sentinel
     for (const auto& [id, entry] : s.cache) {
-      if (!entry.metric_valid || !digest_contains(entry.digests, dominating)) {
-        continue;
-      }
-      if (witness == nullptr ||
-          precedes(entry_rank(witness_id, *witness), entry_rank(id, entry),
-                   inc)) {
+      if (packed_precedes(witness_key, entry.rank_key) &&
+          digest_contains(entry.digests, dominating)) {
+        witness_key = entry.rank_key;
         witness = &entry;
         witness_id = id;
       }
@@ -737,20 +798,9 @@ void DensityProtocol::rule_r2(NodeState& s) {
     return;
   }
 
-  // clusterHead = H(max≺ N_p): join the strongest neighbor and adopt its
-  // head value (which flows down the clusterization tree one hop per
-  // step).
-  const CacheEntry* best = nullptr;
-  topology::ProtocolId best_id = 0;
-  for (const auto& [id, entry] : s.cache) {
-    if (!entry.metric_valid) continue;
-    if (best == nullptr ||
-        precedes(entry_rank(best_id, *best), entry_rank(id, entry), inc)) {
-      best = &entry;
-      best_id = id;
-    }
-  }
-  if (best == nullptr) return;  // unreachable: local_max would be true
+  // clusterHead = H(max≺ N_p): join the strongest neighbor — the arg-max
+  // winner — and adopt its head value (which flows down the
+  // clusterization tree one hop per step).
   s.parent = best_id;
   s.parent_valid = true;
   if (best->head_valid) {
@@ -823,6 +873,7 @@ void DensityProtocol::corrupt_all(util::Rng& rng) {
   for (graph::NodeId p = 0; p < aux_.size(); ++p) {
     links_fresh_[p] = 0;
     resync_[p] = 1;
+    ranks_fresh_[p] = 0;
     scramble_state(view(p), name_space_, aux_.size(), rng);
     externally_touched(p);
   }
@@ -835,6 +886,7 @@ std::size_t DensityProtocol::corrupt_fraction(util::Rng& rng,
     if (rng.chance(fraction)) {
       links_fresh_[p] = 0;
       resync_[p] = 1;
+      ranks_fresh_[p] = 0;
       scramble_state(view(p), name_space_, aux_.size(), rng);
       externally_touched(p);
       ++hit;
@@ -846,6 +898,7 @@ std::size_t DensityProtocol::corrupt_fraction(util::Rng& rng,
 void DensityProtocol::reset_node(graph::NodeId p) {
   links_fresh_[p] = 0;
   resync_[p] = 1;
+  ranks_fresh_[p] = 0;
   NodeState s = view(p);
   s.links_among = 0;
   s.dag_id = 0;

@@ -168,6 +168,15 @@ class DensityProtocol {
     /// are move-only as a consequence (see slab_pool.hpp).
     DigestList digests;
     std::uint32_t age = 0;
+    /// Memoized ≺ key for the R2 election: pack_rank(entry_rank(id, *this))
+    /// when metric_valid, the below-everything sentinel otherwise (so
+    /// invalid entries lose every arg-max without a branch). Maintained on
+    /// every internal write (deliver/deliver_payload/deliver_delta);
+    /// external mutation clears the owning node's ranks_fresh_ flag and
+    /// the next R2 firing repacks the whole cache. Like links_among_,
+    /// this is a memoization, not protocol state — the differential
+    /// harness does not compare it.
+    PackedRank rank_key{};
   };
 
   /// Cold per-node state: everything that is not one of the seven hot
@@ -289,6 +298,22 @@ class DensityProtocol {
   /// activity tracking needs the compare's change bits.
   bool deliver_payload(graph::NodeId receiver, const FrameHeader& header,
                        std::span<const Digest> digests);
+  /// Fast path for a delta-encoded frame: the engine proved the sender's
+  /// id sequence unchanged since this receiver last consumed it and ships
+  /// only the digests whose payload bits changed (`changed`, sorted by
+  /// id) plus the full header; `row_size` is the length of the full row
+  /// the delta patches. The stored list is patched in place (one
+  /// galloping merge walk, util::patch_sorted) — e(N_p) and the link
+  /// structure cannot move because no id did. Returns false — demanding
+  /// a fuller path — when the entry is missing, the stored list's length
+  /// disagrees with `row_size`, a changed id is absent from the stored
+  /// list, the receiver was externally mutated since the last full
+  /// sweep, or activity tracking needs the compare's change bits. A
+  /// declined call may leave already-matched digests patched; every
+  /// fallback path (deliver_payload, deliver) rewrites the whole list,
+  /// so the partial patch is never observable.
+  bool deliver_delta(graph::NodeId receiver, const FrameHeader& header,
+                     std::size_t row_size, std::span<const Digest> changed);
   /// Id-projection equality for the engine-side row compare backing
   /// `deliver_payload`.
   [[nodiscard]] static bool digest_id_equal(const Digest& a,
@@ -393,6 +418,9 @@ class DensityProtocol {
     // sweep must run full compares for this receiver (cleared by that
     // sweep's end_step).
     resync_[p] = 1;
+    // And for the memoized ≺ keys: the next R2 firing repacks the whole
+    // cache before electing.
+    ranks_fresh_[p] = 0;
     return view(p);
   }
   [[nodiscard]] const ProtocolConfig& config() const noexcept {
@@ -477,6 +505,14 @@ class DensityProtocol {
   [[nodiscard]] NodeRank entry_rank(topology::ProtocolId id,
                                     const CacheEntry& e) const;
   [[nodiscard]] NodeRank digest_rank(const NeighborDigest& d) const;
+  /// The memoized key an entry must carry: its packed rank when valid,
+  /// the sentinel otherwise.
+  [[nodiscard]] PackedRank entry_key(topology::ProtocolId id,
+                                     const CacheEntry& e) const {
+    return e.metric_valid
+               ? pack_rank(entry_rank(id, e), config_.cluster.incumbency)
+               : PackedRank{};
+  }
 
   void rule_n1(NodeState& s);
   void rule_r1(NodeState& s);
@@ -516,6 +552,12 @@ class DensityProtocol {
   /// declines so the next sweep's full compares resync this receiver's
   /// cache. Cleared by `end_step` (which runs after that sweep).
   std::vector<std::uint8_t> resync_;
+  /// Memoized-≺-key counterpart of links_fresh_: when set, every cache
+  /// entry of p carries rank_key == entry_key(...). Cleared by external
+  /// mutation; restored by the repack at the next R2 firing. Internal
+  /// writes keep keys correct regardless of the flag (the key is a pure
+  /// function of the entry, recomputed whenever one is written).
+  std::vector<std::uint8_t> ranks_fresh_;
 
   // --- quiescence machinery (all empty / untouched while tracking_ is
   // off, so the classic engines pay nothing) ---------------------------

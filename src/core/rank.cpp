@@ -3,18 +3,20 @@
 namespace ssmwn::core {
 
 bool precedes(const NodeRank& p, const NodeRank& q, bool incumbency) noexcept {
-  if (p.metric != q.metric) return p.metric < q.metric;
-  if (incumbency && p.incumbent != q.incumbent) return q.incumbent;
-  if (p.tie_id != q.tie_id) return q.tie_id < p.tie_id;
-  if (p.uid != q.uid) return q.uid < p.uid;
-  return false;  // identical rank: not strictly preceding
+  return packed_precedes(pack_rank(p, incumbency), pack_rank(q, incumbency));
 }
 
 std::size_t max_rank_index(std::span<const NodeRank> ranks,
                            bool incumbency) noexcept {
+  if (ranks.empty()) return 0;
   std::size_t best = 0;
+  PackedRank best_key = pack_rank(ranks[0], incumbency);
   for (std::size_t i = 1; i < ranks.size(); ++i) {
-    if (precedes(ranks[best], ranks[i], incumbency)) best = i;
+    const PackedRank key = pack_rank(ranks[i], incumbency);
+    if (packed_precedes(best_key, key)) {
+      best_key = key;
+      best = i;
+    }
   }
   return best;
 }

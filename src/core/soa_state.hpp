@@ -22,9 +22,11 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <type_traits>
 #include <vector>
 
+#include "core/rank.hpp"
 #include "topology/ids.hpp"
 #include "util/merge.hpp"
 
@@ -139,6 +141,42 @@ template <typename T>
   first = std::min(first, detail::first_column_mismatch(a.parent_valid,
                                                         b.parent_valid));
   return first;
+}
+
+/// A packed rank-key column: one PackedRank per node, the eighth hot
+/// column. The clustering oracle fills it once per run (pack_rank_column)
+/// and every ≺ scan afterwards — local-max tests, the fusion sort, parent
+/// selection — is an integer compare against it. The protocol keeps the
+/// same encoding per cache entry (CacheEntry::rank_key) so the R2
+/// election is the same reduction over a strided column.
+using RankKeyColumn = std::vector<PackedRank>;
+
+/// Packs every rank in `ranks` for the given incumbency mode.
+[[nodiscard]] inline RankKeyColumn pack_rank_column(
+    std::span<const NodeRank> ranks, bool incumbency) {
+  RankKeyColumn keys(ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    keys[i] = pack_rank(ranks[i], incumbency);
+  }
+  return keys;
+}
+
+/// Index of the ≺-maximum over a packed column (which must be non-empty).
+/// Branchless conditional-select reduction: each step is one wide compare
+/// plus three selects, no data-dependent branches for the predictor to
+/// miss on shuffled metric data.
+[[nodiscard]] inline std::size_t max_rank_key_index(
+    std::span<const PackedRank> keys) noexcept {
+  std::size_t best = 0;
+  PackedRank best_key = keys.empty() ? PackedRank{} : keys[0];
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    const bool better = packed_precedes(best_key, keys[i]);
+    best = better ? i : best;
+    best_key.hi = better ? keys[i].hi : best_key.hi;
+    best_key.lo = better ? keys[i].lo : best_key.lo;
+    best_key.sub = better ? keys[i].sub : best_key.sub;
+  }
+  return best;
 }
 
 /// Number of rows whose frame-visible scalars differ — the population

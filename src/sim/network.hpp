@@ -69,6 +69,25 @@ struct ArenaStorage<Protocol, true> {
   std::vector<std::size_t> offsets;                     // n + 1 row offsets
 };
 
+/// Delta rows for the current step: for every sender graded
+/// kRowDeltaApplicable, the digests whose bits moved since the previous
+/// arena build (ascending id, CSR-indexed like the main pool). The
+/// base_generation tag names the arena build the deltas were diffed
+/// against — the wire-shape element a cross-process frame format would
+/// carry — and is poisoned to kNoGeneration whenever the consumed-rows
+/// induction breaks. Empty for protocols without the redelivery
+/// extension.
+template <typename Protocol, bool = RedeliveryProtocol<Protocol>>
+struct DeltaStorage {};
+
+template <typename Protocol>
+struct DeltaStorage<Protocol, true> {
+  std::vector<typename Protocol::Digest> pool;  // changed digests, flat
+  std::vector<std::size_t> offsets;             // n + 1 row offsets
+  std::vector<std::uint32_t> counts;            // per-sender changed count
+  std::uint64_t base_generation = kNoGeneration;
+};
+
 }  // namespace detail
 
 template <typename Protocol>
@@ -185,6 +204,15 @@ class Network {
     return messages_delivered_;
   }
 
+  /// Sender rows graded delta-applicable (id sequence held, a sparse
+  /// subset of digest payloads changed) across all steps so far. Counted
+  /// in the serial phase-1c prefix sum, so the value is identical for
+  /// any thread count. Zero for protocols without the redelivery
+  /// extension and under the legacy/dirty steppers.
+  [[nodiscard]] std::uint64_t delta_rows_graded() const noexcept {
+    return delta_rows_graded_;
+  }
+
   /// Notifies the runtime that the observed graph was just patched with
   /// `delta` (dynamic-topology runs; the owner mutates the graph via
   /// graph::DynamicGraph, then calls this). The engine itself holds no
@@ -268,6 +296,9 @@ class Network {
   void invalidate_row_hints() noexcept {
     prev_rows_built_ = false;
     row_hints_valid_ = false;
+    if constexpr (RedeliveryProtocol<Protocol>) {
+      delta_.base_generation = kNoGeneration;
+    }
   }
 
   void step_legacy() {
@@ -329,29 +360,99 @@ class Network {
     // Phase 1b (parallel by sender): grade each row against last
     // step's. One streaming pass over two sequential buffers here saves
     // a gathered per-edge compare in phase 3 — each row is compared
-    // once instead of once per listener. Two grades, same bitwise field
-    // equality contract as the protocol's own change detection:
+    // once instead of once per listener. Three grades, same bitwise
+    // field equality contract as the protocol's own change detection:
     // kRowIdsEqual (the id sequence held; payloads may churn — the
-    // common active regime) and additionally kRowBitsEqual (the whole
-    // row, header included, is bit-identical — the quiescent regime).
+    // common active regime), additionally kRowBitsEqual (the whole row,
+    // header included, is bit-identical — the quiescent regime), or
+    // additionally kRowDeltaApplicable (ids held and at most half the
+    // digests moved — the late-recovery regime, worth delta-encoding).
     if constexpr (RedeliveryProtocol<Protocol>) {
+      ++generation_;
       row_unchanged_.assign(n, 0);
+      delta_.counts.assign(n, 0);
+      delta_.base_generation = kNoGeneration;
       if (prev_rows_built_ && prev_arena_.headers.size() == n) {
         const auto& prev = prev_arena_;
         auto* unchanged = row_unchanged_.data();
-        for_nodes(n, [&arena, &prev, unchanged](std::size_t p) {
+        auto* counts = delta_.counts.data();
+        for_nodes(n, [&arena, &prev, unchanged, counts](std::size_t p) {
           const std::size_t len = arena.offsets[p + 1] - arena.offsets[p];
           if (prev.offsets[p + 1] - prev.offsets[p] != len) return;
           const auto* a = arena.pool.data() + arena.offsets[p];
           const auto* b = prev.pool.data() + prev.offsets[p];
-          bool bits =
+          const bool header_bits =
               Protocol::header_bits_equal(arena.headers[p], prev.headers[p]);
-          for (std::size_t k = 0; k < len; ++k) {
+          // Once `changed` blows the delta threshold the row can only
+          // grade kRowIdsEqual, so the (wider) payload compares stop;
+          // the id compares must still cover the whole row — the
+          // ids-equal gate is what makes redelivery sound. This keeps
+          // heavy-churn rows (the active regime) near the old
+          // first-mismatch early-exit cost.
+          const std::size_t cap = len * kRowDeltaNumerator /
+                                  kRowDeltaDenominator;
+          std::size_t changed = 0;
+          std::size_t k = 0;
+          for (; k < len; ++k) {
             if (!Protocol::digest_id_equal(a[k], b[k])) return;
-            bits = bits && Protocol::digest_bits_equal(a[k], b[k]);
+            changed += !Protocol::digest_bits_equal(a[k], b[k]);
+            if (changed > cap) {
+              ++k;
+              break;
+            }
           }
-          unchanged[p] = kRowIdsEqual | (bits ? kRowBitsEqual : 0);
+          for (; k < len; ++k) {
+            if (!Protocol::digest_id_equal(a[k], b[k])) return;
+          }
+          unsigned char grade = kRowIdsEqual;
+          if (header_bits && changed == 0) {
+            grade |= kRowBitsEqual;
+          } else if (changed * kRowDeltaDenominator <=
+                     len * kRowDeltaNumerator) {
+            grade |= kRowDeltaApplicable;
+            counts[p] = static_cast<std::uint32_t>(changed);
+          }
+          unchanged[p] = grade;
         });
+
+        // Phase 1c (serial, O(n)): CSR offsets for the delta rows; then
+        // (parallel) extract the changed digests — a second compare
+        // pass, but only over delta-graded rows, and shared by every
+        // listener of each sender. The extracted rows are what a
+        // delta-encoded wire frame would carry: base-generation tag,
+        // full header, changed digests ascending by id.
+        delta_.offsets.resize(n + 1);
+        delta_.offsets[0] = 0;
+        std::size_t delta_rows = 0;
+        for (std::size_t p = 0; p < n; ++p) {
+          delta_.offsets[p + 1] = delta_.offsets[p] + delta_.counts[p];
+          delta_rows += (row_unchanged_[p] & kRowDeltaApplicable) != 0;
+        }
+        delta_rows_graded_ += delta_rows;
+        // A row only grades delta-applicable when changed <= len/2, so
+        // the pool can never exceed half the arena's digest count.
+        // Reserving that bound up front pins the high-water mark at the
+        // first delta build instead of letting the pool grow step by
+        // step through a recovery window that must stay allocation-free.
+        delta_.pool.reserve(arena.offsets[n] / 2);
+        delta_.pool.resize(delta_.offsets[n]);
+        delta_.base_generation = generation_ - 1;
+        if (delta_.offsets[n] != 0) {
+          auto& delta = delta_;
+          for_nodes(n, [&arena, &prev, &delta, unchanged,
+                        counts](std::size_t p) {
+            if ((unchanged[p] & kRowDeltaApplicable) == 0 || counts[p] == 0) {
+              return;
+            }
+            const auto* a = arena.pool.data() + arena.offsets[p];
+            const auto* b = prev.pool.data() + prev.offsets[p];
+            const std::size_t len = arena.offsets[p + 1] - arena.offsets[p];
+            auto* out = delta.pool.data() + delta.offsets[p];
+            for (std::size_t k = 0; k < len; ++k) {
+              if (!Protocol::digest_bits_equal(a[k], b[k])) *out++ = a[k];
+            }
+          });
+        }
       }
     }
 
@@ -380,14 +481,21 @@ class Network {
     // from its sorted neighbor row — the same ascending-sender order the
     // legacy sender-major loops produce. Rows graded unchanged in phase
     // 1b (and heard by everyone last step — perfect medium) collapse to
-    // the protocol's fast paths: bit-equal rows to an age reset, rows
-    // with a held id sequence to a straight payload overwrite. Either
-    // skip is bit-identical by induction on the rows a receiver has
-    // consumed; the protocol declines both for receivers whose cache was
-    // externally mutated since the last sweep.
+    // the protocol's fast paths, attempted strongest first: bit-equal
+    // rows to an age reset, delta-applicable rows to an in-place patch
+    // of the changed digests (gated on the base-generation tag naming
+    // the rows every listener consumed), rows with a held id sequence to
+    // a straight payload overwrite. Every skip is bit-identical by
+    // induction on the rows a receiver has consumed; the protocol
+    // declines them all for receivers whose cache was externally mutated
+    // since the last sweep, falling through to the next-fuller path.
     const bool hints = row_hints_valid_ && hear_all;
+    bool deltas_ok = false;
+    if constexpr (RedeliveryProtocol<Protocol>) {
+      deltas_ok = hints && delta_.base_generation + 1 == generation_;
+    }
     for_nodes(n, [protocol, &arena, offsets, flat, hear_all, hints,
-                  this](std::size_t q) {
+                  deltas_ok, this](std::size_t q) {
       for (std::size_t e = offsets[q]; e < offsets[q + 1]; ++e) {
         if (!hear_all && !incoming_[e]) continue;
         const graph::NodeId p = flat[e];
@@ -396,6 +504,14 @@ class Network {
             if ((row_unchanged_[p] & kRowBitsEqual) &&
                 protocol->redeliver_unchanged(static_cast<graph::NodeId>(q),
                                               arena.headers[p])) {
+              continue;
+            }
+            if ((row_unchanged_[p] & kRowDeltaApplicable) && deltas_ok &&
+                protocol->deliver_delta(
+                    static_cast<graph::NodeId>(q), arena.headers[p],
+                    arena.offsets[p + 1] - arena.offsets[p],
+                    std::span(delta_.pool.data() + delta_.offsets[p],
+                              delta_.offsets[p + 1] - delta_.offsets[p]))) {
               continue;
             }
             if (protocol->deliver_payload(
@@ -551,6 +667,9 @@ class Network {
   detail::ArenaStorage<Protocol> prev_arena_;          // last step's rows
   std::vector<unsigned char> incoming_;                // per-edge decisions
   std::vector<unsigned char> row_unchanged_;           // per-sender hint bits
+  detail::DeltaStorage<Protocol> delta_;               // this step's delta rows
+  std::uint64_t generation_ = 0;       // arena builds since construction
+  std::uint64_t delta_rows_graded_ = 0;
   bool prev_rows_built_ = false;   // prev_arena_ holds last step's rows
   bool row_hints_valid_ = false;   // ...and last step delivered them all
   ActivityTracker tracker_;                            // dirty stepping

@@ -214,6 +214,13 @@ class ShardedNetwork {
     return messages_delivered_;
   }
 
+  /// Sender rows graded delta-applicable across all steps so far —
+  /// same contract as sim::Network::delta_rows_graded(): folded
+  /// serially in shard order, so identical for any shard/thread count.
+  [[nodiscard]] std::uint64_t delta_rows_graded() const noexcept {
+    return delta_rows_graded_;
+  }
+
   /// Same contract as sim::Network::apply_topology_delta; additionally
   /// marks the static boundary-sender lists stale (a patched edge may
   /// create or destroy a boundary crossing).
@@ -266,6 +273,17 @@ class ShardedNetwork {
     std::vector<typename Protocol::FrameHeader> headers;
     std::vector<typename Protocol::Digest> pool;
     std::vector<std::size_t> offsets;
+    // Delta rows riding along with the full rows (redelivery protocols,
+    // full stepping): for every sender graded kRowDeltaApplicable, the
+    // digests whose bits moved since last step — the payload a
+    // cross-process frame format would put on the wire, with the full
+    // row kept as the fallback for receivers that decline the patch.
+    // delta_offsets is CSR over mailbox slots (senders + 1 entries);
+    // rows of senders without the grade are empty. Maintained only by
+    // the full stepper's flush; the dirty stepper always grades 0, so
+    // these are never read there.
+    std::vector<typename Protocol::Digest> delta_pool;
+    std::vector<std::size_t> delta_offsets;
   };
 
   struct Shard {
@@ -283,6 +301,16 @@ class ShardedNetwork {
     std::vector<typename Protocol::FrameHeader> prev_headers;
     std::vector<typename Protocol::Digest> prev_pool;
     std::vector<std::size_t> prev_offsets;
+    // This step's delta rows (redelivery protocols, full stepping): the
+    // changed digests of every delta-graded owned sender, ascending id,
+    // CSR over local sender index — the shard-local mirror of
+    // sim::Network's DeltaStorage. delta_rows counts the senders graded
+    // delta-applicable this step (folded serially into the engine
+    // total, so the aggregate is thread-count invariant).
+    std::vector<typename Protocol::Digest> delta_pool;
+    std::vector<std::size_t> delta_offsets;
+    std::vector<std::uint32_t> delta_counts;
+    std::uint64_t delta_rows = 0;
     // Full stepping: for each destination shard, the owned nodes with at
     // least one neighbor there (ascending). Rebuilt after topology
     // changes; copied into the frame mailboxes every step.
@@ -343,11 +371,20 @@ class ShardedNetwork {
     const auto digests = std::span(mb.pool.data() + mb.offsets[k],
                                    mb.offsets[k + 1] - mb.offsets[k]);
     if constexpr (RedeliveryProtocol<Protocol>) {
-      // The mailbox row is a byte copy of the sender shard's arena row,
-      // so the sender-side grade covers it too.
+      // The mailbox rows are byte copies of the sender shard's arena and
+      // delta rows, so the sender-side grade covers them too. Callers
+      // strip kRowDeltaApplicable from the grade when the delta rows'
+      // base generation doesn't name the rows every listener consumed.
       if (grade != 0) {
         if ((grade & kRowBitsEqual) &&
             protocol.redeliver_unchanged(q, mb.headers[k])) {
+          return;
+        }
+        if ((grade & kRowDeltaApplicable) &&
+            protocol.deliver_delta(
+                q, mb.headers[k], digests.size(),
+                std::span(mb.delta_pool.data() + mb.delta_offsets[k],
+                          mb.delta_offsets[k + 1] - mb.delta_offsets[k]))) {
           return;
         }
         if (protocol.deliver_payload(q, mb.headers[k], digests)) return;
@@ -397,6 +434,14 @@ class ShardedNetwork {
     // can skip the full delivery of provably unchanged frames.
     if constexpr (RedeliveryProtocol<Protocol>) {
       row_unchanged_.resize(n);
+      // One arena build per step, stamped serially. The delta rows this
+      // build produces patch against the previous build's rows, so
+      // their base-generation tag is generation_ - 1 — valid only when
+      // those rows exist (and actually reached every listener, which
+      // phase 3's hints flag checks on top).
+      ++generation_;
+      delta_base_generation_ =
+          prev_rows_built_ ? generation_ - 1 : kNoGeneration;
     }
     for_shards([this, protocol, S](std::size_t s) {
       Shard& sh = shards_[s];
@@ -423,27 +468,76 @@ class ShardedNetwork {
       }
       if constexpr (RedeliveryProtocol<Protocol>) {
         // Each shard writes only its owned slice of the global bitmap.
-        // Same two grades as sim::Network's phase 1b: id sequence held
-        // (payload overwrite suffices) and whole row bit-equal (age
-        // reset suffices).
+        // Same grades as sim::Network's phase 1b: id sequence held
+        // (payload overwrite suffices), whole row bit-equal (age reset
+        // suffices), or ids held with at most half the digests moved
+        // (delta patch suffices — the changed digests are extracted
+        // into the shard's delta arena below).
         const bool cmp =
             prev_rows_built_ && sh.prev_offsets.size() == local_n + 1;
+        sh.delta_counts.assign(local_n, 0);
+        sh.delta_rows = 0;
         for (std::size_t i = 0; i < local_n; ++i) {
           unsigned char grade = 0;
           const std::size_t len = sh.offsets[i + 1] - sh.offsets[i];
           if (cmp && sh.prev_offsets[i + 1] - sh.prev_offsets[i] == len) {
             const auto* a = sh.pool.data() + sh.offsets[i];
             const auto* b = sh.prev_pool.data() + sh.prev_offsets[i];
+            const bool header_bits = Protocol::header_bits_equal(
+                sh.headers[i], sh.prev_headers[i]);
+            // Same early-exit as the flat engine: past the delta
+            // threshold only the id compares still matter, so the
+            // wider payload compares stop — heavy-churn rows cost
+            // about what the old first-mismatch exit did.
+            const std::size_t cap = len * kRowDeltaNumerator /
+                                    kRowDeltaDenominator;
             bool ids = true;
-            bool bits = Protocol::header_bits_equal(sh.headers[i],
-                                                    sh.prev_headers[i]);
-            for (std::size_t k = 0; k < len && ids; ++k) {
+            std::size_t changed = 0;
+            std::size_t k = 0;
+            for (; k < len && ids; ++k) {
               ids = Protocol::digest_id_equal(a[k], b[k]);
-              bits = bits && Protocol::digest_bits_equal(a[k], b[k]);
+              changed += !Protocol::digest_bits_equal(a[k], b[k]);
+              if (changed > cap) break;
             }
-            if (ids) grade = kRowIdsEqual | (bits ? kRowBitsEqual : 0);
+            for (; k < len && ids; ++k) {
+              ids = Protocol::digest_id_equal(a[k], b[k]);
+            }
+            if (ids) {
+              grade = kRowIdsEqual;
+              if (header_bits && changed == 0) {
+                grade |= kRowBitsEqual;
+              } else if (changed * kRowDeltaDenominator <=
+                         len * kRowDeltaNumerator) {
+                grade |= kRowDeltaApplicable;
+                sh.delta_counts[i] = static_cast<std::uint32_t>(changed);
+                ++sh.delta_rows;
+              }
+            }
           }
           row_unchanged_[sh.begin + i] = grade;
+        }
+        // Shard-local delta arena: prefix-sum the per-sender changed
+        // counts (each shard sums only its own slice, so the build is
+        // parallel by shard), then extract the changed digests.
+        sh.delta_offsets.resize(local_n + 1);
+        sh.delta_offsets[0] = 0;
+        for (std::size_t i = 0; i < local_n; ++i) {
+          sh.delta_offsets[i + 1] = sh.delta_offsets[i] + sh.delta_counts[i];
+        }
+        // changed <= len/2 per applicable row, so half the shard's
+        // digest count bounds the pool; reserving it pins the
+        // high-water mark at the first delta build.
+        sh.delta_pool.reserve(sh.offsets[local_n] / 2);
+        sh.delta_pool.resize(sh.delta_offsets[local_n]);
+        for (std::size_t i = 0; i < local_n; ++i) {
+          if (sh.delta_counts[i] == 0) continue;
+          const auto* a = sh.pool.data() + sh.offsets[i];
+          const auto* b = sh.prev_pool.data() + sh.prev_offsets[i];
+          const std::size_t len = sh.offsets[i + 1] - sh.offsets[i];
+          auto* out = sh.delta_pool.data() + sh.delta_offsets[i];
+          for (std::size_t k = 0; k < len; ++k) {
+            if (!Protocol::digest_bits_equal(a[k], b[k])) *out++ = a[k];
+          }
         }
       }
       for (std::size_t t = 0; t < S; ++t) {
@@ -454,8 +548,22 @@ class ShardedNetwork {
         mb.headers.clear();
         mb.pool.clear();
         mb.offsets.assign(1, 0);
+        if constexpr (RedeliveryProtocol<Protocol>) {
+          mb.delta_pool.clear();
+          mb.delta_offsets.assign(1, 0);
+        }
         for (const graph::NodeId p : mb.senders) {
-          append_frame(mb, sh, static_cast<std::size_t>(p) - sh.begin);
+          const std::size_t slot = static_cast<std::size_t>(p) - sh.begin;
+          append_frame(mb, sh, slot);
+          if constexpr (RedeliveryProtocol<Protocol>) {
+            if (row_unchanged_[p] & kRowDeltaApplicable) {
+              mb.delta_pool.insert(
+                  mb.delta_pool.end(),
+                  sh.delta_pool.begin() + sh.delta_offsets[slot],
+                  sh.delta_pool.begin() + sh.delta_offsets[slot + 1]);
+            }
+            mb.delta_offsets.push_back(mb.delta_pool.size());
+          }
         }
       }
     });
@@ -489,7 +597,18 @@ class ShardedNetwork {
     // sender's delivery collapses to the protocol's redelivery
     // bookkeeping — the receiver's cache entry already holds the bytes.
     const bool hints = row_hints_valid_ && hear_all;
-    for_shards([this, protocol, offsets, flat, hear_all, hints,
+    // Delta patches additionally require the delta rows' base-generation
+    // tag to name the arena build every listener consumed; when it
+    // doesn't, the delta bit is masked out of every grade and those rows
+    // fall through to the payload/full paths.
+    unsigned char gmask = 0;
+    if constexpr (RedeliveryProtocol<Protocol>) {
+      const bool deltas_ok =
+          hints && delta_base_generation_ + 1 == generation_;
+      gmask = deltas_ok ? static_cast<unsigned char>(0xFF)
+                        : static_cast<unsigned char>(~kRowDeltaApplicable);
+    }
+    for_shards([this, protocol, offsets, flat, hear_all, hints, gmask,
                 S](std::size_t t) {
       Shard& sh = shards_[t];
       for (std::size_t q = sh.begin; q < sh.end; ++q) {
@@ -502,10 +621,23 @@ class ShardedNetwork {
                 std::span(sh.pool.data() + sh.offsets[slot],
                           sh.offsets[slot + 1] - sh.offsets[slot]);
             if constexpr (RedeliveryProtocol<Protocol>) {
-              if (hints && row_unchanged_[p]) {
-                if ((row_unchanged_[p] & kRowBitsEqual) &&
+              const unsigned char grade =
+                  hints ? static_cast<unsigned char>(row_unchanged_[p] & gmask)
+                        : static_cast<unsigned char>(0);
+              if (grade) {
+                if ((grade & kRowBitsEqual) &&
                     protocol->redeliver_unchanged(
                         static_cast<graph::NodeId>(q), sh.headers[slot])) {
+                  continue;
+                }
+                if ((grade & kRowDeltaApplicable) &&
+                    protocol->deliver_delta(
+                        static_cast<graph::NodeId>(q), sh.headers[slot],
+                        digests.size(),
+                        std::span(
+                            sh.delta_pool.data() + sh.delta_offsets[slot],
+                            sh.delta_offsets[slot + 1] -
+                                sh.delta_offsets[slot]))) {
                   continue;
                 }
                 if (protocol->deliver_payload(static_cast<graph::NodeId>(q),
@@ -519,7 +651,8 @@ class ShardedNetwork {
           } else {
             deliver_from(*protocol, static_cast<graph::NodeId>(q),
                          frame_mb_[shard_of(p) * S + t], p,
-                         hints ? row_unchanged_[p]
+                         hints ? static_cast<unsigned char>(
+                                     row_unchanged_[p] & gmask)
                                : static_cast<unsigned char>(0));
           }
         }
@@ -539,6 +672,9 @@ class ShardedNetwork {
     });
 
     if constexpr (RedeliveryProtocol<Protocol>) {
+      // Serial fold of the per-shard delta tallies (shard order), so the
+      // aggregate is identical for any thread count.
+      for (const Shard& sh : shards_) delta_rows_graded_ += sh.delta_rows;
       prev_rows_built_ = true;
       // Hints are trustworthy next step only if *this* step delivered
       // every row to every listener (loss would leave some caches
@@ -548,10 +684,13 @@ class ShardedNetwork {
   }
 
   /// Drops the double-buffered row state (redelivery protocols): the
-  /// next full step runs every delivery through the full compare path.
+  /// next full step runs every delivery through the full compare path,
+  /// and any banked delta rows are orphaned (their base generation no
+  /// longer names rows every listener consumed).
   void invalidate_row_hints() noexcept {
     prev_rows_built_ = false;
     row_hints_valid_ = false;
+    delta_base_generation_ = kNoGeneration;
   }
 
   /// Wakes `p` and its neighbors across whichever shards own them.
@@ -779,6 +918,9 @@ class ShardedNetwork {
   // owned slice; the flags gate whether prev_* rows exist and whether
   // every listener actually consumed them (loss-free previous step).
   std::vector<unsigned char> row_unchanged_;
+  std::uint64_t generation_ = 0;  // arena builds since construction
+  std::uint64_t delta_base_generation_ = kNoGeneration;
+  std::uint64_t delta_rows_graded_ = 0;
   bool prev_rows_built_ = false;
   bool row_hints_valid_ = false;
   ActivityTracker stats_;                // aggregate counters only

@@ -1,0 +1,330 @@
+// Delta-encoded digest frames: when the engine proves a sender's id
+// sequence held but a sparse subset of digest payloads moved, delivery
+// collapses to an in-place patch of just the changed digests
+// (deliver_delta), gated by a base-generation tag naming the arena
+// build every listener consumed. Like the other redelivery paths this
+// is pure cost model — every test here pins the delta-armed execution
+// bitwise against one that never takes the path, across faults from
+// every certifier class, lossy media, topology deltas, stepping-mode
+// switches, and both step engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "sim/loss.hpp"
+#include "sim/network.hpp"
+#include "sim/sharded_network.hpp"
+#include "topology/generators.hpp"
+#include "topology/ids.hpp"
+#include "topology/incremental.hpp"
+#include "topology/udg.hpp"
+#include "util/rng.hpp"
+#include "verify/faults.hpp"
+
+namespace ssmwn {
+namespace {
+
+core::DensityProtocol make_protocol(const graph::Graph& g,
+                                    const topology::IdAssignment& ids,
+                                    std::uint64_t seed) {
+  core::ProtocolConfig config;
+  config.cluster.use_dag_ids = true;
+  config.cluster.fusion = true;
+  config.delta_hint = std::max<std::uint64_t>(2, g.max_degree());
+  return core::DensityProtocol(ids, config, util::Rng(seed));
+}
+
+/// Delta-armed arena engine vs legacy engine (full deliver every time),
+/// lockstep through settle → mass fault → recovery → re-settle. The
+/// recovery tail is where delta grades appear (payload churn trickles
+/// down to a few digests per row before rows go fully bit-equal); the
+/// counter assertion proves the path actually ran, not just declined.
+TEST(DeltaFrames, DeltaPathBitIdenticalToLegacyEngine) {
+  util::Rng rng(20050612);
+  const std::size_t n = 250;
+  const auto points = topology::uniform_points(n, rng);
+  const auto ids = topology::random_ids(n, rng);
+  const auto g = topology::unit_disk_graph(points, 0.11);
+
+  auto fast = make_protocol(g, ids, 5);
+  auto slow = make_protocol(g, ids, 5);
+  sim::PerfectDelivery loss_a, loss_b;
+  sim::Network net_fast(g, fast, loss_a, 1);
+  sim::Network net_slow(g, slow, loss_b, 1);
+  net_slow.set_legacy_engine(true);
+
+  util::Rng chaos_a(77), chaos_b(77);
+  for (std::size_t step = 0; step < 40; ++step) {
+    if (step == 12) {
+      ASSERT_EQ(fast.corrupt_fraction(chaos_a, 0.15),
+                slow.corrupt_fraction(chaos_b, 0.15));
+    }
+    if (step == 26) {
+      fast.reset_node(3);
+      slow.reset_node(3);
+    }
+    net_fast.step();
+    net_slow.step();
+    const auto div = core::first_divergent_node(fast, slow);
+    ASSERT_EQ(div, std::nullopt)
+        << "step " << step << ":\n"
+        << core::describe_divergence(fast, slow, *div);
+  }
+  EXPECT_EQ(net_fast.messages_delivered(), net_slow.messages_delivered());
+  EXPECT_GT(net_fast.delta_rows_graded(), 0u)
+      << "the run never graded a row delta-applicable — the path under "
+         "test did not execute";
+  EXPECT_EQ(net_slow.delta_rows_graded(), 0u);  // legacy engine: no grading
+}
+
+/// Every certifier fault class, injected mid-run into both executions
+/// with identical RNG state: the planted state must decline the patch
+/// paths (resync flags) and converge to the same bytes the hint-free
+/// engine produces.
+TEST(DeltaFrames, AllFaultClassesRecoverBitIdentically) {
+  util::Rng rng(414);
+  const std::size_t n = 180;
+  const auto points = topology::uniform_points(n, rng);
+  const auto ids = topology::random_ids(n, rng);
+  const auto g = topology::unit_disk_graph(points, 0.12);
+  const verify::StateCorruptor corruptor(g, ids);
+
+  for (const verify::FaultClass fault : verify::kAllFaultClasses) {
+    auto fast = make_protocol(g, ids, 21);
+    auto slow = make_protocol(g, ids, 21);
+    sim::PerfectDelivery loss_a, loss_b;
+    sim::Network net_fast(g, fast, loss_a, 1);
+    sim::Network net_slow(g, slow, loss_b, 1);
+    net_slow.set_legacy_engine(true);
+
+    net_fast.run(10);
+    net_slow.run(10);
+
+    util::Rng chaos_a(99), chaos_b(99);
+    corruptor.apply(fast, fault, chaos_a);
+    corruptor.apply(slow, fault, chaos_b);
+    ASSERT_EQ(core::first_divergent_node(fast, slow), std::nullopt)
+        << "corruptor is nondeterministic for "
+        << verify::to_string(fault);
+
+    for (std::size_t step = 0; step < 15; ++step) {
+      net_fast.step();
+      net_slow.step();
+      const auto div = core::first_divergent_node(fast, slow);
+      ASSERT_EQ(div, std::nullopt)
+          << verify::to_string(fault) << " step " << step << ":\n"
+          << core::describe_divergence(fast, slow, *div);
+    }
+  }
+}
+
+/// A lossy medium never lets the hints arm (a frame some listener missed
+/// invalidates the consumed-rows induction), but the grading and delta
+/// extraction still run every step — they must be inert.
+TEST(DeltaFrames, LossyMediumStaysBitIdentical) {
+  util::Rng rng(88);
+  const std::size_t n = 200;
+  const auto points = topology::uniform_points(n, rng);
+  const auto ids = topology::random_ids(n, rng);
+  const auto g = topology::unit_disk_graph(points, 0.12);
+
+  auto fast = make_protocol(g, ids, 13);
+  auto slow = make_protocol(g, ids, 13);
+  sim::BernoulliDelivery loss_a(0.7, util::Rng(31));
+  sim::BernoulliDelivery loss_b(0.7, util::Rng(31));
+  sim::Network net_fast(g, fast, loss_a, 1);
+  sim::Network net_slow(g, slow, loss_b, 1);
+  net_slow.set_legacy_engine(true);
+
+  for (std::size_t step = 0; step < 30; ++step) {
+    net_fast.step();
+    net_slow.step();
+    const auto div = core::first_divergent_node(fast, slow);
+    ASSERT_EQ(div, std::nullopt)
+        << "step " << step << ":\n"
+        << core::describe_divergence(fast, slow, *div);
+  }
+  EXPECT_EQ(net_fast.messages_delivered(), net_slow.messages_delivered());
+}
+
+/// Topology deltas orphan the banked delta rows (receivers prune caches,
+/// adjacency changes who consumed what): the base-generation tag must be
+/// poisoned, then re-arm after one clean full sweep.
+TEST(DeltaFrames, TopologyDeltasPoisonAndRearmBitIdentically) {
+  util::Rng rng(11);
+  const std::size_t n = 150;
+  const double radius = 0.14;
+  auto points = topology::uniform_points(n, rng);
+  const auto ids = topology::random_ids(n, rng);
+
+  topology::LiveTopology topo(points, radius);
+  auto fast = make_protocol(topo.graph(), ids, 9);
+  auto slow = make_protocol(topo.graph(), ids, 9);
+  sim::PerfectDelivery loss_a, loss_b;
+  sim::Network net_fast(topo.graph(), fast, loss_a, 1);
+  sim::Network net_slow(topo.graph(), slow, loss_b, 1);
+  net_slow.set_legacy_engine(true);
+
+  util::Rng jitter(13);
+  for (int window = 0; window < 6; ++window) {
+    net_fast.run(8);
+    net_slow.run(8);
+    for (int moves = 0; moves < 5; ++moves) {
+      const auto v = jitter.below(n);
+      points[v] = {jitter.uniform(), jitter.uniform()};
+    }
+    const auto& delta = topo.update(points);
+    net_fast.apply_topology_delta(delta);
+    net_slow.apply_topology_delta(delta);
+    net_fast.step();
+    net_slow.step();
+    const auto div = core::first_divergent_node(fast, slow);
+    ASSERT_EQ(div, std::nullopt)
+        << "window " << window << ":\n"
+        << core::describe_divergence(fast, slow, *div);
+  }
+}
+
+/// Stepping-mode and engine switches mid-run: each switch drops the row
+/// hints and poisons the delta base; the next windows must re-arm onto
+/// the same bytes.
+TEST(DeltaFrames, SteppingAndEngineSwitchesRearmBitIdentically) {
+  util::Rng rng(52);
+  const std::size_t n = 200;
+  const auto points = topology::uniform_points(n, rng);
+  const auto ids = topology::random_ids(n, rng);
+  const auto g = topology::unit_disk_graph(points, 0.11);
+
+  auto fast = make_protocol(g, ids, 5);
+  auto slow = make_protocol(g, ids, 5);
+  sim::PerfectDelivery loss_a, loss_b;
+  sim::Network net_fast(g, fast, loss_a, 1);
+  sim::Network net_slow(g, slow, loss_b, 1);
+  net_slow.set_legacy_engine(true);
+
+  util::Rng chaos_a(7), chaos_b(7);
+  for (std::size_t step = 0; step < 45; ++step) {
+    if (step == 10) {
+      ASSERT_EQ(fast.corrupt_fraction(chaos_a, 0.2),
+                slow.corrupt_fraction(chaos_b, 0.2));
+    }
+    if (step == 18) net_fast.set_stepping(sim::Stepping::kDirty);
+    if (step == 28) net_fast.set_stepping(sim::Stepping::kFull);
+    if (step == 34) net_fast.set_legacy_engine(true);
+    if (step == 38) net_fast.set_legacy_engine(false);
+    net_fast.step();
+    net_slow.step();
+    const auto div = core::first_divergent_node(fast, slow);
+    ASSERT_EQ(div, std::nullopt)
+        << "step " << step << ":\n"
+        << core::describe_divergence(fast, slow, *div);
+  }
+}
+
+/// Sharded engine with boundary crossings: delta rows ride the frame
+/// mailboxes for boundary senders and the shard-local arena for owned
+/// ones; both must land on the flat engine's bytes, and since both
+/// engines grade the same rows the counters must agree exactly.
+TEST(DeltaFrames, ShardedDeltaPathBitIdenticalToFlat) {
+  util::Rng rng(606);
+  const std::size_t n = 220;
+  const auto points = topology::uniform_points(n, rng);
+  const auto ids = topology::random_ids(n, rng);
+  const auto g = topology::unit_disk_graph(points, 0.12);
+
+  auto flat = make_protocol(g, ids, 5);
+  auto sharded = make_protocol(g, ids, 5);
+  sim::PerfectDelivery loss_a, loss_b;
+  sim::Network net_flat(g, flat, loss_a, 1);
+  sim::ShardedNetwork net_shard(g, sharded, loss_b, std::size_t{5}, 2);
+
+  util::Rng chaos_a(17), chaos_b(17);
+  for (std::size_t step = 0; step < 40; ++step) {
+    if (step == 12) {
+      ASSERT_EQ(flat.corrupt_fraction(chaos_a, 0.15),
+                sharded.corrupt_fraction(chaos_b, 0.15));
+    }
+    net_flat.step();
+    net_shard.step();
+    const auto div = core::first_divergent_node(flat, sharded);
+    ASSERT_EQ(div, std::nullopt)
+        << "step " << step << ":\n"
+        << core::describe_divergence(flat, sharded, *div);
+  }
+  EXPECT_EQ(net_flat.messages_delivered(), net_shard.messages_delivered());
+  EXPECT_EQ(net_flat.delta_rows_graded(), net_shard.delta_rows_graded());
+  EXPECT_GT(net_shard.delta_rows_graded(), 0u);
+}
+
+/// Unit semantics of the protocol-side half of the delta contract.
+TEST(DeltaFrames, DeliverDeltaDeclinesWhenUnsafe) {
+  util::Rng rng(3);
+  const std::size_t n = 40;
+  const auto points = topology::uniform_points(n, rng);
+  const auto ids = topology::random_ids(n, rng);
+  const auto g = topology::unit_disk_graph(points, 0.25);
+
+  auto protocol = make_protocol(g, ids, 1);
+  sim::PerfectDelivery loss;
+  sim::Network network(g, protocol, loss, 1);
+  network.run(10);  // settled: caches mirror neighborhoods
+
+  graph::NodeId sender = 0, receiver = 0;
+  bool found = false;
+  for (graph::NodeId p = 0; p < static_cast<graph::NodeId>(n) && !found;
+       ++p) {
+    for (const auto q : g.neighbors(p)) {
+      sender = p;
+      receiver = q;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found) << "deployment has no edge";
+
+  core::DensityProtocol::FrameHeader header;
+  std::vector<core::DensityProtocol::Digest> digests(
+      protocol.digest_count(sender));
+  protocol.make_frame(sender, header, digests);
+  const std::size_t len = digests.size();
+  ASSERT_GT(len, 0u);
+
+  // Settled and untouched: an empty delta (header-only refresh) and a
+  // one-digest patch both accept.
+  EXPECT_TRUE(protocol.deliver_delta(receiver, header, len, {}));
+  EXPECT_TRUE(protocol.deliver_delta(
+      receiver, header, len, std::span(digests.data(), 1)));
+
+  // Delivering a node's own frame back to it is a recognized no-op.
+  EXPECT_TRUE(protocol.deliver_delta(sender, header, len, {}));
+
+  // Unknown sender id: the receiver has no entry to patch.
+  core::DensityProtocol::FrameHeader phantom = header;
+  phantom.id = 0xFFFFFFFF;
+  EXPECT_FALSE(protocol.deliver_delta(receiver, phantom, len, {}));
+
+  // Row-length mismatch: the engine's id-sequence proof cannot apply.
+  EXPECT_FALSE(protocol.deliver_delta(receiver, header, len + 1, {}));
+
+  // A changed digest whose id the cached entry doesn't hold: the base
+  // diverged, decline so the engine falls back to a fuller path.
+  core::DensityProtocol::Digest missing = digests[0];
+  missing.id = 0xFFFFFFFF;
+  EXPECT_FALSE(protocol.deliver_delta(receiver, header, len,
+                                      std::span(&missing, 1)));
+
+  // External mutation raises the resync flag: decline until the next
+  // full sweep clears it.
+  { auto s = protocol.mutable_state(receiver); (void)s; }
+  EXPECT_FALSE(protocol.deliver_delta(receiver, header, len, {}));
+  network.step();
+  digests.resize(protocol.digest_count(sender));
+  protocol.make_frame(sender, header, digests);
+  EXPECT_TRUE(protocol.deliver_delta(receiver, header, digests.size(), {}));
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 
@@ -127,6 +128,46 @@ TEST(ZeroAlloc, ActiveRecoveryRegimeDoesNotTouchTheHeap) {
   const std::size_t during = g_allocations.load() - before;
   EXPECT_EQ(during, 0u) << "active-recovery steps allocated " << during
                         << " times";
+}
+
+// The late-recovery regime the delta frames target: after the
+// structural settling, rows trickle toward quiescence with only a few
+// digests changing per step, so the engine grades rows delta-applicable
+// and receivers patch in place. Encode (grade + extract into the delta
+// pool) and apply (gallop patch of the cached entry) must both run out
+// of capacity-retained buffers — zero heap traffic once warm.
+TEST(ZeroAlloc, DeltaEncodeAndApplyDoNotTouchTheHeap) {
+  util::Rng rng(2009);
+  const std::size_t n = 300;
+  const auto pts = topology::uniform_points(n, rng);
+  const auto g = topology::unit_disk_graph(pts, 0.09);
+  const auto ids = topology::random_ids(n, rng);
+
+  core::ProtocolConfig config;
+  config.cluster.use_dag_ids = true;
+  config.cluster.fusion = true;
+  config.delta_hint = std::max<std::uint64_t>(2, g.max_degree());
+  core::DensityProtocol protocol(ids, config, util::Rng(4));
+  sim::PerfectDelivery loss;
+  sim::Network network(g, protocol, loss, 1);
+
+  network.run(30);  // steady: caches, slabs, arenas at high water
+
+  // A mild fault keeps payloads churning for a while; after the first
+  // few steps the delta pool has seen its high-water mark and the
+  // remaining recovery — where delta grades dominate — allocates
+  // nothing.
+  util::Rng chaos(2010);
+  protocol.corrupt_fraction(chaos, 0.1);
+  network.run(5);
+  const std::uint64_t graded_before = network.delta_rows_graded();
+  const std::size_t before = g_allocations.load();
+  network.run(10);
+  const std::size_t during = g_allocations.load() - before;
+  EXPECT_EQ(during, 0u) << "delta-churn steps allocated " << during
+                        << " times";
+  EXPECT_GT(network.delta_rows_graded(), graded_before)
+      << "the audited window never took the delta path";
 }
 
 TEST(ZeroAlloc, PoolDispatchDoesNotTouchTheHeap) {

@@ -9,6 +9,9 @@
 //                  [--period 1.0] [--period-jitter 0.1] [--link-delay 0.02]
 //   ssmwn routing  --n 500 --radius 0.08 [--pairs 300]
 //   ssmwn campaign spec-file [--threads 4] [--shards 8] [--csv F] [--json F]
+//                  [--checkpoint F] [--checkpoint-every N] [--resume F]
+//   ssmwn serve    [--port N] [--threads 4] [--shards 8]
+//   ssmwn submit   spec-file --port N
 //
 // `cluster` builds a deployment, clusters it, and prints the metrics of
 // the paper's evaluation (optionally a DOT file, a per-node CSV, or an
@@ -16,19 +19,33 @@
 // self-stabilizing protocol and reports convergence. `routing` compares
 // flat vs hierarchical routing. `campaign` expands a declarative
 // experiment spec into a replication grid and runs it sharded across a
-// worker pool (src/campaign/).
+// worker pool (src/campaign/), optionally publishing resumable
+// checkpoints. `serve` is the long-running daemon form of `campaign`:
+// specs stream in over a framed TCP protocol, results stream back;
+// `submit` is the matching client.
 //
 // Exit codes: 0 success, 1 run failure (a simulation ran but did not
 // meet its success condition, or an output file could not be written),
-// 2 bad arguments or a malformed spec.
+// 2 bad arguments, a malformed spec, or an unusable checkpoint.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/aggregate.hpp"
+#include "campaign/checkpoint.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
@@ -42,6 +59,8 @@
 #include "graph/dot.hpp"
 #include "metrics/cluster_metrics.hpp"
 #include "routing/routing.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
 #include "sim/async_network.hpp"
 #include "sim/loss.hpp"
 #include "sim/network.hpp"
@@ -53,6 +72,7 @@
 #include "topology/incremental.hpp"
 #include "topology/udg.hpp"
 #include "util/args.hpp"
+#include "util/atomic_file.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "verify/certifier.hpp"
@@ -66,16 +86,20 @@ constexpr int kExitOk = 0;
 constexpr int kExitRunFailure = 1;
 constexpr int kExitUsage = 2;
 
-/// Validates a --threads value shared by `protocol` and `campaign`
-/// (0 = hardware concurrency). Returns the parsed value or throws the
+/// Validates a --threads value shared by `protocol`, `campaign`, and
+/// `serve` (0 = hardware concurrency — a deliberate in-range meaning,
+/// not a degenerate value). Returns the parsed value or throws the
 /// bad-arguments exception.
 unsigned parse_threads(const util::Args& args) {
-  const auto threads = args.get_int("threads", 1);
-  if (threads < 0 || threads > 65536) {
-    throw std::invalid_argument("--threads must be in [0, 65536] (got " +
-                                std::to_string(threads) + ")");
-  }
-  return static_cast<unsigned>(threads);
+  return static_cast<unsigned>(args.get_int_in("threads", 1, 0, 65536));
+}
+
+/// `--seed` is consumed as uint64, so a negative value would wrap
+/// through the cast into a surprising (and irreproducible-looking)
+/// seed; reject it instead.
+std::uint64_t parse_seed(const util::Args& args, std::int64_t fallback) {
+  return static_cast<std::uint64_t>(args.get_int_in(
+      "seed", fallback, 0, std::numeric_limits<std::int64_t>::max()));
 }
 
 /// Validates the --shards execution knob shared by `protocol` and
@@ -85,12 +109,7 @@ unsigned parse_threads(const util::Args& args) {
 /// (tests/sim/sharded_equivalence_test.cpp), so pre-existing outputs
 /// stay byte-for-byte unchanged.
 std::size_t parse_shards(const util::Args& args) {
-  const auto shards = args.get_int("shards", 0);
-  if (shards < 0 || shards > 1'000'000) {
-    throw std::invalid_argument("--shards must be in [0, 1e6] (got " +
-                                std::to_string(shards) + ")");
-  }
-  return static_cast<std::size_t>(shards);
+  return static_cast<std::size_t>(args.get_int_in("shards", 0, 0, 1'000'000));
 }
 
 struct Deployment {
@@ -102,8 +121,12 @@ struct Deployment {
 
 Deployment make_deployment(const util::Args& args, util::Rng& rng) {
   Deployment d;
-  const auto n = static_cast<std::size_t>(args.get_int("n", 500));
-  const double radius = args.get_double("radius", 0.08);
+  // Both feed size_t/geometry code paths: a negative --n would wrap
+  // through the cast into a ~2^64 allocation, a non-positive radius
+  // yields an empty graph that *looks* like a result.
+  const auto n =
+      static_cast<std::size_t>(args.get_int_in("n", 500, 1, 10'000'000));
+  const double radius = args.get_double_in("radius", 0.08, 1e-9, 1e9);
   if (args.get_bool("grid", false)) {
     d.grid_side = topology::grid_side_for(n);
     d.points = topology::grid_points(d.grid_side);
@@ -138,7 +161,7 @@ int run_cluster(const util::Args& args, util::Rng& rng) {
     result = cluster::cluster_lowest_id(d.graph, d.ids, options);
   } else if (metric == "max-min") {
     result = cluster::cluster_max_min(
-        d.graph, d.ids, static_cast<std::size_t>(args.get_int("d", 2)));
+        d.graph, d.ids, static_cast<std::size_t>(args.get_int_in("d", 2, 1, 64)));
   } else {
     std::fprintf(stderr, "unknown --metric '%s'\n", metric.c_str());
     return 2;
@@ -251,7 +274,7 @@ int run_protocol_async(const util::Args& args, const Deployment& d,
   const sim::AsyncConfig async = parse_async_config(args, 1.0);
   const std::string daemon = args.get("daemon", "randomized");
 
-  const double tau = args.get_double("tau", 1.0);
+  const double tau = args.get_double_in("tau", 1.0, 1e-9, 1.0);
   const auto medium = sim::make_loss_model(tau, rng.split());
   sim::AsyncNetwork network(d.graph, protocol, *medium, async, rng.split());
   const sim::Stepping stepping = parse_stepping_flag(args);
@@ -269,7 +292,8 @@ int run_protocol_async(const util::Args& args, const Deployment& d,
   core::LegitimacyCheck legitimacy(d.graph, protocol,
                                    exact ? &oracle : nullptr);
 
-  const auto periods = static_cast<double>(args.get_int("steps", 100));
+  const auto periods =
+      static_cast<double>(args.get_int_in("steps", 100, 1, 1'000'000));
   auto settle = [&](const char* label) {
     legitimacy.reset();
     // settle_async counts messages relative to the phase start, so a
@@ -293,7 +317,7 @@ int run_protocol_async(const util::Args& args, const Deployment& d,
               async.link_delay_s);
   bool ok = settle("cold start");
 
-  const double corrupt = args.get_double("corrupt", 0.0);
+  const double corrupt = args.get_double_in("corrupt", 0.0, 0.0, 1.0);
   if (corrupt > 0.0) {
     util::Rng chaos(rng());
     const auto hit = protocol.corrupt_fraction(chaos, corrupt);
@@ -326,7 +350,7 @@ int run_protocol_live(const util::Args& args, const Deployment& d,
         "--topology must be incremental|rebuild (got '" + update + "')");
   }
   const bool incremental = update == "incremental";
-  const double radius = args.get_double("radius", 0.08);
+  const double radius = args.get_double_in("radius", 0.08, 1e-9, 1e9);
   const double speed_min = args.get_double("speed-min", 0.0);
   const double speed_max = args.get_double("speed-max", 1.6);
   if (speed_min < 0.0 || speed_max < speed_min || speed_max >= 1e9) {
@@ -343,7 +367,7 @@ int run_protocol_live(const util::Args& args, const Deployment& d,
   }
   const int windows = static_cast<int>(windows_raw);  // fits %d after check
   const auto horizon_rounds =
-      static_cast<double>(args.get_int("steps", 100));
+      static_cast<double>(args.get_int_in("steps", 100, 1, 1'000'000));
 
   const mobility::SpeedRange speeds{speed_min, speed_max};
   const std::string mobility = args.get("mobility", "random-direction");
@@ -371,7 +395,7 @@ int run_protocol_live(const util::Args& args, const Deployment& d,
   }
   const graph::Graph& g = incremental ? live->graph() : rebuilt.view();
 
-  const double tau = args.get_double("tau", 1.0);
+  const double tau = args.get_double_in("tau", 1.0, 1e-9, 1.0);
   const auto medium = sim::make_loss_model(tau, rng.split());
 
   const bool exact =
@@ -509,7 +533,7 @@ int run_protocol(const util::Args& args, util::Rng& rng) {
   config.cluster.use_dag_ids = args.get_bool("dag", false);
   config.cluster.fusion = args.get_bool("fusion", false);
   config.delta_hint = std::max<std::uint64_t>(2, d.graph.max_degree());
-  const double tau = args.get_double("tau", 1.0);
+  const double tau = args.get_double_in("tau", 1.0, 1e-9, 1.0);
   config.cache_max_age = tau < 1.0 ? 16 : 8;
 
   core::DensityProtocol protocol(d.ids, config, rng.split());
@@ -561,7 +585,8 @@ int run_protocol(const util::Args& args, util::Rng& rng) {
       std::printf("step engine threads: %u\n", network.thread_count());
     }
 
-    const auto steps = static_cast<std::size_t>(args.get_int("steps", 100));
+    const auto steps = static_cast<std::size_t>(
+        args.get_int_in("steps", 100, 1, 1'000'000));
     sim::HeadTrace trace;
     trace.observe(protocol.head_values());
     for (std::size_t s = 0; s < steps; ++s) {
@@ -571,7 +596,7 @@ int run_protocol(const util::Args& args, util::Rng& rng) {
     std::printf("cold start: %zu head changes, quiescent since step %zu\n",
                 trace.changes().size(), trace.quiescent_since());
 
-    const double corrupt = args.get_double("corrupt", 0.0);
+    const double corrupt = args.get_double_in("corrupt", 0.0, 0.0, 1.0);
     if (corrupt > 0.0) {
       util::Rng chaos(rng());
       const auto hit = protocol.corrupt_fraction(chaos, corrupt);
@@ -611,7 +636,8 @@ int run_routing(const util::Args& args, util::Rng& rng) {
   const auto clustering = core::cluster_density(d.graph, d.ids, {});
   routing::FlatRouter flat(d.graph);
   routing::HierarchicalRouter hier(d.graph, clustering);
-  const auto pairs = static_cast<std::size_t>(args.get_int("pairs", 300));
+  const auto pairs =
+      static_cast<std::size_t>(args.get_int_in("pairs", 300, 1, 10'000'000));
   const auto stats = routing::compare_routers(d.graph, flat, hier, pairs, rng);
   std::printf("clusters=%zu sampled_pairs=%zu failures=%zu\n",
               hier.cluster_count(), stats.pairs, stats.failures);
@@ -635,7 +661,7 @@ int run_routing(const util::Args& args, util::Rng& rng) {
 int run_verify(const util::Args& args, util::Rng& rng) {
   (void)rng;  // the certifier derives everything from --seed directly
   verify::CertifierConfig config;
-  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 20050612));
+  config.seed = parse_seed(args, 20050612);
   const auto trials = args.get_int("trials", 200);
   if (trials < 1 || trials > 10'000'000) {
     throw std::invalid_argument("--trials must be in [1, 1e7]");
@@ -767,23 +793,39 @@ int run_campaign(const util::Args& args) {
   auto spec = campaign::load_spec(positional[1]);
   // CLI overrides for the two knobs one typically varies per invocation.
   if (args.has("replications")) {
-    const auto reps = args.get_int("replications", 0);
-    if (reps < 1) {
-      throw std::invalid_argument("--replications must be at least 1");
-    }
-    spec.replications = static_cast<std::size_t>(reps);
+    spec.replications = static_cast<std::size_t>(
+        args.get_int_in("replications", 16, 1, 1'000'000'000));
   }
   if (args.has("seed")) {
-    spec.seed_base = static_cast<std::uint64_t>(args.get_int("seed", 0));
+    spec.seed_base = parse_seed(args, 0);
   }
   const unsigned threads = parse_threads(args);
 
-  // Open the output files *before* running: an unwritable path must
+  const auto plan = campaign::expand(spec);
+
+  // Resume must be validated before anything runs or any output opens:
+  // a checkpoint for a different spec, or a torn file, aborts with the
+  // bad-arguments exit and zero partial execution.
+  const std::string resume_path = args.get("resume", "");
+  campaign::CheckpointState resume_state;
+  if (!resume_path.empty()) {
+    resume_state = campaign::load_checkpoint(resume_path, plan);
+  }
+  campaign::CheckpointOptions ckpt;
+  // --resume without --checkpoint keeps checkpointing to the same file,
+  // so a twice-interrupted sweep resumes twice without extra flags.
+  ckpt.path = args.get("checkpoint", resume_path);
+  ckpt.every_runs = static_cast<std::size_t>(
+      args.get_int_in("checkpoint-every", 64, 1, 1'000'000'000));
+
+  // Stage the output files *before* running: an unwritable path must
   // abort up front, not after hours of simulation whose results it
-  // would then discard. invalid_argument → the bad-arguments exit code.
+  // would then discard (invalid_argument → the bad-arguments exit
+  // code). Staging through AtomicFile also means a crash mid-report can
+  // never tear the destination — it gets the complete new bytes at
+  // commit() or keeps its old content.
   struct PendingOutput {
-    std::string path;
-    std::ofstream stream;
+    std::unique_ptr<util::AtomicFile> file;
     void (*writer)(std::ostream&, const campaign::CampaignPlan&,
                    const std::vector<campaign::ScenarioAggregate>&);
   };
@@ -793,14 +835,9 @@ int run_campaign(const util::Args& args) {
         std::pair{"json", &campaign::write_json}}) {
     const auto path = args.get(flag, "");
     if (path.empty()) continue;
-    std::ofstream stream(path);
-    if (!stream) {
-      throw std::invalid_argument("cannot open output file '" + path + "'");
-    }
-    outputs.push_back({path, std::move(stream), writer});
+    outputs.push_back({std::make_unique<util::AtomicFile>(path), writer});
   }
 
-  const auto plan = campaign::expand(spec);
   campaign::ExecutionOptions exec;
   exec.shards = parse_shards(args);
   campaign::CampaignRunner runner(threads, exec);
@@ -809,8 +846,14 @@ int run_campaign(const util::Args& args) {
                 "run(s) on %u thread(s)\n",
                 plan.name.c_str(), plan.grid.size(), plan.replications,
                 plan.runs.size(), runner.thread_count());
+    if (!resume_path.empty()) {
+      std::printf("resuming from %s: %zu/%zu run(s) already complete\n",
+                  resume_path.c_str(), resume_state.completed_count(),
+                  plan.runs.size());
+    }
   }
-  const auto results = runner.run(plan);
+  const auto results = runner.run(
+      plan, ckpt, resume_path.empty() ? nullptr : &resume_state);
 
   // Feed the aggregator in plan order — never in completion order — so
   // the floating-point sums (and the files below) are thread-count
@@ -826,14 +869,116 @@ int run_campaign(const util::Args& args) {
                stdout);
   }
   for (auto& output : outputs) {
-    output.writer(output.stream, plan, aggregates);
-    if (!output.stream.flush()) {
-      throw std::runtime_error("failed writing output file '" + output.path +
-                               "'");
-    }
-    std::printf("wrote %s\n", output.path.c_str());
+    output.writer(output.file->stream(), plan, aggregates);
+    output.file->commit();  // throws runtime_error → run-failure exit
+    std::printf("wrote %s\n", output.file->path().c_str());
   }
   return kExitOk;
+}
+
+serve::Server* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();  // async-signal-safe
+}
+
+int run_serve(const util::Args& args) {
+  serve::ServerOptions options;
+  options.port =
+      static_cast<std::uint16_t>(args.get_int_in("port", 0, 0, 65535));
+  options.threads = parse_threads(args);
+  options.exec.shards = parse_shards(args);
+
+  serve::Server server(options);
+  g_server = &server;
+  // SIGTERM/SIGINT start the graceful drain; SIGPIPE must not kill the
+  // daemon when a client disconnects mid-stream.
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Scripts parse this line for the resolved port (--port 0 = ephemeral).
+  std::printf("ssmwn serve: listening on 127.0.0.1:%u (%u worker thread(s))\n",
+              static_cast<unsigned>(server.port()),
+              options.threads == 0 ? std::thread::hardware_concurrency()
+                                   : options.threads);
+  std::fflush(stdout);
+  server.run();
+  g_server = nullptr;
+  std::puts("ssmwn serve: drained, exiting");
+  return kExitOk;
+}
+
+/// Wire client for `serve`: sends one spec, closes its write side (the
+/// server sees EOF after the spec, so the response ends with EOF too),
+/// prints result lines to stdout. Keeping the client in the CLI makes
+/// the daemon scriptable with nothing but this binary.
+int run_submit(const util::Args& args) {
+  const auto& positional = args.positional();
+  if (positional.size() < 2) {
+    std::fprintf(stderr, "submit: missing <spec-file> argument\n");
+    return kExitUsage;
+  }
+  if (!args.has("port")) {
+    throw std::invalid_argument("submit: --port is required");
+  }
+  const auto port =
+      static_cast<std::uint16_t>(args.get_int_in("port", 0, 1, 65535));
+
+  std::ifstream in(positional[1], std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("cannot read spec file '" + positional[1] +
+                                "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string spec_text = buffer.str();
+
+  std::signal(SIGPIPE, SIG_IGN);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error("submit: cannot create socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("submit: cannot connect to 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  int exit_code = kExitRunFailure;  // until an end frame proves success
+  try {
+    serve::write_frame(fd, serve::FrameType::kSpec, spec_text);
+    ::shutdown(fd, SHUT_WR);
+    serve::Frame frame;
+    bool failed = false;
+    while (serve::read_frame(fd, frame)) {
+      switch (frame.type) {
+        case serve::FrameType::kResult:
+          std::printf("%s\n", frame.body.c_str());
+          break;
+        case serve::FrameType::kError:
+          std::fprintf(stderr, "error: %s\n", frame.body.c_str());
+          failed = true;
+          break;
+        case serve::FrameType::kEnd:
+          exit_code = failed ? kExitRunFailure : kExitOk;
+          break;
+        default:
+          std::fprintf(stderr, "submit: unexpected frame type\n");
+          failed = true;
+          break;
+      }
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return exit_code;
 }
 
 void usage() {
@@ -858,6 +1003,9 @@ void usage() {
       "  routing  --n N --radius R [--grid] [--seed S] [--pairs K]\n"
       "  campaign <spec-file> [--threads N] [--shards N] [--csv F]\n"
       "           [--json F] [--quiet] [--replications N] [--seed S]\n"
+      "           [--checkpoint F] [--checkpoint-every N] [--resume F]\n"
+      "  serve    [--port N] [--threads N] [--shards N]\n"
+      "  submit   <spec-file> --port N\n"
       "  verify   [--trials N] [--classes all|c1,c2,...] [--n-min A]\n"
       "           [--n-max B] [--radius R] [--variant V] [--tau T]\n"
       "           [--steps H] [--seed S] [--threads N] [--repro F]\n"
@@ -896,6 +1044,18 @@ void usage() {
       "               runs only nodes whose closed neighborhood changed\n"
       "               (bit-identical results, large steady-state speedup;\n"
       "               sync engine requires --tau 1)\n"
+      "  --checkpoint F        campaign: publish resumable checkpoints to\n"
+      "               F (atomic rename; snapshot every --checkpoint-every\n"
+      "               completed runs, default 64, plus a final one)\n"
+      "  --resume F   campaign: skip runs already recorded in checkpoint\n"
+      "               F; output is byte-identical to an uninterrupted run\n"
+      "               at any --threads. Keeps checkpointing to F unless\n"
+      "               --checkpoint overrides. Rejects checkpoints whose\n"
+      "               spec hash does not match the spec file\n"
+      "  serve        long-running daemon on 127.0.0.1 (--port 0 =\n"
+      "               ephemeral, printed on stdout): framed spec in,\n"
+      "               framed per-run results out, shared work-stealing\n"
+      "               pool; SIGTERM drains gracefully\n"
       "exit codes: 0 success, 1 run failure, 2 bad arguments or spec");
 }
 
@@ -916,7 +1076,10 @@ const std::map<std::string, std::vector<std::string>> kKnownFlags = {
       "windows", "window-s", "stepping"}},
     {"routing", {"n", "radius", "grid", "pairs"}},
     {"campaign",
-     {"threads", "shards", "csv", "json", "quiet", "replications"}},
+     {"threads", "shards", "csv", "json", "quiet", "replications",
+      "checkpoint", "checkpoint-every", "resume"}},
+    {"serve", {"port", "threads", "shards"}},
+    {"submit", {"port"}},
     {"verify",
      {"trials", "classes", "n-min", "n-max", "radius", "variant", "tau",
       "steps", "threads", "repro", "quiet"}},
@@ -942,8 +1105,7 @@ int main(int argc, char** argv) {
       usage();
       return kExitUsage;
     }
-    util::Rng rng(
-        static_cast<std::uint64_t>(args.get_int("seed", 20050612)));
+    util::Rng rng(parse_seed(args, 20050612));
     const std::string command = args.positional().front();
     if (!kKnownFlags.count(command)) {
       std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
@@ -955,6 +1117,8 @@ int main(int argc, char** argv) {
     if (command == "protocol") return run_protocol(args, rng);
     if (command == "routing") return run_routing(args, rng);
     if (command == "verify") return run_verify(args, rng);
+    if (command == "serve") return run_serve(args);
+    if (command == "submit") return run_submit(args);
     return run_campaign(args);
   } catch (const std::invalid_argument& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

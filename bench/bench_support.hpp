@@ -7,7 +7,7 @@
 
 #include <charconv>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,6 +19,7 @@
 #include "topology/generators.hpp"
 #include "topology/ids.hpp"
 #include "topology/udg.hpp"
+#include "util/atomic_file.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -101,15 +102,13 @@ class JsonReport {
   }
 
   /// Best effort: benches must not fail because the cwd is read-only.
+  /// Published via temp-file + atomic rename (util::AtomicFile), so CI
+  /// archiving a BENCH_*.json concurrently with (or right after) an
+  /// interrupted bench can never pick up a torn, half-written report.
   void write() const {
     const std::string dir = util::env_string("SSMWN_BENCH_JSON_DIR", ".");
     const std::string path = dir + "/BENCH_" + bench_ + ".json";
-    std::ofstream out(path);
-    if (!out) {
-      std::fprintf(stderr, "note: cannot write %s; skipping JSON report\n",
-                   path.c_str());
-      return;
-    }
+    std::ostringstream out;
     out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"records\": [";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
@@ -122,6 +121,13 @@ class JsonReport {
           << "}";
     }
     out << "\n  ]\n}\n";
+    try {
+      util::atomic_write_file(path, out.str());
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "note: cannot write %s; skipping JSON report\n",
+                   path.c_str());
+      return;
+    }
     std::printf("wrote %s\n", path.c_str());
   }
 

@@ -1,0 +1,268 @@
+#include "campaign/checkpoint.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <locale>
+#include <sstream>
+#include <string_view>
+
+#include "util/atomic_file.hpp"
+
+namespace ssmwn::campaign {
+
+namespace {
+
+constexpr std::string_view kMagic = "ssmwn-checkpoint v1";
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_string(std::uint64_t& h, std::string_view text) {
+  fnv_bytes(h, text.data(), text.size());
+  h ^= 0xffu;  // length-prefix-free separator so "ab","c" != "a","bc"
+  h *= kFnvPrime;
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t value) {
+  fnv_bytes(h, &value, sizeof(value));
+}
+
+std::string hex_u64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xfu];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_hex_u64(std::string_view text, const char* what) {
+  std::uint64_t value = 0;
+  if (text.empty() || text.size() > 16) {
+    throw CheckpointError(std::string("checkpoint: malformed ") + what);
+  }
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw CheckpointError(std::string("checkpoint: malformed ") + what);
+  }
+  return value;
+}
+
+std::uint64_t parse_dec_u64(std::string_view text, const char* what) {
+  std::uint64_t value = 0;
+  if (text.empty()) {
+    throw CheckpointError(std::string("checkpoint: malformed ") + what);
+  }
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 10);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw CheckpointError(std::string("checkpoint: malformed ") + what);
+  }
+  return value;
+}
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// Metric field order inside a checkpoint record. Append-only: inserting
+// a field mid-list would silently reinterpret old files, so any schema
+// change must bump the magic's version instead.
+std::array<double RunMetrics::*, 10> metric_fields() {
+  return {
+      &RunMetrics::stability,          &RunMetrics::delta,
+      &RunMetrics::reaffiliation,      &RunMetrics::cluster_count,
+      &RunMetrics::converge_time,      &RunMetrics::messages,
+      &RunMetrics::reconverge_time,    &RunMetrics::reconverge_messages,
+      &RunMetrics::sync_steps,         &RunMetrics::sync_messages,
+  };
+}
+
+}  // namespace
+
+std::uint64_t plan_fingerprint(const CampaignPlan& plan) {
+  std::uint64_t h = kFnvOffset;
+  fnv_string(h, plan.name);
+  fnv_u64(h, plan.seed_base);
+  fnv_u64(h, plan.replications);
+  fnv_u64(h, plan.runs.size());
+  for (const auto& point : plan.grid) fnv_string(h, point.canonical);
+  return h;
+}
+
+void write_checkpoint(const std::string& path, const CampaignPlan& plan,
+                      const CheckpointState& state) {
+  std::ostringstream body;
+  body.imbue(std::locale::classic());
+  body << kMagic << '\n';
+  body << "campaign " << plan.name << '\n';
+  body << "spec_hash " << hex_u64(plan_fingerprint(plan)) << '\n';
+  body << "runs " << plan.runs.size() << '\n';
+  body << "completed " << state.completed_count() << '\n';
+  const auto fields = metric_fields();
+  for (std::size_t i = 0; i < state.completed.size(); ++i) {
+    if (state.completed[i] == 0) continue;
+    const RunMetrics& m = state.results[i];
+    body << "run " << i << ' ' << m.windows;
+    for (const auto field : fields) body << ' ' << hex_u64(double_bits(m.*field));
+    body << '\n';
+  }
+  std::string text = body.str();
+  std::uint64_t checksum = kFnvOffset;
+  fnv_bytes(checksum, text.data(), text.size());
+  text += "checksum " + hex_u64(checksum) + "\n";
+
+  util::AtomicFile file(path);
+  file.stream().write(text.data(), static_cast<std::streamsize>(text.size()));
+  file.commit();
+}
+
+CheckpointState load_checkpoint(const std::string& path,
+                                const CampaignPlan& plan) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("checkpoint: cannot read '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) {
+    throw CheckpointError("checkpoint: read error on '" + path + "'");
+  }
+  const std::string text = buffer.str();
+
+  // Split off the footer first and verify the checksum over everything
+  // before it; only then is any field trusted.
+  const auto footer_pos = text.rfind("checksum ");
+  if (footer_pos == std::string::npos || footer_pos == 0 ||
+      text[footer_pos - 1] != '\n' || text.back() != '\n') {
+    throw CheckpointError("checkpoint: truncated file '" + path +
+                          "' (missing checksum footer)");
+  }
+  const std::string_view body(text.data(), footer_pos);
+  const std::string_view footer_line(text.data() + footer_pos,
+                                     text.size() - footer_pos - 1);
+  const std::uint64_t stored =
+      parse_hex_u64(footer_line.substr(std::string_view("checksum ").size()),
+                    "checksum footer");
+  std::uint64_t checksum = kFnvOffset;
+  fnv_bytes(checksum, body.data(), body.size());
+  if (checksum != stored) {
+    throw CheckpointError("checkpoint: checksum mismatch in '" + path +
+                          "' (torn or corrupted file)");
+  }
+
+  // Line-walk the verified body.
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start < body.size()) {
+    const auto nl = body.find('\n', start);
+    if (nl == std::string_view::npos) {
+      throw CheckpointError("checkpoint: truncated body in '" + path + "'");
+    }
+    lines.push_back(body.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.size() < 5) {
+    throw CheckpointError("checkpoint: truncated header in '" + path + "'");
+  }
+  auto expect_prefix = [&](std::string_view line, std::string_view prefix,
+                           const char* what) -> std::string_view {
+    if (line.substr(0, prefix.size()) != prefix) {
+      throw CheckpointError(std::string("checkpoint: malformed ") + what +
+                            " in '" + path + "'");
+    }
+    return line.substr(prefix.size());
+  };
+  if (lines[0] != kMagic) {
+    throw CheckpointError("checkpoint: '" + path +
+                          "' is not a ssmwn-checkpoint v1 file");
+  }
+  const auto name = expect_prefix(lines[1], "campaign ", "campaign line");
+  const auto hash_text = expect_prefix(lines[2], "spec_hash ", "spec_hash line");
+  const auto runs_text = expect_prefix(lines[3], "runs ", "runs line");
+  const auto completed_text =
+      expect_prefix(lines[4], "completed ", "completed line");
+
+  const std::uint64_t fingerprint = plan_fingerprint(plan);
+  if (parse_hex_u64(hash_text, "spec_hash") != fingerprint ||
+      name != plan.name) {
+    throw CheckpointError(
+        "checkpoint: '" + path + "' was written for campaign '" +
+        std::string(name) +
+        "' with a different spec; refusing to resume (spec hash mismatch)");
+  }
+  const std::uint64_t runs = parse_dec_u64(runs_text, "runs count");
+  if (runs != plan.runs.size()) {
+    throw CheckpointError("checkpoint: run count mismatch in '" + path + "'");
+  }
+  const std::uint64_t completed = parse_dec_u64(completed_text, "completed count");
+
+  CheckpointState state;
+  state.completed.assign(plan.runs.size(), 0);
+  state.results.assign(plan.runs.size(), RunMetrics{});
+  const auto fields = metric_fields();
+  std::size_t seen = 0;
+  for (std::size_t li = 5; li < lines.size(); ++li) {
+    std::string_view line = lines[li];
+    line = expect_prefix(line, "run ", "run record");
+    // Tokenize: index, windows, then the 10 metric bit patterns.
+    std::array<std::string_view, 12> tokens;
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while (pos < line.size() && count < tokens.size()) {
+      const auto space = line.find(' ', pos);
+      const auto end = space == std::string_view::npos ? line.size() : space;
+      tokens[count++] = line.substr(pos, end - pos);
+      pos = end + 1;
+    }
+    if (count != tokens.size() || pos <= line.size()) {
+      throw CheckpointError("checkpoint: malformed run record in '" + path +
+                            "'");
+    }
+    const std::uint64_t index = parse_dec_u64(tokens[0], "run index");
+    if (index >= plan.runs.size()) {
+      throw CheckpointError("checkpoint: run index out of range in '" + path +
+                            "'");
+    }
+    if (state.completed[index] != 0) {
+      throw CheckpointError("checkpoint: duplicate run record in '" + path +
+                            "'");
+    }
+    RunMetrics m{};
+    m.windows =
+        static_cast<std::size_t>(parse_dec_u64(tokens[1], "windows count"));
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      m.*fields[f] = bits_double(parse_hex_u64(tokens[2 + f], "metric bits"));
+    }
+    state.completed[index] = 1;
+    state.results[index] = m;
+    ++seen;
+  }
+  if (seen != completed) {
+    throw CheckpointError("checkpoint: completed count mismatch in '" + path +
+                          "' (short read?)");
+  }
+  return state;
+}
+
+}  // namespace ssmwn::campaign

@@ -1,0 +1,85 @@
+// Deterministic campaign checkpoints: exact resume of a killed sweep.
+//
+// A checkpoint is a sidecar file recording which plan slots have
+// finished and their exact RunMetrics. Because every run is a pure
+// function of (grid config, seed) and results land in plan-indexed
+// slots, resuming is trivial *and exact*: skip the completed slots,
+// execute the rest, and the final result vector — hence the aggregated
+// CSV/JSON — is byte-identical to an uninterrupted run at any thread
+// count. Two details make that true:
+//
+//   * Doubles are stored as their raw IEEE-754 bit patterns (hex u64),
+//     never as decimal text, so a metric that crossed a checkpoint
+//     boundary is restored to the exact bits the run produced.
+//   * The file names the plan it belongs to by a fingerprint over the
+//     campaign identity (name, seed_base, replications, every grid
+//     point's canonical string). Resuming against a different or edited
+//     spec fails loudly (CheckpointError → CLI exit 2) before any run
+//     executes; a silently mismatched resume would splice two
+//     experiments into one output file.
+//
+// Checkpoints are published with util::AtomicFile (write temp, fsync,
+// rename), so a crash mid-checkpoint leaves the previous complete
+// checkpoint in place — the file on disk is always loadable. A torn or
+// truncated file (possible only through external interference, or a
+// filesystem without atomic rename) is rejected by a whole-body
+// checksum in the footer.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+namespace ssmwn::campaign {
+
+/// Unusable checkpoint: wrong campaign, truncated body, bad checksum,
+/// unreadable file. Derives from std::invalid_argument so the CLI maps
+/// it to the bad-arguments exit code (2) — resuming must abort before
+/// any run executes, like every other precondition failure.
+class CheckpointError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Completed-slot state loaded from (or about to be written to) a
+/// checkpoint. `completed` and `results` are indexed like plan.runs;
+/// `results[i]` is meaningful only where `completed[i]` is nonzero.
+struct CheckpointState {
+  std::vector<char> completed;
+  std::vector<RunMetrics> results;
+
+  [[nodiscard]] std::size_t completed_count() const noexcept {
+    std::size_t count = 0;
+    for (const char flag : completed) count += flag != 0;
+    return count;
+  }
+};
+
+/// Order-sensitive fingerprint of the campaign identity: name,
+/// seed_base, replications, run count, and every grid point's canonical
+/// string. Any change that could alter a run's config or seed — an
+/// edited axis, a different seed_base, a reordered grid — changes the
+/// fingerprint; execution knobs (--threads, --shards) do not, exactly
+/// as they never change results.
+[[nodiscard]] std::uint64_t plan_fingerprint(const CampaignPlan& plan);
+
+/// Serializes the completed slots to `path` via temp-file + fsync +
+/// atomic rename. Throws std::invalid_argument if the path is
+/// unwritable, std::runtime_error if publication fails mid-commit (the
+/// previous checkpoint, if any, survives either way).
+void write_checkpoint(const std::string& path, const CampaignPlan& plan,
+                      const CheckpointState& state);
+
+/// Loads and validates a checkpoint against `plan`. Throws
+/// CheckpointError on any mismatch: unreadable file, wrong magic or
+/// version, fingerprint not matching the plan, slot index out of range,
+/// duplicate slots, short read, or a body that fails the footer
+/// checksum.
+[[nodiscard]] CheckpointState load_checkpoint(const std::string& path,
+                                              const CampaignPlan& plan);
+
+}  // namespace ssmwn::campaign

@@ -1,10 +1,13 @@
 #include "campaign/runner.hpp"
 
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
+
+#include "campaign/checkpoint.hpp"
 
 #include "core/dag_ids.hpp"
 #include "core/legitimacy.hpp"
@@ -467,6 +470,99 @@ RunMetrics execute_run(const ScenarioConfig& config, std::uint64_t seed,
   return out;
 }
 
+namespace {
+
+/// Thread-safe checkpoint publisher shared by the serial and pooled
+/// paths. Workers report completions through mark_complete(); the
+/// worker that crosses the cadence threshold copies the completed slots
+/// under the lock and publishes the snapshot *off* the lock, so file IO
+/// (including fsync) never stalls the other workers. The copy is
+/// race-free: a result is written before its completion flag is set
+/// under the mutex, and the copier holds the same mutex.
+class CheckpointSink {
+ public:
+  CheckpointSink(const CheckpointOptions& ckpt, const CampaignPlan& plan,
+                 const std::vector<RunMetrics>& results,
+                 std::vector<char> completed)
+      : ckpt_(ckpt),
+        plan_(plan),
+        results_(results),
+        completed_(std::move(completed)) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return !ckpt_.path.empty(); }
+  [[nodiscard]] bool is_complete(std::size_t i) const {
+    return completed_[i] != 0;
+  }
+
+  void mark_complete(std::size_t i) {
+    if (!enabled()) return;
+    bool write_now = false;
+    {
+      const std::scoped_lock lock(mutex_);
+      completed_[i] = 1;
+      ++since_snapshot_;
+      if (since_snapshot_ >= ckpt_.every_runs && !writer_busy_ &&
+          error_ == nullptr) {
+        writer_busy_ = true;
+        since_snapshot_ = 0;
+        write_now = true;
+      }
+    }
+    if (write_now) publish();
+  }
+
+  /// Publishes the final complete snapshot and rethrows any checkpoint
+  /// write error deferred from a worker. Call after all runs finish.
+  void finish() {
+    if (!enabled()) return;
+    std::exception_ptr error;
+    {
+      const std::scoped_lock lock(mutex_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+    CheckpointState snap;
+    snap.completed = completed_;
+    snap.results = results_;
+    write_checkpoint(ckpt_.path, plan_, snap);
+  }
+
+ private:
+  void publish() {
+    CheckpointState snap;
+    {
+      const std::scoped_lock lock(mutex_);
+      snap.completed = completed_;
+    }
+    snap.results.assign(results_.size(), RunMetrics{});
+    for (std::size_t i = 0; i < snap.completed.size(); ++i) {
+      if (snap.completed[i] != 0) snap.results[i] = results_[i];
+    }
+    // Workers must never unwind through the pool's raw range callback;
+    // park the error and fail the campaign from finish() instead.
+    std::exception_ptr error;
+    try {
+      write_checkpoint(ckpt_.path, plan_, snap);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const std::scoped_lock lock(mutex_);
+    writer_busy_ = false;
+    if (error && error_ == nullptr) error_ = error;
+  }
+
+  const CheckpointOptions& ckpt_;
+  const CampaignPlan& plan_;
+  const std::vector<RunMetrics>& results_;
+  std::vector<char> completed_;
+  std::mutex mutex_;
+  std::size_t since_snapshot_ = 0;
+  bool writer_busy_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
 CampaignRunner::CampaignRunner(unsigned threads, const ExecutionOptions& exec)
     : threads_(threads == 0
                    ? std::max(1u, std::thread::hardware_concurrency())
@@ -474,16 +570,34 @@ CampaignRunner::CampaignRunner(unsigned threads, const ExecutionOptions& exec)
       exec_(exec) {}
 
 std::vector<RunMetrics> CampaignRunner::run(const CampaignPlan& plan) {
+  return run(plan, CheckpointOptions{}, nullptr);
+}
+
+std::vector<RunMetrics> CampaignRunner::run(const CampaignPlan& plan,
+                                            const CheckpointOptions& ckpt,
+                                            const CheckpointState* resume) {
   std::vector<RunMetrics> results(plan.runs.size());
+  std::vector<char> completed(plan.runs.size(), 0);
+  if (resume != nullptr) {
+    completed = resume->completed;
+    for (std::size_t i = 0; i < completed.size(); ++i) {
+      if (completed[i] != 0) results[i] = resume->results[i];
+    }
+  }
   if (plan.runs.empty()) return results;
+
+  CheckpointSink sink(ckpt, plan, results, completed);
 
   if (threads_ == 1 || plan.runs.size() == 1) {
     RunWorkspace ws;
     for (std::size_t i = 0; i < plan.runs.size(); ++i) {
+      if (completed[i] != 0) continue;
       const auto& entry = plan.runs[i];
       results[i] =
           execute_run(plan.grid[entry.grid_index].config, entry.seed, ws, exec_);
+      sink.mark_complete(i);
     }
+    sink.finish();
     return results;
   }
 
@@ -491,10 +605,12 @@ std::vector<RunMetrics> CampaignRunner::run(const CampaignPlan& plan) {
   struct Ctx {
     const CampaignPlan* plan;
     RunMetrics* results;
+    const char* completed;
     std::vector<RunWorkspace>* workspaces;
     std::vector<std::size_t>* free_slots;
     std::mutex* mutex;
     const ExecutionOptions* exec;
+    CheckpointSink* sink;
   };
   // One workspace per pool thread; a range claims one for its duration.
   // At most thread_count() ranges execute concurrently, so the free list
@@ -504,7 +620,8 @@ std::vector<RunMetrics> CampaignRunner::run(const CampaignPlan& plan) {
   free_slots.reserve(workspaces.size());
   for (std::size_t i = 0; i < workspaces.size(); ++i) free_slots.push_back(i);
   std::mutex mutex;
-  Ctx ctx{&plan, results.data(), &workspaces, &free_slots, &mutex, &exec_};
+  Ctx ctx{&plan,       results.data(), completed.data(), &workspaces,
+          &free_slots, &mutex,         &exec_,           &sink};
 
   pool.parallel_for(
       plan.runs.size(), 1,
@@ -518,14 +635,19 @@ std::vector<RunMetrics> CampaignRunner::run(const CampaignPlan& plan) {
         }
         RunWorkspace& ws = (*ctx.workspaces)[slot];
         for (std::size_t i = begin; i < end; ++i) {
+          // `completed` is the immutable resume prefill, not live
+          // progress; the sink tracks live completions separately.
+          if (ctx.completed[i] != 0) continue;
           const auto& entry = ctx.plan->runs[i];
           ctx.results[i] = execute_run(ctx.plan->grid[entry.grid_index].config,
                                        entry.seed, ws, *ctx.exec);
+          ctx.sink->mark_complete(i);
         }
         const std::scoped_lock lock(*ctx.mutex);
         ctx.free_slots->push_back(slot);
       },
       &ctx);
+  sink.finish();
   return results;
 }
 

@@ -23,6 +23,8 @@
 
 namespace ssmwn::campaign {
 
+struct CheckpointState;  // campaign/checkpoint.hpp
+
 /// Per-run outcome. Sync runs (scheduler=sync) report means over the
 /// run's snapshot windows; async runs (scheduler=async) report one
 /// self-stabilization experiment — the distributed protocol played on
@@ -95,6 +97,24 @@ struct ExecutionOptions {
   std::size_t shards = 0;
 };
 
+/// Periodic checkpointing of a campaign in flight. Like
+/// ExecutionOptions, these knobs never influence results: a checkpoint
+/// records results, it does not create them, so output is byte-identical
+/// with checkpointing on, off, or at any cadence.
+struct CheckpointOptions {
+  /// Sidecar file to publish snapshots to; empty disables checkpointing.
+  /// Each snapshot is a complete, self-validating file installed by
+  /// atomic rename (campaign/checkpoint.hpp), so the path is always
+  /// either absent or a loadable checkpoint.
+  std::string path;
+  /// Publish a snapshot after at least this many newly completed runs
+  /// since the last one. Snapshots are written by whichever worker
+  /// crosses the threshold, off the lock; if a write is still in flight
+  /// the trigger is deferred, so slow storage throttles checkpoint
+  /// frequency instead of stalling the sweep.
+  std::size_t every_runs = 64;
+};
+
 /// Executes one run of `config` from `seed`. All randomness derives from
 /// `seed`; two calls with equal arguments return identical metrics —
 /// for async configs the whole event trace is deterministic, so this
@@ -120,6 +140,17 @@ class CampaignRunner {
   /// Runs every entry of the plan and returns the metrics in plan order.
   /// Deterministic for any thread count.
   [[nodiscard]] std::vector<RunMetrics> run(const CampaignPlan& plan);
+
+  /// As run(plan), with optional checkpointing and resume. `resume`
+  /// (slot results recovered by load_checkpoint, already validated
+  /// against this plan) prefills completed slots, which are skipped —
+  /// every remaining run still executes from its plan seed, so the
+  /// returned vector is byte-identical to an uninterrupted run at any
+  /// thread count. If `ckpt.path` is set, snapshots are published there
+  /// during execution and a final complete snapshot on return.
+  [[nodiscard]] std::vector<RunMetrics> run(const CampaignPlan& plan,
+                                            const CheckpointOptions& ckpt,
+                                            const CheckpointState* resume);
 
  private:
   unsigned threads_;

@@ -1,0 +1,76 @@
+// The `ssmwn serve` daemon: scenario specs in, run results out.
+//
+// One long-lived TCP listener; each accepted connection gets its own
+// thread that speaks the framed protocol (serve/wire.hpp): read a spec
+// frame, expand it, submit every run to the shared ServePool, then
+// stream result frames back *in plan order* — workers complete slots in
+// whatever order scheduling produces, but the connection thread waits
+// on slot i before slot i+1, so the client-visible stream is
+// byte-deterministic. A connection can submit any number of specs
+// sequentially; concurrent specs come from concurrent connections, all
+// multiplexed onto the one pool (which is the point: the pool's
+// workspaces and threads are shared capacity, not per-request cost).
+//
+// Shutdown is a graceful drain, reachable from a signal handler:
+// request_stop() writes one byte to a self-pipe (async-signal-safe),
+// the accept loop's poll wakes, the listener closes (no new
+// connections), in-flight connections finish the spec they are serving
+// and see the stop flag before reading another, and the pool drains its
+// queue before the workers join. Nothing in flight is dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "serve/worker_pool.hpp"
+
+namespace ssmwn::serve {
+
+struct ServerOptions {
+  /// Port to bind on 127.0.0.1; 0 asks the kernel for an ephemeral port
+  /// (tests bind 0 and read the real port back from port()).
+  std::uint16_t port = 0;
+  /// Worker pool size; 0 = hardware concurrency.
+  unsigned threads = 0;
+  campaign::ExecutionOptions exec;
+};
+
+class Server {
+ public:
+  /// Binds and listens; throws std::invalid_argument if the port cannot
+  /// be bound (the bad-arguments exit, like every precondition failure).
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The actually bound port (resolves port 0 to the kernel's choice).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accept loop; returns after request_stop() once every connection
+  /// has finished its in-flight spec and the pool has drained.
+  void run();
+
+  /// Initiates the graceful drain. Async-signal-safe (one write(2) to a
+  /// self-pipe) — designed to be called from a SIGTERM/SIGINT handler.
+  void request_stop() noexcept;
+
+ private:
+  void serve_connection(int fd);
+
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+  ServePool pool_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace ssmwn::serve

@@ -1,0 +1,102 @@
+#include "serve/worker_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+
+namespace ssmwn::serve {
+
+ServePool::ServePool(unsigned threads, const campaign::ExecutionOptions& exec)
+    : exec_(exec) {
+  const unsigned count =
+      threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                   : threads;
+  deques_.resize(count);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back(&ServePool::worker_main, this, i);
+  }
+}
+
+ServePool::~ServePool() { drain(); }
+
+void ServePool::submit(const std::shared_ptr<ServeJob>& job) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("serve pool is draining; job rejected");
+    }
+    for (std::size_t i = 0; i < job->plan.runs.size(); ++i) {
+      deques_[next_deque_].push_back(Task{job, i});
+      next_deque_ = (next_deque_ + 1) % deques_.size();
+    }
+  }
+  cv_.notify_all();
+}
+
+void ServePool::drain() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool ServePool::try_pop(std::size_t self, Task& out) {
+  // Own deque back-to-front (LIFO, cache-warm tail), then steal the
+  // oldest task from the first non-empty sibling. Caller holds mutex_.
+  if (!deques_[self].empty()) {
+    out = std::move(deques_[self].back());
+    deques_[self].pop_back();
+    return true;
+  }
+  for (std::size_t off = 1; off < deques_.size(); ++off) {
+    auto& victim = deques_[(self + off) % deques_.size()];
+    if (!victim.empty()) {
+      out = std::move(victim.front());
+      victim.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ServePool::worker_main(std::size_t self) {
+  campaign::RunWorkspace ws;  // reused across every run this worker takes
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      // try_pop first: stopping_ alone must not wake a worker past
+      // queued tasks — the drain contract says everything queued
+      // finishes before the workers exit.
+      cv_.wait(lock, [&] { return try_pop(self, task) || stopping_; });
+      if (!task.job) return;
+    }
+    ServeJob& job = *task.job;
+    const auto& entry = job.plan.runs[task.run_index];
+    campaign::RunMetrics metrics;
+    std::string error;
+    try {
+      metrics = campaign::execute_run(job.plan.grid[entry.grid_index].config,
+                                      entry.seed, ws, exec_);
+    } catch (const std::exception& e) {
+      error = e.what();
+      if (error.empty()) error = "run failed";
+    }
+    {
+      const std::scoped_lock lock(job.mutex);
+      job.results[task.run_index] = metrics;
+      job.failed[task.run_index] = std::move(error);
+      job.done[task.run_index] = 1;
+    }
+    job.cv.notify_all();
+    task.job.reset();  // release before sleeping; jobs die promptly
+  }
+}
+
+}  // namespace ssmwn::serve

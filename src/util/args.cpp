@@ -84,6 +84,47 @@ double Args::get_double(const std::string& name, double fallback) const {
   return value;
 }
 
+std::int64_t Args::get_int_in(const std::string& name, std::int64_t fallback,
+                              std::int64_t min, std::int64_t max) const {
+  if (!has(name)) return fallback;
+  const auto value = get_int(name, fallback);
+  if (value < min || value > max) {
+    throw std::invalid_argument("--" + name + " must be in [" +
+                                std::to_string(min) + ", " +
+                                std::to_string(max) + "] (got " +
+                                std::to_string(value) + ")");
+  }
+  return value;
+}
+
+namespace {
+
+// Shortest round-trip rendering for error messages: std::to_string's
+// fixed %f turns a 1e-9 bound into "0.000000", which makes a rejected
+// 0 look in-range.
+std::string format_bound(double value) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, value);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+double Args::get_double_in(const std::string& name, double fallback,
+                           double min, double max) const {
+  if (!has(name)) return fallback;
+  const auto value = get_double(name, fallback);
+  // NaN fails both comparisons' complements, so reject via negation:
+  // !(value >= min && value <= max) is true for NaN.
+  if (!(value >= min && value <= max)) {
+    throw std::invalid_argument("--" + name + " must be in [" +
+                                format_bound(min) + ", " +
+                                format_bound(max) + "] (got '" +
+                                get(name, "") + "')");
+  }
+  return value;
+}
+
 bool Args::get_bool(const std::string& name, bool fallback) const {
   const auto raw = get(name, "");
   if (raw.empty()) return fallback;

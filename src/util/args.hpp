@@ -26,6 +26,20 @@ class Args {
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Range-checked getters: like get_int/get_double, then reject values
+  /// outside [min, max] with a message naming the flag and the accepted
+  /// range. The range check applies to provided values only, never to
+  /// the fallback — a command's default must already be legal. These
+  /// exist so every numeric CLI flag rejects degenerate input (negative
+  /// counts, ports above 65535, huge fractions) with exit code 2
+  /// instead of wrapping through a cast or silently clamping.
+  [[nodiscard]] std::int64_t get_int_in(const std::string& name,
+                                        std::int64_t fallback,
+                                        std::int64_t min,
+                                        std::int64_t max) const;
+  [[nodiscard]] double get_double_in(const std::string& name, double fallback,
+                                     double min, double max) const;
+
   /// Positional (non-flag) arguments in order.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;

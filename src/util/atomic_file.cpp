@@ -1,0 +1,101 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <locale>
+#include <stdexcept>
+
+namespace ssmwn::util {
+
+namespace {
+
+std::string parent_directory(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+[[noreturn]] void fail_commit(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// fsync by path: open read-write-less, sync, close. Linux allows fsync
+/// on an O_RDONLY descriptor for both files and directories.
+void fsync_path(const std::string& path, const std::string& label) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail_commit("cannot open " + label + " for fsync", path);
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    fail_commit("fsync failed on " + label, path);
+  }
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path) : path_(std::move(path)) {
+  // Renaming over a device node or fifo would replace the node itself
+  // with a regular file (`--csv /dev/null` must stay a discard, not
+  // clobber the device) — write through such sinks directly.
+  struct stat st{};
+  direct_ = ::stat(path_.c_str(), &st) == 0 && !S_ISREG(st.st_mode);
+  temp_path_ =
+      direct_ ? path_ : path_ + ".tmp." + std::to_string(::getpid());
+  auto* file = new std::ofstream(temp_path_, std::ios::trunc);
+  if (!*file) {
+    delete file;
+    throw std::invalid_argument("cannot open output file '" + path_ +
+                                "' (temp '" + temp_path_ + "' unwritable)");
+  }
+  file->imbue(std::locale::classic());
+  file_ = file;
+  out_ = file;
+}
+
+AtomicFile::~AtomicFile() {
+  auto* file = static_cast<std::ofstream*>(file_);
+  if (file != nullptr && file->is_open()) file->close();
+  delete file;
+  if (!committed_ && !direct_) ::unlink(temp_path_.c_str());
+}
+
+void AtomicFile::commit() {
+  if (committed_) return;
+  auto* file = static_cast<std::ofstream*>(file_);
+  file->flush();
+  if (!*file) fail_commit("failed writing", temp_path_);
+  file->close();
+  if (!*file) fail_commit("failed closing", temp_path_);
+  if (direct_) {  // device/fifo sink: the write itself was the publish
+    committed_ = true;
+    return;
+  }
+  // Data must be durable BEFORE the rename publishes the name: rename
+  // first and a crash could expose a complete-looking name whose blocks
+  // never hit the disk.
+  fsync_path(temp_path_, "temp file");
+  if (::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    fail_commit("cannot rename onto", path_);
+  }
+  committed_ = true;  // destination now owns the bytes; stop cleanup
+  fsync_path(parent_directory(path_), "directory");
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  AtomicFile file(path);
+  file.stream().write(contents.data(),
+                      static_cast<std::streamsize>(contents.size()));
+  file.commit();
+}
+
+}  // namespace ssmwn::util

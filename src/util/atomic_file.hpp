@@ -1,0 +1,68 @@
+// Crash-consistent file publication: write-temp-then-atomic-rename.
+//
+// A report written straight onto its destination path can be torn by a
+// crash mid-write and still *parse* — a half-emitted CSV is missing
+// rows, not syntax. Every durable artifact (campaign CSV/JSON reports,
+// bench BENCH_*.json emissions, campaign checkpoints) therefore goes
+// through this helper instead: the bytes land in a sibling temp file,
+// are fsync'd to stable storage, and only then rename(2)'d onto the
+// destination — POSIX guarantees readers observe either the old
+// complete file or the new complete file, never a mixture. The
+// directory is fsync'd after the rename so the *name* survives a crash
+// too, not just the inode.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace ssmwn::util {
+
+/// Staged write to `path`. Construction opens `<path>.tmp.<pid>` in the
+/// same directory (same filesystem — rename must not cross devices) and
+/// throws std::invalid_argument if that fails, so an unwritable
+/// destination aborts before any expensive work, exactly like opening
+/// the destination eagerly used to. `commit()` flushes, fsyncs, renames
+/// onto `path`, and fsyncs the directory; the destructor unlinks the
+/// temp file if commit was never reached, so an exception between
+/// staging and commit leaves no debris and — crucially — leaves any
+/// pre-existing `path` untouched.
+///
+/// Non-regular destinations (`/dev/null`, a fifo) are written through
+/// directly: renaming over them would replace the device node itself
+/// with a regular file, and atomicity is meaningless for such sinks.
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path);
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// Buffered stream onto the temp file; pinned to the classic locale
+  /// like every writer in the repo.
+  [[nodiscard]] std::ostream& stream() noexcept { return *out_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Flush + fsync + rename + directory fsync. Throws std::runtime_error
+  /// (the run-failure exit code, not bad-arguments) if any step fails;
+  /// the destination is untouched in that case. Idempotent no-op after
+  /// the first successful call.
+  void commit();
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  // std::ofstream held behind a pointer so the header stays <fstream>-free.
+  std::ostream* out_ = nullptr;
+  void* file_ = nullptr;  // the owning std::ofstream
+  bool committed_ = false;
+  bool direct_ = false;  // non-regular destination: no temp, no rename
+};
+
+/// One-shot convenience: stage `contents`, commit, done. Same exception
+/// contract as AtomicFile (invalid_argument on open, runtime_error on
+/// commit).
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace ssmwn::util

@@ -1,0 +1,253 @@
+// Checkpoint layer: exact round-trips, hostile-file rejection, and the
+// resume-equivalence guarantee — a campaign resumed from any partial
+// checkpoint produces results byte-identical to an uninterrupted run,
+// at any thread count. (The out-of-process half of the story — real
+// SIGKILLs against the CLI — lives in resume_kill_test.cpp.)
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/checkpoint.hpp"
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+namespace ssmwn {
+namespace {
+
+constexpr const char* kSpecText = R"(
+name         = ckpt
+topology     = uniform
+n            = 50
+radius       = 0.14
+variant      = basic, improved
+mobility     = random-direction
+speed_max    = 1.6
+tau          = 0.9
+steps        = 5
+replications = 3
+seed_base    = 777
+)";
+
+campaign::CampaignPlan make_plan(const char* text = kSpecText) {
+  return campaign::expand(campaign::parse_spec_text(text));
+}
+
+/// Unique-ish temp path per test; tests clean up behind themselves.
+std::string temp_path(const std::string& tag) {
+  return testing::TempDir() + "ssmwn_ckpt_" + tag + ".ckpt";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void spit(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+TEST(CheckpointFingerprint, SensitiveToIdentityNotExecution) {
+  const auto base = campaign::plan_fingerprint(make_plan());
+
+  // Same text parses to the same fingerprint.
+  EXPECT_EQ(base, campaign::plan_fingerprint(make_plan()));
+
+  // Every identity axis moves it: seed base, replications, grid values,
+  // campaign name.
+  for (const auto& [from, to] :
+       {std::pair{"seed_base    = 777", "seed_base    = 778"},
+        std::pair{"replications = 3", "replications = 4"},
+        std::pair{"radius       = 0.14", "radius       = 0.15"},
+        std::pair{"name         = ckpt", "name         = ckpt2"}}) {
+    std::string text = kSpecText;
+    const auto pos = text.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    text.replace(pos, std::string(from).size(), to);
+    EXPECT_NE(base, campaign::plan_fingerprint(make_plan(text.c_str())))
+        << "edit did not change the fingerprint: " << to;
+  }
+}
+
+TEST(CheckpointRoundTrip, BitExactMetrics) {
+  const auto plan = make_plan();
+  campaign::CheckpointState state;
+  state.completed.assign(plan.runs.size(), 0);
+  state.results.assign(plan.runs.size(), campaign::RunMetrics{});
+  // Values chosen to break any decimal round-trip: long irrational-ish
+  // fractions, denormals, huge magnitudes, negative zero.
+  campaign::RunMetrics gnarly;
+  gnarly.stability = 0.1 + 0.2;  // the canonical 0.30000000000000004
+  gnarly.delta = 5e-324;         // min denormal
+  gnarly.reaffiliation = -0.0;
+  gnarly.cluster_count = 1.0 / 3.0;
+  gnarly.converge_time = 1.7976931348623157e308;
+  gnarly.messages = 16777217.0;  // above float precision
+  gnarly.reconverge_time = 2.2250738585072014e-308;
+  gnarly.reconverge_messages = 123456789.987654321;
+  gnarly.sync_steps = 1e-9;
+  gnarly.sync_messages = 987654321.123456789;
+  gnarly.windows = 41;
+  state.completed[0] = 1;
+  state.results[0] = gnarly;
+  state.completed[plan.runs.size() - 1] = 1;
+  state.results[plan.runs.size() - 1] = campaign::RunMetrics{};
+
+  const auto path = temp_path("roundtrip");
+  campaign::write_checkpoint(path, plan, state);
+  const auto loaded = campaign::load_checkpoint(path, plan);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.completed, state.completed);
+  ASSERT_EQ(loaded.completed_count(), 2u);
+  const auto& m = loaded.results[0];
+  // Bitwise equality, not EXPECT_DOUBLE_EQ: the contract is exact bits.
+  EXPECT_EQ(std::memcmp(&m, &gnarly, sizeof(gnarly)), 0);
+}
+
+TEST(CheckpointRejection, HostileFiles) {
+  const auto plan = make_plan();
+  campaign::CheckpointState state;
+  state.completed.assign(plan.runs.size(), 0);
+  state.results.assign(plan.runs.size(), campaign::RunMetrics{});
+  state.completed[1] = 1;
+  const auto path = temp_path("hostile");
+  campaign::write_checkpoint(path, plan, state);
+  const std::string good = slurp(path);
+  ASSERT_FALSE(good.empty());
+
+  // Missing file.
+  EXPECT_THROW((void)campaign::load_checkpoint(path + ".nope", plan),
+               campaign::CheckpointError);
+
+  // Truncations at every prefix length must throw, never crash and
+  // never return partial state (short read → no partial execution).
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{5}, good.size() / 4, good.size() / 2,
+        good.size() - 1}) {
+    spit(path, good.substr(0, keep));
+    EXPECT_THROW((void)campaign::load_checkpoint(path, plan),
+                 campaign::CheckpointError)
+        << "accepted a " << keep << "-byte truncation";
+  }
+
+  // One flipped byte in the body fails the checksum.
+  std::string corrupt = good;
+  corrupt[good.find("run ") + 4] ^= 1;
+  spit(path, corrupt);
+  EXPECT_THROW((void)campaign::load_checkpoint(path, plan),
+               campaign::CheckpointError);
+
+  // Wrong magic.
+  spit(path, "ssmwn-checkpoint v9\n" + good.substr(good.find('\n') + 1));
+  EXPECT_THROW((void)campaign::load_checkpoint(path, plan),
+               campaign::CheckpointError);
+
+  // A checkpoint from a different campaign is refused (spec hash).
+  std::string other_text = kSpecText;
+  other_text.replace(other_text.find("777"), 3, "778");
+  const auto other_plan = make_plan(other_text.c_str());
+  spit(path, good);
+  EXPECT_THROW((void)campaign::load_checkpoint(path, other_plan),
+               campaign::CheckpointError);
+
+  // CheckpointError maps to the bad-arguments exit: it must be an
+  // invalid_argument, or the CLI would report exit 1 instead of 2.
+  try {
+    (void)campaign::load_checkpoint(path, other_plan);
+    FAIL() << "expected CheckpointError";
+  } catch (const std::invalid_argument&) {
+  }
+  std::remove(path.c_str());
+}
+
+/// Renders the aggregated CSV+JSON exactly as the CLI does.
+std::string render(const campaign::CampaignPlan& plan,
+                   const std::vector<campaign::RunMetrics>& results) {
+  campaign::MetricsAggregator aggregator(plan.grid.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    aggregator.add(plan.runs[i].grid_index, results[i]);
+  }
+  const auto aggregates = aggregator.summarize();
+  std::ostringstream csv, json;
+  campaign::write_csv(csv, plan, aggregates);
+  campaign::write_json(json, plan, aggregates);
+  return csv.str() + "\x1f" + json.str();
+}
+
+TEST(CheckpointResume, ByteIdenticalFromAnyPrefixAtAnyThreads) {
+  const auto plan = make_plan();
+  campaign::CampaignRunner baseline_runner(1);
+  const auto baseline = baseline_runner.run(plan);
+  const auto expected = render(plan, baseline);
+
+  // Simulate interruptions of different depths: a checkpoint holding
+  // the first k completed slots (and a scattered variant), resumed on 1
+  // and 4 threads — all must reproduce the uninterrupted bytes.
+  const auto path = temp_path("resume");
+  for (const std::size_t k :
+       {std::size_t{0}, std::size_t{1}, plan.runs.size() / 2,
+        plan.runs.size()}) {
+    campaign::CheckpointState partial;
+    partial.completed.assign(plan.runs.size(), 0);
+    partial.results.assign(plan.runs.size(), campaign::RunMetrics{});
+    for (std::size_t i = 0; i < k; ++i) {
+      partial.completed[i] = 1;
+      partial.results[i] = baseline[i];
+    }
+    // Scatter: every third slot instead of a prefix (parallel sweeps
+    // die with holes, not clean prefixes).
+    campaign::CheckpointState scattered = partial;
+    for (std::size_t i = 0; i < plan.runs.size(); i += 3) {
+      scattered.completed[i] = 1;
+      scattered.results[i] = baseline[i];
+    }
+    for (const auto* state : {&partial, &scattered}) {
+      campaign::write_checkpoint(path, plan, *state);
+      const auto reloaded = campaign::load_checkpoint(path, plan);
+      for (const unsigned threads : {1u, 4u}) {
+        campaign::CampaignRunner runner(threads);
+        const auto resumed =
+            runner.run(plan, campaign::CheckpointOptions{}, &reloaded);
+        EXPECT_EQ(render(plan, resumed), expected)
+            << "k=" << k << " threads=" << threads;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, RunnerPublishesLoadableSnapshots) {
+  const auto plan = make_plan();
+  const auto path = temp_path("publish");
+  campaign::CheckpointOptions ckpt;
+  ckpt.path = path;
+  ckpt.every_runs = 2;  // force several mid-run snapshots
+  for (const unsigned threads : {1u, 4u}) {
+    campaign::CampaignRunner runner(threads);
+    const auto results = runner.run(plan, ckpt, nullptr);
+    // The final snapshot must be complete and must replay the exact
+    // result vector.
+    const auto final_state = campaign::load_checkpoint(path, plan);
+    EXPECT_EQ(final_state.completed_count(), plan.runs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(std::memcmp(&final_state.results[i], &results[i],
+                            sizeof(results[i])),
+                0)
+          << "slot " << i << " threads=" << threads;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace ssmwn

@@ -1,0 +1,186 @@
+// Serve daemon surface: wire framing, the work-stealing pool's
+// determinism, and the Server end-to-end — concurrent clients receive
+// byte-identical result streams for the same spec, errors keep the
+// connection usable, and request_stop() drains gracefully.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "serve/worker_pool.hpp"
+
+namespace ssmwn {
+namespace {
+
+constexpr const char* kSpecText = R"(
+name         = servetest
+topology     = uniform
+n            = 40
+radius       = 0.15
+variant      = basic, improved
+steps        = 4
+replications = 3
+seed_base    = 2025
+)";
+
+TEST(Wire, FramesRoundTripAcrossASocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  serve::write_frame(fds[0], serve::FrameType::kSpec, "hello spec");
+  serve::write_frame(fds[0], serve::FrameType::kResult, "");
+  std::string big(100'000, 'x');
+  serve::write_frame(fds[0], serve::FrameType::kEnd, big);
+  ::shutdown(fds[0], SHUT_WR);
+
+  serve::Frame frame;
+  ASSERT_TRUE(serve::read_frame(fds[1], frame));
+  EXPECT_EQ(frame.type, serve::FrameType::kSpec);
+  EXPECT_EQ(frame.body, "hello spec");
+  ASSERT_TRUE(serve::read_frame(fds[1], frame));
+  EXPECT_EQ(frame.type, serve::FrameType::kResult);
+  EXPECT_EQ(frame.body, "");
+  ASSERT_TRUE(serve::read_frame(fds[1], frame));
+  EXPECT_EQ(frame.type, serve::FrameType::kEnd);
+  EXPECT_EQ(frame.body, big);
+  // Clean EOF at a frame boundary is a false return, not an exception.
+  EXPECT_FALSE(serve::read_frame(fds[1], frame));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Wire, RejectsTornAndOversizedFrames) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Length prefix claiming 100 bytes, then EOF after 3: torn frame.
+  const unsigned char torn[] = {0, 0, 0, 100, 'S', 'a', 'b'};
+  ASSERT_EQ(::write(fds[0], torn, sizeof(torn)),
+            static_cast<ssize_t>(sizeof(torn)));
+  ::shutdown(fds[0], SHUT_WR);
+  serve::Frame frame;
+  EXPECT_THROW((void)serve::read_frame(fds[1], frame), std::runtime_error);
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A length prefix beyond kMaxFramePayload must be rejected up front,
+  // before any allocation of that size.
+  const unsigned char huge[] = {0xff, 0xff, 0xff, 0xff, 'S'};
+  ASSERT_EQ(::write(fds[0], huge, sizeof(huge)),
+            static_cast<ssize_t>(sizeof(huge)));
+  EXPECT_THROW((void)serve::read_frame(fds[1], frame), std::runtime_error);
+  // Zero-length frame: no type byte.
+  const unsigned char empty[] = {0, 0, 0, 0};
+  ASSERT_EQ(::write(fds[0], empty, sizeof(empty)),
+            static_cast<ssize_t>(sizeof(empty)));
+  EXPECT_THROW((void)serve::read_frame(fds[1], frame), std::runtime_error);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServePool, SlotResultsMatchTheCampaignRunner) {
+  const auto plan = campaign::expand(campaign::parse_spec_text(kSpecText));
+  campaign::CampaignRunner reference(1);
+  const auto want = reference.run(plan);
+
+  serve::ServePool pool(4);
+  auto job = std::make_shared<serve::ServeJob>(plan);
+  pool.submit(job);
+  for (std::size_t i = 0; i < plan.runs.size(); ++i) {
+    job->wait_slot(i);
+    EXPECT_TRUE(job->failed[i].empty());
+    EXPECT_EQ(std::memcmp(&job->results[i], &want[i], sizeof(want[i])), 0)
+        << "slot " << i;
+  }
+  pool.drain();
+}
+
+TEST(ServePool, DrainFinishesQueuedWorkBeforeJoining) {
+  const auto plan = campaign::expand(campaign::parse_spec_text(kSpecText));
+  serve::ServePool pool(2);
+  auto job = std::make_shared<serve::ServeJob>(plan);
+  pool.submit(job);
+  pool.drain();  // must not strand queued runs
+  for (std::size_t i = 0; i < plan.runs.size(); ++i) {
+    EXPECT_NE(job->done[i], 0) << "slot " << i << " stranded by drain";
+  }
+}
+
+/// Client helper: connect to the server, send one spec, read frames
+/// until EOF (write side shut down after the spec, like `ssmwn
+/// submit`), return the concatenated transcript.
+std::string submit_spec(std::uint16_t port, const std::string& spec) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  serve::write_frame(fd, serve::FrameType::kSpec, spec);
+  ::shutdown(fd, SHUT_WR);
+  std::string transcript;
+  serve::Frame frame;
+  while (serve::read_frame(fd, frame)) {
+    transcript += static_cast<char>(frame.type);
+    transcript += frame.body;
+    transcript += '\n';
+  }
+  ::close(fd);
+  return transcript;
+}
+
+TEST(Server, ConcurrentClientsGetByteIdenticalStreamsAndDrainIsClean) {
+  std::signal(SIGPIPE, SIG_IGN);
+  serve::ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.threads = 3;
+  serve::Server server(options);
+  ASSERT_GT(server.port(), 0);
+  std::thread accept_thread([&server] { server.run(); });
+
+  std::string t1, t2, t3;
+  {
+    std::thread c1([&] { t1 = submit_spec(server.port(), kSpecText); });
+    std::thread c2([&] { t2 = submit_spec(server.port(), kSpecText); });
+    // A malformed spec on a third connection must not disturb the others.
+    std::thread c3(
+        [&] { t3 = submit_spec(server.port(), "no_such_key = 1\n"); });
+    c1.join();
+    c2.join();
+    c3.join();
+  }
+  // The two identical specs yield byte-identical transcripts ending in
+  // an end frame, regardless of work-stealing interleavings.
+  EXPECT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t2);
+  const auto plan = campaign::expand(campaign::parse_spec_text(kSpecText));
+  EXPECT_NE(t1.find("E" + std::to_string(plan.runs.size())),
+            std::string::npos);
+  // The bad spec got an error frame, nothing else.
+  EXPECT_EQ(t3.substr(0, 1), "X");
+  EXPECT_EQ(t3.find('R'), std::string::npos);
+
+  // Graceful drain: request_stop from this thread (the CLI calls it
+  // from a SIGTERM handler — same entry point) and run() must return.
+  server.request_stop();
+  accept_thread.join();
+}
+
+}  // namespace
+}  // namespace ssmwn

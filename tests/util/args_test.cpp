@@ -132,5 +132,77 @@ TEST(Args, SubcommandThenFileWithFlagsInterleaved) {
   EXPECT_EQ(args.get("csv", ""), "out.csv");
 }
 
+// Range-checked accessors back the CLI's numeric-flag audit: a value
+// outside [min, max] must throw invalid_argument (→ exit 2) with a
+// message that names the offending flag — never wrap, clamp, or pass a
+// degenerate value through to the simulation.
+TEST(Args, RangeCheckedIntRejectsOutOfRange) {
+  EXPECT_EQ(parse({"--threads", "8"}).get_int_in("threads", 1, 0, 65536), 8);
+  // Boundary values are in range.
+  EXPECT_EQ(parse({"--threads", "0"}).get_int_in("threads", 1, 0, 65536), 0);
+  EXPECT_EQ(parse({"--threads", "65536"}).get_int_in("threads", 1, 0, 65536),
+            65536);
+  EXPECT_THROW(
+      (void)parse({"--threads", "65537"}).get_int_in("threads", 1, 0, 65536),
+      std::invalid_argument);
+  EXPECT_THROW((void)parse({"--shards", "-3"}).get_int_in("shards", 0, 0,
+                                                          1'000'000),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse({"--port", "65536"}).get_int_in("port", 0, 1, 65535),
+      std::invalid_argument);
+  // Trailing junk stays a parse error even through the ranged accessor.
+  EXPECT_THROW((void)parse({"--n", "5x"}).get_int_in("n", 1, 1, 100),
+               std::invalid_argument);
+}
+
+TEST(Args, RangeCheckedDoubleRejectsDegenerateValues) {
+  EXPECT_DOUBLE_EQ(
+      parse({"--tau", "0.9"}).get_double_in("tau", 1.0, 1e-9, 1.0), 0.9);
+  EXPECT_THROW(
+      (void)parse({"--tau", "0"}).get_double_in("tau", 1.0, 1e-9, 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse({"--tau", "1.5"}).get_double_in("tau", 1.0, 1e-9, 1.0),
+      std::invalid_argument);
+  EXPECT_THROW((void)parse({"--corrupt", "-0.1"})
+                   .get_double_in("corrupt", 0.0, 0.0, 1.0),
+               std::invalid_argument);
+  // NaN satisfies no range predicate — must be rejected, not clamped.
+  EXPECT_THROW(
+      (void)parse({"--tau", "nan"}).get_double_in("tau", 1.0, 1e-9, 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse({"--tau", "inf"}).get_double_in("tau", 1.0, 1e-9, 1.0),
+      std::invalid_argument);
+}
+
+TEST(Args, RangeCheckErrorNamesTheFlag) {
+  try {
+    (void)parse({"--threads", "70000"}).get_int_in("threads", 1, 0, 65536);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--threads"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("70000"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)parse({"--tau", "2.5"}).get_double_in("tau", 1.0, 1e-9, 1.0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--tau"), std::string::npos)
+        << e.what();
+  }
+}
+
+// An absent flag returns the fallback verbatim — the range applies only
+// to user input. parse_shards relies on this: its fallback 0 means
+// "auto", below the user-facing minimum of some call sites.
+TEST(Args, RangeCheckDoesNotApplyToFallbacks) {
+  EXPECT_EQ(parse({}).get_int_in("port", 0, 1, 65535), 0);
+  EXPECT_DOUBLE_EQ(parse({}).get_double_in("tau", -1.0, 1e-9, 1.0), -1.0);
+}
+
 }  // namespace
 }  // namespace ssmwn

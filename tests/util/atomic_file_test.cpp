@@ -1,0 +1,75 @@
+// AtomicFile: the crash-consistency primitive every durable artifact
+// (reports, checkpoints, bench JSON) publishes through.
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ssmwn {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(AtomicFile, CommitPublishesAndAbandonLeavesOldContents) {
+  const std::string path = testing::TempDir() + "atomic_file_pub.txt";
+  util::atomic_write_file(path, "first\n");
+  EXPECT_EQ(slurp(path), "first\n");
+
+  // An abandoned (never-committed) writer must leave the previous
+  // contents untouched and no temp debris behind.
+  {
+    util::AtomicFile file(path);
+    file.stream() << "half-written garbage";
+  }
+  EXPECT_EQ(slurp(path), "first\n");
+
+  // A committed writer replaces them completely.
+  {
+    util::AtomicFile file(path);
+    file.stream() << "second\n";
+    file.commit();
+  }
+  EXPECT_EQ(slurp(path), "second\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, UnwritableDestinationFailsAtOpenAsBadArguments) {
+  EXPECT_THROW(util::AtomicFile("/nonexistent-dir/out.csv"),
+               std::invalid_argument);
+}
+
+// Regression: renaming the temp over a non-regular destination would
+// replace the node itself — `--csv /dev/null` must stay a discard to
+// the device, not turn /dev/null into a regular file.
+TEST(AtomicFile, DeviceDestinationIsWrittenThroughNotRenamedOver) {
+  struct stat before{};
+  ASSERT_EQ(::stat("/dev/null", &before), 0);
+  ASSERT_FALSE(S_ISREG(before.st_mode)) << "environment has no /dev/null?";
+
+  util::atomic_write_file("/dev/null", "discard me\n");
+
+  struct stat after{};
+  ASSERT_EQ(::stat("/dev/null", &after), 0);
+  EXPECT_TRUE(S_ISCHR(after.st_mode));
+  EXPECT_EQ(before.st_rdev, after.st_rdev);
+  EXPECT_FALSE(file_exists("/dev/null.tmp"));
+}
+
+}  // namespace
+}  // namespace ssmwn
